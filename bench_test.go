@@ -1,0 +1,390 @@
+package archadapt
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5). Each figure bench runs the corresponding 1800-second
+// experiment and reports the quantities the paper reads off the plot as
+// custom benchmark metrics, so `go test -bench=.` reproduces the evaluation
+// end to end:
+//
+//	Figure 7        BenchmarkFigure7Workload
+//	Figure 8-10     BenchmarkFigure{8,9,10}Control*
+//	Figure 11-13    BenchmarkFigure{11,12,13}Repair*
+//	Table 1         BenchmarkTable1Operators
+//	§5.3 repair time BenchmarkRepairDuration (+ BenchmarkAblationGaugeCaching)
+//	§5.3 monitoring  BenchmarkAblationMonitoringQoS
+//	§5.3 Remos       BenchmarkAblationRemosPrequery
+//	§5.3 oscillation BenchmarkAblationOscillationDamping
+//	§7 selection     BenchmarkAblationSmartSelection
+//	§5 sizing        BenchmarkQueueingAnalysis
+//
+// Shape expectations (not absolute numbers) are recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"archadapt/internal/envmgr"
+	"archadapt/internal/experiment"
+	"archadapt/internal/netsim"
+	"archadapt/internal/queueing"
+	"archadapt/internal/remos"
+	"archadapt/internal/repair"
+	"archadapt/internal/sim"
+)
+
+func benchSeed(i int) uint64 { return uint64(i + 1) }
+
+func runControl(i int, cfg ManagerConfig) *ExperimentResults {
+	return RunExperiment(ExperimentOptions{Seed: benchSeed(i), Cfg: cfg})
+}
+
+func runAdaptive(i int, cfg ManagerConfig) *ExperimentResults {
+	return RunExperiment(ExperimentOptions{Adaptive: true, Seed: benchSeed(i), Cfg: cfg})
+}
+
+// BenchmarkFigure7Workload builds and installs the Figure 7 schedule.
+func BenchmarkFigure7Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := NewTestbed(benchSeed(i))
+		sched := PaperWorkload(tb.Net, tb.App, tb.Links, NewRand(benchSeed(i)))
+		sched.Install(tb.K)
+		if len(sched.Steps) < 5 {
+			b.Fatal("workload schedule incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure8ControlLatency regenerates the control latency series.
+func BenchmarkFigure8ControlLatency(b *testing.B) {
+	var first, frac float64
+	for i := 0; i < b.N; i++ {
+		s := runControl(i, ManagerConfig{}).Summarize()
+		first += s.FirstViolationAt
+		frac += s.FracAbove2s
+	}
+	b.ReportMetric(first/float64(b.N), "s/first-violation")
+	b.ReportMetric(100*frac/float64(b.N), "%above-2s")
+}
+
+// BenchmarkFigure9ControlLoad regenerates the control queue-length series.
+func BenchmarkFigure9ControlLoad(b *testing.B) {
+	var maxq float64
+	for i := 0; i < b.N; i++ {
+		maxq += runControl(i, ManagerConfig{}).Summarize().MaxQueue
+	}
+	b.ReportMetric(maxq/float64(b.N), "max-queue")
+}
+
+// BenchmarkFigure10ControlBandwidth regenerates the control available-
+// bandwidth series.
+func BenchmarkFigure10ControlBandwidth(b *testing.B) {
+	var minbw float64
+	for i := 0; i < b.N; i++ {
+		minbw += runControl(i, ManagerConfig{}).Summarize().MinBandwidthMbps
+	}
+	b.ReportMetric(minbw/float64(b.N), "Mbps-min")
+}
+
+// BenchmarkFigure11RepairLatency regenerates the adaptive latency series
+// with its repair intervals.
+func BenchmarkFigure11RepairLatency(b *testing.B) {
+	var frac, final float64
+	for i := 0; i < b.N; i++ {
+		s := runAdaptive(i, ManagerConfig{}).Summarize()
+		frac += s.FracAbove2s
+		final += s.FinalPhaseFracAbove2s
+	}
+	b.ReportMetric(100*frac/float64(b.N), "%above-2s")
+	b.ReportMetric(100*final/float64(b.N), "%above-2s-final")
+}
+
+// BenchmarkFigure12RepairBandwidth regenerates the adaptive bandwidth
+// series.
+func BenchmarkFigure12RepairBandwidth(b *testing.B) {
+	var moves float64
+	for i := 0; i < b.N; i++ {
+		moves += float64(runAdaptive(i, ManagerConfig{}).Summarize().Moves)
+	}
+	b.ReportMetric(moves/float64(b.N), "client-moves")
+}
+
+// BenchmarkFigure13RepairLoad regenerates the adaptive queue-length series.
+func BenchmarkFigure13RepairLoad(b *testing.B) {
+	var maxq, acts float64
+	for i := 0; i < b.N; i++ {
+		s := runAdaptive(i, ManagerConfig{}).Summarize()
+		maxq += s.MaxQueue
+		acts += float64(len(s.ServerActivations))
+	}
+	b.ReportMetric(maxq/float64(b.N), "max-queue")
+	b.ReportMetric(acts/float64(b.N), "spares-activated")
+}
+
+// BenchmarkTable1Operators micro-benchmarks every environment-manager
+// operator of Table 1 on a fresh testbed.
+func BenchmarkTable1Operators(b *testing.B) {
+	bench := func(name string, op func(m *envmgr.Manager, tb *Testbed) error) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tb := NewTestbed(1)
+				m := envmgr.New(tb.K, tb.Net, tb.App, tb.Hosts["mS4"], tb.Rm)
+				tb.Rm.PrequeryAll(
+					[]netsim.NodeID{tb.Hosts["mS4"], tb.Hosts["mS7"]},
+					[]netsim.NodeID{tb.Hosts["mC3"]})
+				tb.K.RunAll(0)
+				b.StartTimer()
+				if err := op(m, tb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	bench("createReqQueue", func(m *envmgr.Manager, tb *Testbed) error {
+		return m.CreateReqQueue("G3")
+	})
+	bench("findServer", func(m *envmgr.Manager, tb *Testbed) error {
+		_, err := m.FindServer("C3", 1e3)
+		return err
+	})
+	bench("moveClient", func(m *envmgr.Manager, tb *Testbed) error {
+		return m.MoveClient("C3", experiment.SG2)
+	})
+	bench("connectServer", func(m *envmgr.Manager, tb *Testbed) error {
+		return m.ConnectServer("S4", experiment.SG2)
+	})
+	bench("activateServer", func(m *envmgr.Manager, tb *Testbed) error {
+		return m.ActivateServer("S4")
+	})
+	bench("deactivateServer", func(m *envmgr.Manager, tb *Testbed) error {
+		return m.DeactivateServer("S1")
+	})
+	bench("remosGetFlow", func(m *envmgr.Manager, tb *Testbed) error {
+		return m.RemosGetFlow("C3", "S4", func(float64) {})
+	})
+}
+
+// BenchmarkRepairDuration measures the end-to-end repair time of the
+// baseline (destroy/recreate gauges) configuration — the paper's "averages
+// 30 seconds".
+func BenchmarkRepairDuration(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean += runAdaptive(i, ManagerConfig{}).Summarize().MeanRepairSeconds
+	}
+	b.ReportMetric(mean/float64(b.N), "s/repair")
+}
+
+// BenchmarkAblationGaugeCaching compares repair time with the §5.3 gauge
+// caching fix.
+func BenchmarkAblationGaugeCaching(b *testing.B) {
+	for _, caching := range []bool{false, true} {
+		name := "recreate"
+		if caching {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean += runAdaptive(i, ManagerConfig{GaugeCaching: caching}).Summarize().MeanRepairSeconds
+			}
+			b.ReportMetric(mean/float64(b.N), "s/repair")
+		})
+	}
+}
+
+// BenchmarkAblationMonitoringQoS compares best-effort monitoring (the
+// paper's deployment) against QoS-prioritized monitoring traffic.
+func BenchmarkAblationMonitoringQoS(b *testing.B) {
+	for _, prio := range []Priority{BestEffort, Prioritized} {
+		name := "best-effort"
+		if prio == Prioritized {
+			name = "prioritized"
+		}
+		b.Run(name, func(b *testing.B) {
+			var first, frac float64
+			for i := 0; i < b.N; i++ {
+				res := runAdaptive(i, ManagerConfig{MonitoringPriority: prio})
+				if len(res.Spans) > 0 {
+					first += res.Spans[0].Start
+				}
+				frac += res.Summarize().FracAbove2s
+			}
+			b.ReportMetric(first/float64(b.N), "s/first-repair")
+			b.ReportMetric(100*frac/float64(b.N), "%above-2s")
+		})
+	}
+}
+
+// BenchmarkAblationRemosPrequery compares pre-queried Remos (the paper's
+// mitigation) against cold Remos.
+func BenchmarkAblationRemosPrequery(b *testing.B) {
+	for _, skip := range []bool{false, true} {
+		name := "prequeried"
+		if skip {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			var firstMove float64
+			for i := 0; i < b.N; i++ {
+				res := runAdaptive(i, ManagerConfig{SkipRemosPrequery: skip})
+				for _, sp := range res.Spans {
+					moved := false
+					for _, op := range sp.Ops {
+						if op.Kind == repair.OpMoveClient {
+							moved = true
+						}
+					}
+					if moved {
+						firstMove += sp.Start
+						break
+					}
+				}
+			}
+			b.ReportMetric(firstMove/float64(b.N), "s/first-move")
+		})
+	}
+}
+
+// BenchmarkAblationOscillationDamping compares the raw engine against
+// settle+damping under alternating competition (§5.3's observed client
+// ping-pong).
+func BenchmarkAblationOscillationDamping(b *testing.B) {
+	configs := map[string]ManagerConfig{
+		"raw":    {},
+		"damped": {SettleTime: 20, OscillationWindow: 300, OscillationMoves: 3, DampFactor: 6},
+	}
+	for _, name := range []string{"raw", "damped"} {
+		cfg := configs[name]
+		b.Run(name, func(b *testing.B) {
+			var moves float64
+			for i := 0; i < b.N; i++ {
+				res := RunExperiment(ExperimentOptions{
+					Adaptive: true, Seed: benchSeed(i), Cfg: cfg, Oscillate: true,
+				})
+				moves += float64(res.Summarize().Moves)
+			}
+			b.ReportMetric(moves/float64(b.N), "client-moves")
+		})
+	}
+}
+
+// BenchmarkAblationSmartSelection compares first-reporter repair selection
+// (the paper's prototype) against worst-latency-first (§7 future work).
+func BenchmarkAblationSmartSelection(b *testing.B) {
+	for _, smart := range []bool{false, true} {
+		name := "first-reporter"
+		if smart {
+			name = "worst-first"
+		}
+		b.Run(name, func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				frac += runAdaptive(i, ManagerConfig{SmartSelection: smart}).Summarize().FracAbove2s
+			}
+			b.ReportMetric(100*frac/float64(b.N), "%above-2s")
+		})
+	}
+}
+
+// BenchmarkQueueingAnalysis measures the design-time sizing computation that
+// produced the paper's initial configuration (3 servers, 10 Kbps floor).
+func BenchmarkQueueingAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, _, ok := queueing.ServersFor(6, 3.0, 2.0, 32)
+		if !ok || m != 3 {
+			b.Fatalf("sizing=%d ok=%v", m, ok)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkKernelEvents measures raw event throughput of the simulation
+// kernel.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			k.After(1, next)
+		}
+	}
+	k.After(1, next)
+	b.ResetTimer()
+	k.RunAll(uint64(b.N) + 1)
+}
+
+// BenchmarkMaxMinReflow measures the fluid-flow solver with 100 concurrent
+// flows on the paper topology.
+func BenchmarkMaxMinReflow(b *testing.B) {
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	hosts := make([]netsim.NodeID, 10)
+	r := net.AddRouter("r")
+	for i := range hosts {
+		hosts[i] = net.AddHost(string(rune('a' + i)))
+		net.Connect(hosts[i], r, 10e6, 1e-3)
+	}
+	for i := 0; i < 100; i++ {
+		net.StartTransfer(hosts[i%10], hosts[(i+1)%10], 1e12, "x", nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SetBackgroundBoth(0, float64(i%10)*1e5)
+	}
+}
+
+// BenchmarkConstraintCheck measures invariant evaluation over the paper
+// model.
+func BenchmarkConstraintCheck(b *testing.B) {
+	tb := NewTestbed(1)
+	inv, err := NewInvariant("lat", "ClientT", "averageLatency <= maxLatency")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range tb.Model.Components() {
+		if c.Type() == "ClientT" {
+			c.Props().Set("averageLatency", 1.0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := inv.Check(tb.Model, nil, true); len(vs) != 0 {
+			b.Fatal("unexpected violation")
+		}
+	}
+}
+
+// BenchmarkRemosQueries measures warm-path Remos throughput.
+func BenchmarkRemosQueries(b *testing.B) {
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	a := net.AddHost("a")
+	c := net.AddHost("c")
+	h := net.AddHost("rm")
+	r := net.AddRouter("r")
+	net.Connect(a, r, 10e6, 1e-3)
+	net.Connect(c, r, 10e6, 1e-3)
+	net.Connect(h, r, 10e6, 1e-3)
+	rm := remos.New(k, net, h)
+	rm.Prequery(a, c)
+	k.RunAll(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm.GetFlow(h, a, c, func(float64) {})
+		k.RunAll(0)
+	}
+}
+
+// BenchmarkFullAdaptiveRun measures one complete 1800-second adaptive
+// experiment (the paper's whole evaluation in one number).
+func BenchmarkFullAdaptiveRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runAdaptive(i, ManagerConfig{})
+		if len(res.Spans) == 0 {
+			b.Fatal("no repairs")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command acmecheck parses an architecture description, validates its
+// structure, evaluates its invariants, and optionally reprints it in
+// canonical form — the AcmeLib workflow of §4 as a command-line tool.
+//
+// Usage:
+//
+//	acmecheck [-print] file.acme [file2.acme ...]
+//	acmecheck -print -        (read from stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"archadapt"
+)
+
+func main() {
+	reprint := flag.Bool("print", false, "reprint the description in canonical form")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: acmecheck [-print] file.acme ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		d, err := archadapt.ParseACME(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: system %q (%s): %d components, %d connectors, %d attachments, %d invariants\n",
+			path, d.System.Name(), d.System.Type(),
+			len(d.System.Components()), len(d.System.Connectors()),
+			len(d.System.Attachments()), len(d.Invariants))
+		violations := 0
+		for _, inv := range d.Invariants {
+			for _, v := range inv.Check(d.System, nil, false) {
+				fmt.Printf("  violation: %s\n", v)
+				violations++
+			}
+		}
+		if violations == 0 {
+			fmt.Println("  all invariants hold")
+		} else {
+			exit = 1
+		}
+		if *reprint {
+			fmt.Print(archadapt.PrintACME(d))
+		}
+	}
+	os.Exit(exit)
+}

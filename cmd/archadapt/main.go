@@ -1,0 +1,92 @@
+// Command archadapt runs the paper's evaluation (§5) and regenerates its
+// figures.
+//
+// Usage:
+//
+//	archadapt [-mode both|control|adaptive] [-fig N] [-csv] [-seed N]
+//	          [-caching] [-qos] [-cold-remos] [-settle S] [-smart]
+//	          [-oscillate] [-duration S]
+//
+// With -fig 0 (default) it prints run summaries and the comparison table;
+// with -fig N it prints the requested figure (7–13) as an ASCII plot or CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archadapt"
+)
+
+func main() {
+	mode := flag.String("mode", "both", "control | adaptive | both")
+	fig := flag.Int("fig", 0, "figure to regenerate (7-13); 0 = summaries")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII plots")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	caching := flag.Bool("caching", false, "enable gauge caching (§5.3 extension)")
+	qos := flag.Bool("qos", false, "prioritize monitoring traffic (§5.3 extension)")
+	coldRemos := flag.Bool("cold-remos", false, "skip Remos pre-querying (exposes cold-query lag)")
+	settle := flag.Float64("settle", 0, "repair settle time in seconds (§5.3 extension)")
+	smart := flag.Bool("smart", false, "worst-latency-first repair selection (§7 extension)")
+	oscillate := flag.Bool("oscillate", false, "alternating-competition oscillation scenario")
+	duration := flag.Float64("duration", 0, "run duration in seconds (default 1800)")
+	flag.Parse()
+
+	cfg := archadapt.DefaultConfig()
+	cfg.GaugeCaching = *caching
+	cfg.SkipRemosPrequery = *coldRemos
+	cfg.SettleTime = *settle
+	cfg.SmartSelection = *smart
+	if *qos {
+		cfg.MonitoringPriority = archadapt.Prioritized
+	}
+	base := archadapt.ExperimentOptions{
+		Seed: *seed, Cfg: cfg, Duration: *duration, Oscillate: *oscillate,
+	}
+
+	var control, adaptive *archadapt.ExperimentResults
+	if *mode == "control" || *mode == "both" {
+		fmt.Fprintln(os.Stderr, "running control (1800 simulated seconds)...")
+		opts := base
+		opts.Adaptive = false
+		control = archadapt.RunExperiment(opts)
+	}
+	if *mode == "adaptive" || *mode == "both" {
+		fmt.Fprintln(os.Stderr, "running adaptive (1800 simulated seconds)...")
+		opts := base
+		opts.Adaptive = true
+		adaptive = archadapt.RunExperiment(opts)
+	}
+
+	if *fig != 0 {
+		f := archadapt.Figure(*fig)
+		res := control
+		if f.Adaptive() || (control == nil && adaptive != nil) {
+			res = adaptive
+		}
+		if res == nil {
+			fmt.Fprintf(os.Stderr, "figure %d needs the %s run; adjust -mode\n", *fig,
+				map[bool]string{true: "adaptive", false: "control"}[f.Adaptive()])
+			os.Exit(2)
+		}
+		if *csv {
+			fmt.Println("#", f.Title())
+			fmt.Print(archadapt.FigureCSV(f, res))
+			return
+		}
+		fmt.Print(archadapt.RenderFigure(f, res))
+		return
+	}
+
+	if control != nil {
+		fmt.Println(control.Summarize())
+	}
+	if adaptive != nil {
+		fmt.Println(adaptive.Summarize())
+	}
+	if control != nil && adaptive != nil {
+		fmt.Println("=== control vs adaptive ===")
+		fmt.Print(archadapt.CompareRuns(control, adaptive))
+	}
+}

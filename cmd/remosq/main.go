@@ -1,0 +1,58 @@
+// Command remosq queries the simulated Remos service on the paper's testbed
+// (Table 1's remos_get_flow), demonstrating the cold-query cost of §5.3 and
+// the effect of pre-querying.
+//
+// Usage:
+//
+//	remosq                      # timing demo: cold vs warm vs pre-queried
+//	remosq mS1 mC3              # one query between two testbed machines
+//
+// Machines: mC12 mC3 mC4 mC56 mS1 mS2 mS3 mS4 mS5RQ mS6 mS7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archadapt"
+)
+
+func main() {
+	flag.Parse()
+	tb := archadapt.NewTestbed(1)
+
+	query := func(src, dst string) {
+		a, ok := tb.Net.Lookup(src)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown machine %q\n", src)
+			os.Exit(2)
+		}
+		b, ok := tb.Net.Lookup(dst)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown machine %q\n", dst)
+			os.Exit(2)
+		}
+		start := tb.K.Now()
+		tb.Rm.GetFlow(tb.Hosts["mS4"], a, b, func(bw float64) {
+			fmt.Printf("remos_get_flow(%s, %s) = %.4g Mbps  (answered after %.2f s, cold=%v)\n",
+				src, dst, bw/1e6, tb.K.Now()-start, tb.K.Now()-start > 1)
+		})
+		tb.K.RunAll(0)
+	}
+
+	if flag.NArg() == 2 {
+		query(flag.Arg(0), flag.Arg(1))
+		return
+	}
+
+	fmt.Println("cold query (Remos must collect and analyze data first):")
+	query("mS1", "mC3")
+	fmt.Println("warm repeat of the same pair:")
+	query("mS1", "mC3")
+	fmt.Println("pre-querying a second pair, then querying it:")
+	tb.Rm.Prequery(tb.Hosts["mS5RQ"], tb.Hosts["mC3"])
+	tb.K.RunAll(0)
+	query("mS5RQ", "mC3")
+	fmt.Printf("\nservice stats: %d queries, %d cold collections\n", tb.Rm.Queries(), tb.Rm.ColdQueries())
+}

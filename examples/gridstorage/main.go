@@ -1,0 +1,56 @@
+// Gridstorage reruns the paper's full evaluation (§5): the Figure 6 testbed
+// under the Figure 7 workload, thirty simulated minutes each for the control
+// run (no adaptation) and the adaptive run, then prints the regenerated
+// Figures 8–13 and the control-vs-adaptive comparison.
+//
+// Run: go run ./examples/gridstorage [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"archadapt"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed (shared by both runs)")
+	csv := flag.Bool("csv", false, "emit CSV series instead of ASCII plots")
+	flag.Parse()
+
+	fmt.Println("running control (no adaptation), 1800 simulated seconds...")
+	control := archadapt.RunExperiment(archadapt.ExperimentOptions{Seed: *seed})
+	fmt.Println("running adaptive, same seed...")
+	adaptive := archadapt.RunExperiment(archadapt.ExperimentOptions{Adaptive: true, Seed: *seed})
+
+	figures := []struct {
+		f   archadapt.Figure
+		res *archadapt.ExperimentResults
+	}{
+		{archadapt.Figure7, control},
+		{archadapt.Figure8, control},
+		{archadapt.Figure9, control},
+		{archadapt.Figure10, control},
+		{archadapt.Figure11, adaptive},
+		{archadapt.Figure12, adaptive},
+		{archadapt.Figure13, adaptive},
+	}
+	for _, fig := range figures {
+		fmt.Println()
+		if *csv && fig.f != archadapt.Figure7 {
+			fmt.Println("#", fig.f.Title())
+			fmt.Print(archadapt.FigureCSV(fig.f, fig.res))
+			continue
+		}
+		fmt.Print(archadapt.RenderFigure(fig.f, fig.res))
+	}
+
+	fmt.Println()
+	fmt.Println("=== control vs adaptive (the paper's §5.2 discussion) ===")
+	fmt.Print(archadapt.CompareRuns(control, adaptive))
+
+	fmt.Println()
+	fmt.Println("=== per-run summaries ===")
+	fmt.Println(control.Summarize())
+	fmt.Println(adaptive.Summarize())
+}

@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end use of the framework.
+//
+// We build a two-group client/server system on a toy network, crush the
+// bandwidth between the client and its server group, and watch the
+// architecture manager detect the latency violation and move the client to
+// the healthy group — the paper's fixBandwidth repair, end to end.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"archadapt"
+)
+
+func main() {
+	k := archadapt.NewKernel()
+	net := archadapt.NewNetwork(k)
+
+	// Topology: client -- r1 -- r2 -- groupA; r1 -- r3 -- groupB.
+	cliHost := net.AddHost("client")
+	r1 := net.AddRouter("r1")
+	r2 := net.AddRouter("r2")
+	r3 := net.AddRouter("r3")
+	hostA := net.AddHost("hostA")
+	hostB := net.AddHost("hostB")
+	mgrHost := net.AddHost("mgr")
+	net.Connect(cliHost, r1, 10e6, 1e-3)
+	linkA := net.Connect(r1, r2, 10e6, 1e-3)
+	net.Connect(r2, hostA, 10e6, 1e-3)
+	net.Connect(r1, r3, 10e6, 1e-3)
+	net.Connect(r3, hostB, 10e6, 1e-3)
+	net.Connect(r1, mgrHost, 10e6, 1e-3)
+
+	spec := archadapt.Spec{
+		Name: "quickstart",
+		Groups: []archadapt.GroupSpec{
+			{Name: "GroupA", Servers: []string{"A1"}, ActiveCount: 1},
+			{Name: "GroupB", Servers: []string{"B1"}, ActiveCount: 1},
+		},
+		Clients:       []archadapt.ClientSpec{{Name: "C1", Group: "GroupA"}},
+		MaxLatency:    2.0,
+		MaxServerLoad: 6,
+		MinBandwidth:  10e3,
+	}
+	dep, err := archadapt.Deploy(k, net, spec, archadapt.Placement{
+		ServerHosts: map[string]archadapt.NodeID{"A1": hostA, "B1": hostB},
+		ClientHosts: map[string]archadapt.NodeID{"C1": cliHost},
+		QueueHost:   mgrHost,
+		ManagerHost: mgrHost,
+	}, 42)
+	if err != nil {
+		panic(err)
+	}
+	mgr := dep.Manage(archadapt.DefaultConfig())
+	dep.App.Start()
+
+	// At t=60 s, competition starves the path to GroupA (5 Kbps left).
+	k.At(60, func() {
+		fmt.Println("t=60   competition crushes the client<->GroupA path")
+		net.SetBackgroundBoth(linkA, 10e6-5e3)
+	})
+
+	k.Run(300)
+
+	fmt.Printf("t=300  client is now on %s\n", dep.App.Client("C1").Group)
+	for _, sp := range mgr.Spans() {
+		fmt.Printf("repair [%0.0f..%0.0f s] subject=%s tactics=%v ops=%v\n",
+			sp.Start, sp.End, sp.Subject, sp.Tactics, sp.Ops)
+	}
+	if len(mgr.Spans()) == 0 {
+		fmt.Println("no repairs fired (unexpected)")
+	}
+	fmt.Println("\narchitectural model after adaptation:")
+	fmt.Print(archadapt.PrintModel(dep.Model))
+}

@@ -1,0 +1,80 @@
+// Selfheal demonstrates fault recovery: two of a group's three servers crash
+// mid-run. The framework never observes the crash directly — it sees the
+// architectural symptoms (queue length and client latency climbing past
+// their bounds) and repairs the architecture by activating spares, exactly
+// the externalized-adaptation argument of §1: the application itself has no
+// recovery code.
+//
+// Run: go run ./examples/selfheal
+package main
+
+import (
+	"fmt"
+
+	"archadapt"
+)
+
+func main() {
+	k := archadapt.NewKernel()
+	net := archadapt.NewNetwork(k)
+
+	r := net.AddRouter("r")
+	mgrHost := net.AddHost("mgr")
+	net.Connect(mgrHost, r, 10e6, 1e-3)
+	serverHosts := map[string]archadapt.NodeID{}
+	for _, s := range []string{"S1", "S2", "S3", "S4", "S5"} {
+		serverHosts[s] = net.AddHost("h" + s)
+		net.Connect(serverHosts[s], r, 10e6, 1e-3)
+	}
+	clientHosts := map[string]archadapt.NodeID{}
+	clients := []archadapt.ClientSpec{}
+	for _, c := range []string{"C1", "C2", "C3"} {
+		clientHosts[c] = net.AddHost("h" + c)
+		net.Connect(clientHosts[c], r, 10e6, 1e-3)
+		clients = append(clients, archadapt.ClientSpec{Name: c, Group: "G"})
+	}
+
+	spec := archadapt.Spec{
+		Name: "selfheal",
+		Groups: []archadapt.GroupSpec{
+			{Name: "G", Servers: []string{"S1", "S2", "S3", "S4", "S5"}, ActiveCount: 3},
+		},
+		Clients:       clients,
+		MaxLatency:    2.0,
+		MaxServerLoad: 6,
+		MinBandwidth:  10e3,
+	}
+	dep, err := archadapt.Deploy(k, net, spec, archadapt.Placement{
+		ServerHosts:   serverHosts,
+		ClientHosts:   clientHosts,
+		QueueHost:     mgrHost,
+		ManagerHost:   mgrHost,
+		ServicePerBit: 0.3 / (8 * 8192), // ~0.35 s per baseline reply
+		ClientRate:    2.0,              // 6 req/s aggregate on ~8.5 req/s capacity
+	}, 11)
+	if err != nil {
+		panic(err)
+	}
+	cfg := archadapt.DefaultConfig()
+	cfg.SettleTime = 30
+	mgr := dep.Manage(cfg)
+	dep.App.Start()
+
+	k.At(200, func() {
+		fmt.Println("t=200  S1 and S2 crash (the framework is not told)")
+		_ = dep.App.CrashServer("S1")
+		_ = dep.App.CrashServer("S2")
+	})
+	k.Ticker(60, 60, func(now float64) {
+		fmt.Printf("t=%-5.0f active=%v queue=%d\n", now, dep.App.ActiveServersOf("G"), dep.App.QueueLen("G"))
+	})
+
+	k.Run(900)
+
+	fmt.Println("\nrepair history (symptom-driven, no fault notification):")
+	for _, sp := range mgr.Spans() {
+		fmt.Printf("  [%5.0f..%5.0f] subject=%s %v %v\n", sp.Start, sp.End, sp.Subject, sp.Tactics, sp.Ops)
+	}
+	fmt.Printf("\nfinal active servers: %v\n", dep.App.ActiveServersOf("G"))
+	fmt.Printf("alerts (situations no tactic could repair): %d\n", len(mgr.Alerts()))
+}

@@ -1,0 +1,103 @@
+// Webfarm demonstrates both directions of adaptation on a web-server farm
+// under a diurnal load curve: the framework activates spare servers as load
+// climbs (the paper's addServer repair) and — with the ScaleDown extension,
+// the paper's third, unshown repair — deactivates them again as load falls,
+// honouring the cost goal of §1: "the set of currently active servers should
+// be kept to a minimum".
+//
+// Run: go run ./examples/webfarm
+package main
+
+import (
+	"fmt"
+
+	"archadapt"
+)
+
+func main() {
+	k := archadapt.NewKernel()
+	net := archadapt.NewNetwork(k)
+
+	// A small datacenter: clients on one switch, the farm on another.
+	cRouter := net.AddRouter("edge")
+	sRouter := net.AddRouter("farm")
+	net.Connect(cRouter, sRouter, 100e6, 5e-4)
+	mgrHost := net.AddHost("control-plane")
+	net.Connect(mgrHost, sRouter, 100e6, 5e-4)
+
+	serverHosts := map[string]archadapt.NodeID{}
+	servers := []string{"W1", "W2", "W3", "W4", "W5", "W6"}
+	for _, s := range servers {
+		serverHosts[s] = net.AddHost("host" + s)
+		net.Connect(serverHosts[s], sRouter, 100e6, 5e-4)
+	}
+	clientHosts := map[string]archadapt.NodeID{}
+	clients := []archadapt.ClientSpec{}
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("pop%d", i)
+		clientHosts[name] = net.AddHost(name)
+		net.Connect(clientHosts[name], cRouter, 100e6, 5e-4)
+		clients = append(clients, archadapt.ClientSpec{Name: name, Group: "Farm"})
+	}
+
+	spec := archadapt.Spec{
+		Name:          "webfarm",
+		Groups:        []archadapt.GroupSpec{{Name: "Farm", Servers: servers, ActiveCount: 2}},
+		Clients:       clients,
+		MaxLatency:    1.0,
+		MaxServerLoad: 4,
+		MinBandwidth:  10e3,
+	}
+	dep, err := archadapt.Deploy(k, net, spec, archadapt.Placement{
+		ServerHosts:   serverHosts,
+		ClientHosts:   clientHosts,
+		QueueHost:     mgrHost,
+		ManagerHost:   mgrHost,
+		ServiceBase:   0.05,
+		ServicePerBit: 0.25 / (8 * 8192), // ~0.3 s per 8 KB page
+		ClientRate:    1.0,
+	}, 7)
+	if err != nil {
+		panic(err)
+	}
+	cfg := archadapt.DefaultConfig()
+	cfg.ScaleDown = true
+	cfg.SettleTime = 90      // let each scaling action take effect
+	cfg.LoadSmoothing = 0.15 // hysteresis against add/remove flapping
+	mgr := dep.Manage(cfg)
+	dep.Model.Props().Set("minServerLoad", 0.5)
+	dep.Model.Props().Set("minReplicas", 2.0)
+	dep.App.Start()
+
+	// Diurnal curve: each population ramps 1 -> 4 -> 1 req/s.
+	rates := []struct {
+		at   float64
+		rate float64
+	}{
+		{300, 2.0}, {600, 4.0}, {1200, 2.0}, {1500, 1.0},
+	}
+	for _, step := range rates {
+		step := step
+		k.At(step.at, func() {
+			for _, c := range clients {
+				dep.App.Client(c.Name).Rate = step.rate
+			}
+			fmt.Printf("t=%-5.0f demand -> %.0f req/s per population (%.0f aggregate)\n",
+				step.at, step.rate, step.rate*4)
+		})
+	}
+	// Report farm size over time.
+	k.Ticker(60, 60, func(now float64) {
+		fmt.Printf("t=%-5.0f active servers: %v  queue=%d\n",
+			now, dep.App.ActiveServersOf("Farm"), dep.App.QueueLen("Farm"))
+	})
+
+	k.Run(1800)
+
+	fmt.Println("\nrepair history:")
+	for _, sp := range mgr.Spans() {
+		fmt.Printf("  [%5.0f..%5.0f] %v %v\n", sp.Start, sp.End, sp.Tactics, sp.Ops)
+	}
+	fmt.Printf("\nfinal farm: %v (started with 2, peaked during the ramp, shrank after)\n",
+		dep.App.ActiveServersOf("Farm"))
+}

@@ -1,0 +1,560 @@
+// Package acme reads and writes a textual architecture description language
+// in the Acme family, standing in for the paper's AcmeLib: systems of typed
+// components and connectors with ports, roles, property lists, nested
+// representations, attachments, and invariants.
+//
+// Example:
+//
+//	system storage : ClientServerFam = {
+//	    property maxLatency = 2.0;
+//	    component ServerGrp1 : ServerGroupT = {
+//	        port provide : ProvideT;
+//	        property load = 0.0;
+//	        representation = {
+//	            component Server1 : ServerT = { port work : WorkT; }
+//	        }
+//	    }
+//	    connector Req1 : ReqConnT = {
+//	        role server : ServerRoleT;
+//	    }
+//	    attachment ServerGrp1.provide to Req1.server;
+//	    invariant latency on ClientT : averageLatency <= maxLatency;
+//	}
+//
+// Parse returns the model plus the declared invariants; Print renders a
+// canonical form such that Parse∘Print is the identity on models.
+package acme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"archadapt/internal/constraint"
+	"archadapt/internal/model"
+)
+
+// Description is a parsed ADL file: the architecture plus its invariants.
+type Description struct {
+	System     *model.System
+	Invariants []*constraint.Invariant
+}
+
+// ---- lexer ----
+
+type tkind int
+
+const (
+	tkEOF tkind = iota
+	tkWord
+	tkNumber
+	tkString
+	tkPunct // { } = ; : .
+)
+
+type tok struct {
+	kind tkind
+	text string
+	num  float64
+	line int
+}
+
+func (t tok) String() string {
+	if t.kind == tkEOF {
+		return "end of file"
+	}
+	return strconv.Quote(t.text)
+}
+
+type lexer struct {
+	src  string
+	i    int
+	line int
+	toks []tok
+}
+
+func lexAll(src string) ([]tok, error) {
+	l := &lexer{src: src, line: 1}
+	n := len(src)
+	for l.i < n {
+		c := src[l.i]
+		switch {
+		case c == '\n':
+			l.line++
+			l.i++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.i++
+		case c == '/' && l.i+1 < n && src[l.i+1] == '/':
+			for l.i < n && src[l.i] != '\n' {
+				l.i++
+			}
+		case unicode.IsDigit(rune(c)) || ((c == '-' || c == '.') && l.i+1 < n && unicode.IsDigit(rune(src[l.i+1]))):
+			j := l.i + 1
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			f, err := strconv.ParseFloat(src[l.i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("acme:%d: bad number %q", l.line, src[l.i:j])
+			}
+			l.toks = append(l.toks, tok{kind: tkNumber, text: src[l.i:j], num: f, line: l.line})
+			l.i = j
+		case c == '"':
+			j := l.i + 1
+			var sb []byte
+			for j < n && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("acme:%d: newline in string", l.line)
+				}
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb = append(sb, src[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("acme:%d: unterminated string", l.line)
+			}
+			l.toks = append(l.toks, tok{kind: tkString, text: string(sb), line: l.line})
+			l.i = j + 1
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := l.i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			l.toks = append(l.toks, tok{kind: tkWord, text: src[l.i:j], line: l.line})
+			l.i = j
+		case c == '<' || c == '>' || c == '!' || c == '=':
+			// Expression operators appear inside invariant bodies; `==` must
+			// stay distinct from the declaration-level `=`.
+			if l.i+1 < n && src[l.i+1] == '=' {
+				l.toks = append(l.toks, tok{kind: tkPunct, text: src[l.i : l.i+2], line: l.line})
+				l.i += 2
+			} else {
+				l.toks = append(l.toks, tok{kind: tkPunct, text: string(c), line: l.line})
+				l.i++
+			}
+		case strings.ContainsRune("{}=;:.,|()+-*/", rune(c)):
+			l.toks = append(l.toks, tok{kind: tkPunct, text: string(c), line: l.line})
+			l.i++
+		default:
+			return nil, fmt.Errorf("acme:%d: unexpected character %q", l.line, c)
+		}
+	}
+	l.toks = append(l.toks, tok{kind: tkEOF, line: l.line})
+	return l.toks, nil
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []tok
+	i    int
+}
+
+func (p *parser) peek() tok { return p.toks[p.i] }
+func (p *parser) next() tok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tkPunct && p.peek().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptWord(s string) bool {
+	if p.peek().kind == tkWord && p.peek().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("acme:%d: expected %q, found %s", p.peek().line, s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectWord() (string, error) {
+	t := p.peek()
+	if t.kind != tkWord {
+		return "", fmt.Errorf("acme:%d: expected identifier, found %s", t.line, t)
+	}
+	p.i++
+	return t.text, nil
+}
+
+// Parse parses an ADL source text.
+func Parse(src string) (d *Description, err error) {
+	// The model layer panics on structural misuse (duplicate names); surface
+	// those as parse errors rather than crashing the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			d = nil
+			err = fmt.Errorf("acme: %v", r)
+		}
+	}()
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if !p.acceptWord("system") {
+		return nil, fmt.Errorf("acme:%d: expected 'system', found %s", p.peek().line, p.peek())
+	}
+	name, err := p.expectWord()
+	if err != nil {
+		return nil, err
+	}
+	style := ""
+	if p.acceptPunct(":") {
+		style, err = p.expectWord()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	d = &Description{System: model.NewSystem(name, style)}
+	if err := p.parseSystemBody(d, d.System); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("acme:%d: trailing input %s", p.peek().line, p.peek())
+	}
+	if err := d.System.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Description {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type attSpec struct {
+	compOrConn, portOrRole string
+	toConn, toRole         string
+	line                   int
+}
+
+func (p *parser) parseSystemBody(d *Description, sys *model.System) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var atts []attSpec
+	for !p.acceptPunct("}") {
+		t := p.peek()
+		if t.kind != tkWord {
+			return fmt.Errorf("acme:%d: expected declaration, found %s", t.line, t)
+		}
+		switch t.text {
+		case "property":
+			p.i++
+			if err := p.parseProperty(sys.Props()); err != nil {
+				return err
+			}
+		case "component":
+			p.i++
+			if err := p.parseComponent(d, sys); err != nil {
+				return err
+			}
+		case "connector":
+			p.i++
+			if err := p.parseConnector(sys); err != nil {
+				return err
+			}
+		case "attachment":
+			p.i++
+			a, err := p.parseAttachment()
+			if err != nil {
+				return err
+			}
+			atts = append(atts, a)
+		case "invariant":
+			p.i++
+			if err := p.parseInvariant(d); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("acme:%d: unknown declaration %q", t.line, t.text)
+		}
+	}
+	// Resolve attachments after all declarations.
+	for _, a := range atts {
+		comp := sys.Component(a.compOrConn)
+		if comp == nil {
+			return fmt.Errorf("acme:%d: attachment references unknown component %q", a.line, a.compOrConn)
+		}
+		port := comp.Port(a.portOrRole)
+		if port == nil {
+			return fmt.Errorf("acme:%d: component %q has no port %q", a.line, a.compOrConn, a.portOrRole)
+		}
+		conn := sys.Connector(a.toConn)
+		if conn == nil {
+			return fmt.Errorf("acme:%d: attachment references unknown connector %q", a.line, a.toConn)
+		}
+		role := conn.Role(a.toRole)
+		if role == nil {
+			return fmt.Errorf("acme:%d: connector %q has no role %q", a.line, a.toConn, a.toRole)
+		}
+		if err := sys.Attach(port, role); err != nil {
+			return fmt.Errorf("acme:%d: %w", a.line, err)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseProperty(props *model.Props) error {
+	name, err := p.expectWord()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	t := p.next()
+	var v any
+	switch {
+	case t.kind == tkNumber:
+		v = t.num
+	case t.kind == tkString:
+		v = t.text
+	case t.kind == tkWord && t.text == "true":
+		v = true
+	case t.kind == tkWord && t.text == "false":
+		v = false
+	default:
+		return fmt.Errorf("acme:%d: bad property value %s", t.line, t)
+	}
+	props.Set(name, v)
+	return p.expectPunct(";")
+}
+
+func (p *parser) parseComponent(d *Description, sys *model.System) error {
+	name, err := p.expectWord()
+	if err != nil {
+		return err
+	}
+	typ := ""
+	if p.acceptPunct(":") {
+		if typ, err = p.expectWord(); err != nil {
+			return err
+		}
+	}
+	c := sys.AddComponent(name, typ)
+	if p.acceptPunct(";") {
+		return nil
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.acceptPunct("}") {
+		t := p.peek()
+		switch {
+		case t.kind == tkWord && t.text == "property":
+			p.i++
+			if err := p.parseProperty(c.Props()); err != nil {
+				return err
+			}
+		case t.kind == tkWord && t.text == "port":
+			p.i++
+			pn, err := p.expectWord()
+			if err != nil {
+				return err
+			}
+			pt := ""
+			if p.acceptPunct(":") {
+				if pt, err = p.expectWord(); err != nil {
+					return err
+				}
+			}
+			port := c.AddPort(pn, pt)
+			if p.acceptPunct("=") {
+				if err := p.expectPunct("{"); err != nil {
+					return err
+				}
+				for !p.acceptPunct("}") {
+					if !p.acceptWord("property") {
+						return fmt.Errorf("acme:%d: expected property in port body", p.peek().line)
+					}
+					if err := p.parseProperty(port.Props()); err != nil {
+						return err
+					}
+				}
+			} else if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		case t.kind == tkWord && t.text == "representation":
+			p.i++
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			rep := c.EnsureRep()
+			if err := p.parseSystemBody(d, rep); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("acme:%d: unexpected %s in component body", t.line, t)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseConnector(sys *model.System) error {
+	name, err := p.expectWord()
+	if err != nil {
+		return err
+	}
+	typ := ""
+	if p.acceptPunct(":") {
+		if typ, err = p.expectWord(); err != nil {
+			return err
+		}
+	}
+	c := sys.AddConnector(name, typ)
+	if p.acceptPunct(";") {
+		return nil
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.acceptPunct("}") {
+		t := p.peek()
+		switch {
+		case t.kind == tkWord && t.text == "property":
+			p.i++
+			if err := p.parseProperty(c.Props()); err != nil {
+				return err
+			}
+		case t.kind == tkWord && t.text == "role":
+			p.i++
+			rn, err := p.expectWord()
+			if err != nil {
+				return err
+			}
+			rt := ""
+			if p.acceptPunct(":") {
+				if rt, err = p.expectWord(); err != nil {
+					return err
+				}
+			}
+			role := c.AddRole(rn, rt)
+			if p.acceptPunct("=") {
+				if err := p.expectPunct("{"); err != nil {
+					return err
+				}
+				for !p.acceptPunct("}") {
+					if !p.acceptWord("property") {
+						return fmt.Errorf("acme:%d: expected property in role body", p.peek().line)
+					}
+					if err := p.parseProperty(role.Props()); err != nil {
+						return err
+					}
+				}
+			} else if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("acme:%d: unexpected %s in connector body", t.line, t)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseAttachment() (attSpec, error) {
+	var a attSpec
+	a.line = p.peek().line
+	var err error
+	if a.compOrConn, err = p.expectWord(); err != nil {
+		return a, err
+	}
+	if err = p.expectPunct("."); err != nil {
+		return a, err
+	}
+	if a.portOrRole, err = p.expectWord(); err != nil {
+		return a, err
+	}
+	if !p.acceptWord("to") {
+		return a, fmt.Errorf("acme:%d: expected 'to' in attachment", p.peek().line)
+	}
+	if a.toConn, err = p.expectWord(); err != nil {
+		return a, err
+	}
+	if err = p.expectPunct("."); err != nil {
+		return a, err
+	}
+	if a.toRole, err = p.expectWord(); err != nil {
+		return a, err
+	}
+	return a, p.expectPunct(";")
+}
+
+// parseInvariant parses `invariant NAME [on TYPE] : <expr-to-semicolon>;`.
+// The expression is handed to the constraint package verbatim.
+func (p *parser) parseInvariant(d *Description) error {
+	name, err := p.expectWord()
+	if err != nil {
+		return err
+	}
+	scope := ""
+	if p.acceptWord("on") {
+		if scope, err = p.expectWord(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	// Collect raw tokens until the terminating semicolon.
+	var sb strings.Builder
+	depth := 0
+	for {
+		t := p.peek()
+		if t.kind == tkEOF {
+			return fmt.Errorf("acme:%d: unterminated invariant %q", t.line, name)
+		}
+		if t.kind == tkPunct && t.text == ";" && depth == 0 {
+			p.i++
+			break
+		}
+		if t.kind == tkPunct && t.text == "{" {
+			depth++
+		}
+		if t.kind == tkPunct && t.text == "}" {
+			depth--
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.kind == tkString {
+			sb.WriteString(strconv.Quote(t.text))
+		} else {
+			sb.WriteString(t.text)
+		}
+		p.i++
+	}
+	inv, err := constraint.NewInvariant(name, scope, sb.String())
+	if err != nil {
+		return err
+	}
+	d.Invariants = append(d.Invariants, inv)
+	return nil
+}

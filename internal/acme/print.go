@@ -1,0 +1,153 @@
+package acme
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"archadapt/internal/constraint"
+	"archadapt/internal/model"
+)
+
+// Print renders a description in canonical ADL form. Parse(Print(d)) yields
+// a model Equal to d.System with the same invariants, making the printer
+// usable for persistence and for diffing model snapshots in tests.
+func Print(d *Description) string {
+	var b strings.Builder
+	printSystem(&b, d.System, d.Invariants, 0, "system")
+	return b.String()
+}
+
+// PrintSystem renders just the architecture (no invariants).
+func PrintSystem(sys *model.System) string {
+	var b strings.Builder
+	printSystem(&b, sys, nil, 0, "system")
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printSystem(b *strings.Builder, sys *model.System, invs []*constraint.Invariant, depth int, keyword string) {
+	indent(b, depth)
+	if keyword == "system" {
+		b.WriteString("system ")
+		b.WriteString(sys.Name())
+		if sys.Type() != "" {
+			b.WriteString(" : " + sys.Type())
+		}
+		b.WriteString(" = {\n")
+	} else {
+		b.WriteString("representation = {\n")
+	}
+	printProps(b, sys.Props(), depth+1)
+	for _, c := range sys.Components() {
+		printComponent(b, c, depth+1)
+	}
+	for _, c := range sys.Connectors() {
+		printConnector(b, c, depth+1)
+	}
+	for _, a := range sys.Attachments() {
+		indent(b, depth+1)
+		fmt.Fprintf(b, "attachment %s to %s;\n", a.Port.QName(), a.Role.QName())
+	}
+	for _, inv := range invs {
+		indent(b, depth+1)
+		b.WriteString("invariant " + inv.Name)
+		if inv.Scope != "" {
+			b.WriteString(" on " + inv.Scope)
+		}
+		b.WriteString(" : " + inv.Expr.String() + ";\n")
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+func printProps(b *strings.Builder, props *model.Props, depth int) {
+	names := props.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		v, _ := props.Get(name)
+		indent(b, depth)
+		switch x := v.(type) {
+		case float64:
+			fmt.Fprintf(b, "property %s = %s;\n", name, strconv.FormatFloat(x, 'g', -1, 64))
+		case bool:
+			fmt.Fprintf(b, "property %s = %t;\n", name, x)
+		case string:
+			fmt.Fprintf(b, "property %s = %s;\n", name, strconv.Quote(x))
+		case []string:
+			// String lists are not part of the surface syntax; they are
+			// runtime-only. Skip.
+		}
+	}
+}
+
+func printComponent(b *strings.Builder, c *model.Component, depth int) {
+	indent(b, depth)
+	b.WriteString("component " + c.Name())
+	if c.Type() != "" {
+		b.WriteString(" : " + c.Type())
+	}
+	if c.Props().Len() == 0 && len(c.Ports()) == 0 && c.Rep == nil {
+		b.WriteString(";\n")
+		return
+	}
+	b.WriteString(" = {\n")
+	printProps(b, c.Props(), depth+1)
+	for _, p := range c.Ports() {
+		indent(b, depth+1)
+		b.WriteString("port " + p.Name())
+		if p.Type() != "" {
+			b.WriteString(" : " + p.Type())
+		}
+		if p.Props().Len() > 0 {
+			b.WriteString(" = {\n")
+			printProps(b, p.Props(), depth+2)
+			indent(b, depth+1)
+			b.WriteString("}\n")
+		} else {
+			b.WriteString(";\n")
+		}
+	}
+	if c.Rep != nil {
+		printSystem(b, c.Rep, nil, depth+1, "representation")
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+func printConnector(b *strings.Builder, c *model.Connector, depth int) {
+	indent(b, depth)
+	b.WriteString("connector " + c.Name())
+	if c.Type() != "" {
+		b.WriteString(" : " + c.Type())
+	}
+	if c.Props().Len() == 0 && len(c.Roles()) == 0 {
+		b.WriteString(";\n")
+		return
+	}
+	b.WriteString(" = {\n")
+	printProps(b, c.Props(), depth+1)
+	for _, r := range c.Roles() {
+		indent(b, depth+1)
+		b.WriteString("role " + r.Name())
+		if r.Type() != "" {
+			b.WriteString(" : " + r.Type())
+		}
+		if r.Props().Len() > 0 {
+			b.WriteString(" = {\n")
+			printProps(b, r.Props(), depth+2)
+			indent(b, depth+1)
+			b.WriteString("}\n")
+		} else {
+			b.WriteString(";\n")
+		}
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}

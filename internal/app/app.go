@@ -1,0 +1,468 @@
+// Package app implements the managed application of the paper's experiment:
+// a replicated client/server storage system. Clients send small requests to
+// a request-queue machine that keeps one FIFO queue per server group;
+// servers pull requests from their group's queue, process them, and stream
+// the (much larger) reply directly back to the client (§5: requests average
+// 0.5 KB, replies 20 KB).
+//
+// The application runs on the netsim network under the sim kernel and has no
+// built-in adaptation: every adaptive behaviour comes from the framework
+// through the environment-manager operators (Table 1), exactly as in the
+// paper's evaluation.
+package app
+
+import (
+	"fmt"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// Request is one client request traveling through the system.
+type Request struct {
+	ID       uint64
+	Client   string
+	Group    string  // queue it was routed to
+	RespBits float64 // reply size requested
+	SentAt   sim.Time
+	QueuedAt sim.Time
+	PulledAt sim.Time
+}
+
+// Response records a completed request at the client.
+type Response struct {
+	Req     *Request
+	DoneAt  sim.Time
+	Latency float64
+}
+
+// Server is one (possibly spare) server process pinned to a host.
+type Server struct {
+	Name  string
+	Host  netsim.NodeID
+	Group string // group whose queue it pulls from ("" when unattached)
+
+	// ServiceBase and ServicePerBit model request processing time
+	// (CPU + disk): base + bits*perBit seconds.
+	ServiceBase   float64
+	ServicePerBit float64
+
+	active  bool
+	busy    bool
+	stopped bool // deactivation requested while busy
+	served  uint64
+	sys     *System
+}
+
+// Active reports whether the server is pulling requests.
+func (s *Server) Active() bool { return s.active }
+
+// Busy reports whether the server is mid-request.
+func (s *Server) Busy() bool { return s.busy }
+
+// Served returns the number of completed requests.
+func (s *Server) Served() uint64 { return s.served }
+
+// Client is a request generator pinned to a host.
+type Client struct {
+	Name  string
+	Host  netsim.NodeID
+	Group string // group its new requests are routed to
+
+	// Rate is the mean request rate (Poisson arrivals). ReqBits/RespBits
+	// sample the request/reply sizes; the workload layer re-points these at
+	// phase boundaries (Figure 7).
+	Rate     float64
+	ReqBits  func() float64
+	RespBits func() float64
+
+	rng     *sim.Rand
+	nextID  uint64
+	stopped bool
+
+	// Listeners receive completed responses (probes attach here; this is
+	// the AIDE-style instrumentation point: "probes report when particular
+	// methods have been called").
+	OnResponse []func(Response)
+	// OnSend listeners observe request emission (for outstanding-request
+	// tracking in the harness).
+	OnSend []func(*Request)
+
+	responses uint64
+	sys       *System
+}
+
+// Responses returns the number of replies received.
+func (c *Client) Responses() uint64 { return c.responses }
+
+// queue is one FIFO request queue on the queue machine.
+type queue struct {
+	group    string
+	reqs     []*Request
+	maxSeen  int
+	enqueued uint64
+}
+
+// System is the running application.
+type System struct {
+	K   *sim.Kernel
+	Net *netsim.Network
+	// QueueHost is the machine holding the request queues (shared with
+	// Server 5 in the paper's testbed).
+	QueueHost netsim.NodeID
+
+	clients map[string]*Client
+	servers map[string]*Server
+	queues  map[string]*queue
+	order   struct {
+		clients []string
+		servers []string
+		groups  []string
+	}
+
+	reqSeq      uint64
+	droppedReqs uint64
+
+	// OnDrop listeners observe requests discarded by moves or missing
+	// queues (harness instrumentation; the paper's clients simply never
+	// hear back).
+	OnDrop []func(*Request)
+}
+
+// New creates an empty application bound to the kernel and network.
+func New(k *sim.Kernel, net *netsim.Network, queueHost netsim.NodeID) *System {
+	return &System{
+		K:         k,
+		Net:       net,
+		QueueHost: queueHost,
+		clients:   map[string]*Client{},
+		servers:   map[string]*Server{},
+		queues:    map[string]*queue{},
+	}
+}
+
+// AddClient registers a client on a host, initially routed to group.
+func (s *System) AddClient(name string, host netsim.NodeID, group string, rate float64, rng *sim.Rand) *Client {
+	if _, dup := s.clients[name]; dup {
+		panic("app: duplicate client " + name)
+	}
+	c := &Client{
+		Name: name, Host: host, Group: group, Rate: rate,
+		ReqBits:  func() float64 { return 0.5 * 8192 }, // 0.5 KB
+		RespBits: func() float64 { return 20 * 8192 },  // 20 KB
+		rng:      rng, sys: s,
+	}
+	s.clients[name] = c
+	s.order.clients = append(s.order.clients, name)
+	return c
+}
+
+// AddServer registers a server process on a host. It starts inactive;
+// activation goes through the environment manager, as in the testbed where
+// S4 and S7 sat idle until repairs recruited them.
+func (s *System) AddServer(name string, host netsim.NodeID, group string, serviceBase, servicePerBit float64) *Server {
+	if _, dup := s.servers[name]; dup {
+		panic("app: duplicate server " + name)
+	}
+	srv := &Server{
+		Name: name, Host: host, Group: group,
+		ServiceBase: serviceBase, ServicePerBit: servicePerBit,
+		sys: s,
+	}
+	s.servers[name] = srv
+	s.order.servers = append(s.order.servers, name)
+	return srv
+}
+
+// CreateQueue provisions a FIFO queue for a group (Table 1 createReqQueue).
+func (s *System) CreateQueue(group string) error {
+	if _, dup := s.queues[group]; dup {
+		return fmt.Errorf("app: queue for %s already exists", group)
+	}
+	s.queues[group] = &queue{group: group}
+	s.order.groups = append(s.order.groups, group)
+	return nil
+}
+
+// Client returns a client by name.
+func (s *System) Client(name string) *Client { return s.clients[name] }
+
+// Server returns a server by name.
+func (s *System) Server(name string) *Server { return s.servers[name] }
+
+// Clients returns all client names in registration order.
+func (s *System) Clients() []string { return s.order.clients }
+
+// Servers returns all server names in registration order.
+func (s *System) Servers() []string { return s.order.servers }
+
+// Groups returns all group names in queue-creation order.
+func (s *System) Groups() []string { return s.order.groups }
+
+// QueueLen returns the number of waiting requests in a group's queue.
+func (s *System) QueueLen(group string) int {
+	q := s.queues[group]
+	if q == nil {
+		return 0
+	}
+	return len(q.reqs)
+}
+
+// MaxQueueLen returns the high-water mark of a group's queue.
+func (s *System) MaxQueueLen(group string) int {
+	q := s.queues[group]
+	if q == nil {
+		return 0
+	}
+	return q.maxSeen
+}
+
+// ActiveServersOf returns the names of active servers pulling from a group.
+func (s *System) ActiveServersOf(group string) []string {
+	var out []string
+	for _, name := range s.order.servers {
+		srv := s.servers[name]
+		if srv.active && srv.Group == group {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Start begins request generation for every client.
+func (s *System) Start() {
+	for _, name := range s.order.clients {
+		s.scheduleNext(s.clients[name])
+	}
+}
+
+// StopClients halts request generation (end of experiment).
+func (s *System) StopClients() {
+	for _, c := range s.clients {
+		c.stopped = true
+	}
+}
+
+func (s *System) scheduleNext(c *Client) {
+	if c.stopped || c.Rate <= 0 {
+		return
+	}
+	gap := c.rng.Exp(1 / c.Rate)
+	s.K.After(gap, func() {
+		if c.stopped {
+			return
+		}
+		s.sendRequest(c)
+		s.scheduleNext(c)
+	})
+}
+
+// sendRequest emits one request: a small message to the queue machine that
+// is enqueued on arrival.
+func (s *System) sendRequest(c *Client) {
+	s.reqSeq++
+	req := &Request{
+		ID:       s.reqSeq,
+		Client:   c.Name,
+		Group:    c.Group,
+		RespBits: c.RespBits(),
+		SentAt:   s.K.Now(),
+	}
+	for _, fn := range c.OnSend {
+		fn(req)
+	}
+	bits := c.ReqBits()
+	s.Net.SendMessage(c.Host, s.QueueHost, bits, netsim.BestEffort, func() {
+		s.enqueue(req)
+	})
+}
+
+func (s *System) enqueue(req *Request) {
+	q := s.queues[req.Group]
+	if q == nil {
+		// Queue vanished (misrouted request after repair churn): drop. The
+		// client will see it as a lost request.
+		s.droppedReqs++
+		for _, fn := range s.OnDrop {
+			fn(req)
+		}
+		return
+	}
+	req.QueuedAt = s.K.Now()
+	q.reqs = append(q.reqs, req)
+	q.enqueued++
+	if len(q.reqs) > q.maxSeen {
+		q.maxSeen = len(q.reqs)
+	}
+	s.dispatch(q)
+}
+
+// dispatch hands queued requests to idle active servers of the group.
+func (s *System) dispatch(q *queue) {
+	for len(q.reqs) > 0 {
+		srv := s.idleServer(q.group)
+		if srv == nil {
+			return
+		}
+		req := q.reqs[0]
+		q.reqs = q.reqs[1:]
+		s.serve(srv, req)
+	}
+}
+
+func (s *System) idleServer(group string) *Server {
+	for _, name := range s.order.servers {
+		srv := s.servers[name]
+		if srv.active && !srv.busy && srv.Group == group {
+			return srv
+		}
+	}
+	return nil
+}
+
+// serve models the server pulling the request (small message queue→server),
+// processing it, and streaming the reply to the client as an elastic
+// transfer. The server stays busy until the reply transfer completes —
+// matching the paper's Java servers, whose synchronous reply writes are
+// exactly why slow clients starve a server group in the control run (and why
+// the control "never recovers" until the competing traffic relents).
+func (s *System) serve(srv *Server, req *Request) {
+	srv.busy = true
+	req.PulledAt = s.K.Now()
+	pullBits := 0.5 * 8192 // the request payload forwarded to the server
+	s.Net.SendMessage(s.QueueHost, srv.Host, pullBits, netsim.BestEffort, func() {
+		service := srv.ServiceBase + srv.ServicePerBit*req.RespBits
+		s.K.After(service, func() {
+			cli := s.clients[req.Client]
+			if cli == nil {
+				s.finishServing(srv)
+				return
+			}
+			s.Net.StartTransfer(srv.Host, cli.Host, req.RespBits, "resp:"+req.Client, func(*netsim.Flow) {
+				done := Response{Req: req, DoneAt: s.K.Now(), Latency: s.K.Now() - req.SentAt}
+				cli.responses++
+				for _, fn := range cli.OnResponse {
+					fn(done)
+				}
+				s.finishServing(srv)
+			})
+		})
+	})
+}
+
+func (s *System) finishServing(srv *Server) {
+	srv.busy = false
+	srv.served++
+	if srv.stopped {
+		srv.active = false
+		srv.stopped = false
+	}
+	if srv.active {
+		if q := s.queues[srv.Group]; q != nil {
+			s.dispatch(q)
+		}
+	}
+}
+
+// --- operations invoked by the environment manager (Table 1) ---
+
+// Activate marks a server active and starts it pulling from its group.
+func (s *System) Activate(server string) error {
+	srv := s.servers[server]
+	if srv == nil {
+		return fmt.Errorf("app: no server %q", server)
+	}
+	if srv.Group == "" {
+		return fmt.Errorf("app: server %q not connected to a queue", server)
+	}
+	if srv.active {
+		return fmt.Errorf("app: server %q already active", server)
+	}
+	srv.active = true
+	srv.stopped = false
+	if q := s.queues[srv.Group]; q != nil {
+		s.dispatch(q)
+	}
+	return nil
+}
+
+// Deactivate stops a server pulling; if it is mid-request it finishes first.
+func (s *System) Deactivate(server string) error {
+	srv := s.servers[server]
+	if srv == nil {
+		return fmt.Errorf("app: no server %q", server)
+	}
+	if !srv.active {
+		return fmt.Errorf("app: server %q not active", server)
+	}
+	if srv.busy {
+		srv.stopped = true
+	} else {
+		srv.active = false
+	}
+	return nil
+}
+
+// ConnectServer points a server at a group's queue (Table 1 connectServer).
+// Only inactive servers can be re-pointed.
+func (s *System) ConnectServer(server, group string) error {
+	srv := s.servers[server]
+	if srv == nil {
+		return fmt.Errorf("app: no server %q", server)
+	}
+	if srv.active {
+		return fmt.Errorf("app: server %q is active; deactivate first", server)
+	}
+	if _, ok := s.queues[group]; !ok {
+		return fmt.Errorf("app: no queue for group %q", group)
+	}
+	srv.Group = group
+	return nil
+}
+
+// MoveClient re-routes a client's future requests to another group's queue
+// (Table 1 moveClient). The client's queued (not yet pulled) requests on the
+// old queue are discarded — the request splitter forgets reassigned clients;
+// requests already being served complete against the old group.
+func (s *System) MoveClient(client, group string) error {
+	c := s.clients[client]
+	if c == nil {
+		return fmt.Errorf("app: no client %q", client)
+	}
+	if _, ok := s.queues[group]; !ok {
+		return fmt.Errorf("app: no queue for group %q", group)
+	}
+	if old := s.queues[c.Group]; old != nil && c.Group != group {
+		kept := old.reqs[:0]
+		for _, r := range old.reqs {
+			if r.Client == client {
+				s.droppedReqs++
+				for _, fn := range s.OnDrop {
+					fn(r)
+				}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		old.reqs = kept
+	}
+	c.Group = group
+	return nil
+}
+
+// DroppedRequests counts requests discarded by queue removal or client
+// moves.
+func (s *System) DroppedRequests() uint64 { return s.droppedReqs }
+
+// CrashServer abruptly deactivates a server, dropping its current request
+// (failure injection for the self-healing example and tests).
+func (s *System) CrashServer(server string) error {
+	srv := s.servers[server]
+	if srv == nil {
+		return fmt.Errorf("app: no server %q", server)
+	}
+	srv.active = false
+	srv.busy = false
+	srv.stopped = false
+	return nil
+}

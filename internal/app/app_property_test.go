@@ -1,0 +1,130 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// Property: under random interleavings of requests, activations,
+// deactivations and moves, the system conserves requests — every request is
+// eventually answered, still queued, in flight, or explicitly dropped — and
+// never crashes or loses FIFO order per queue.
+func TestRandomOperationsConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		k := sim.NewKernel()
+		net := netsim.New(k)
+		r := net.AddRouter("r")
+		hosts := make([]netsim.NodeID, 5)
+		for i := range hosts {
+			hosts[i] = net.AddHost(string(rune('a' + i)))
+			net.Connect(hosts[i], r, 10e6, 1e-3)
+		}
+		sys := New(k, net, hosts[0])
+		_ = sys.CreateQueue("G1")
+		_ = sys.CreateQueue("G2")
+		sys.AddServer("S1", hosts[1], "G1", 0.01, 0)
+		sys.AddServer("S2", hosts[2], "G2", 0.01, 0)
+		_ = sys.Activate("S1")
+		_ = sys.Activate("S2")
+		cli := sys.AddClient("C", hosts[3], "G1", 0, rng.Fork("cli"))
+
+		sent, answered, dropped := 0, 0, 0
+		cli.OnResponse = append(cli.OnResponse, func(Response) { answered++ })
+		sys.OnDrop = append(sys.OnDrop, func(*Request) { dropped++ })
+
+		// Random schedule of operations.
+		for i := 0; i < 30+rng.Intn(40); i++ {
+			at := rng.Float64() * 50
+			switch rng.Intn(6) {
+			case 0, 1, 2:
+				sent++
+				k.At(at, func() { sys.sendRequest(cli) })
+			case 3:
+				k.At(at, func() {
+					if cli.Group == "G1" {
+						_ = sys.MoveClient("C", "G2")
+					} else {
+						_ = sys.MoveClient("C", "G1")
+					}
+				})
+			case 4:
+				srv := []string{"S1", "S2"}[rng.Intn(2)]
+				k.At(at, func() {
+					if sys.Server(srv).Active() {
+						_ = sys.Deactivate(srv)
+					} else {
+						_ = sys.Activate(srv)
+					}
+				})
+			case 5:
+				k.At(at, func() { _ = sys.Activate("S1") }) // may fail; fine
+			}
+		}
+		// Ensure both servers end active so queues drain.
+		k.At(60, func() {
+			if !sys.Server("S1").Active() {
+				_ = sys.Activate("S1")
+			}
+			if !sys.Server("S2").Active() {
+				_ = sys.Activate("S2")
+			}
+		})
+		k.RunAll(0)
+		leftover := sys.QueueLen("G1") + sys.QueueLen("G2")
+		// Conservation: all sent requests accounted for.
+		return answered+dropped+leftover == sent && leftover == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-queue service order is FIFO regardless of server churn.
+func TestFIFOUnderServerChurn(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		k := sim.NewKernel()
+		net := netsim.New(k)
+		r := net.AddRouter("r")
+		h1 := net.AddHost("h1")
+		h2 := net.AddHost("h2")
+		h3 := net.AddHost("h3")
+		net.Connect(h1, r, 10e6, 1e-3)
+		net.Connect(h2, r, 10e6, 1e-3)
+		net.Connect(h3, r, 10e6, 1e-3)
+		sys := New(k, net, h1)
+		_ = sys.CreateQueue("G")
+		sys.AddServer("S", h2, "G", 0.05, 0)
+		_ = sys.Activate("S")
+		cli := sys.AddClient("C", h3, "G", 0, rng.Fork("cli"))
+		var pulls []uint64
+		cli.OnResponse = append(cli.OnResponse, func(resp Response) {
+			pulls = append(pulls, resp.Req.ID)
+		})
+		for i := 0; i < 20; i++ {
+			at := rng.Float64() * 5
+			k.At(at, func() { sys.sendRequest(cli) })
+		}
+		// Random server bounce mid-run.
+		k.At(2.5, func() { _ = sys.Deactivate("S") })
+		k.At(4.0, func() { _ = sys.Activate("S") })
+		k.RunAll(0)
+		// Served-completion order can interleave with transfers, but pull
+		// order must respect queue order: request IDs are assigned in send
+		// order and arrive in near-send order on one path; we check the
+		// pulled sequence is sorted.
+		for i := 1; i < len(pulls); i++ {
+			if pulls[i] < pulls[i-1] {
+				return false
+			}
+		}
+		return len(pulls) == 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// rig builds a 2-router network: clients at r1, queue+servers at r2.
+type rig struct {
+	k                   *sim.Kernel
+	net                 *netsim.Network
+	sys                 *System
+	cHost, qHost, sHost netsim.NodeID
+	l1, l2              netsim.LinkID
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	cHost := net.AddHost("chost")
+	r1 := net.AddRouter("r1")
+	r2 := net.AddRouter("r2")
+	qHost := net.AddHost("qhost")
+	sHost := net.AddHost("shost")
+	l1 := net.Connect(cHost, r1, 10e6, 1e-3)
+	net.Connect(r1, r2, 10e6, 1e-3)
+	l2 := net.Connect(r2, qHost, 10e6, 1e-3)
+	net.Connect(r2, sHost, 10e6, 1e-3)
+	sys := New(k, net, qHost)
+	if err := sys.CreateQueue("G1"); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, net: net, sys: sys, cHost: cHost, qHost: qHost, sHost: sHost, l1: l1, l2: l2}
+}
+
+func (r *rig) addActiveServer(t *testing.T, name string) *Server {
+	t.Helper()
+	srv := r.sys.AddServer(name, r.sHost, "G1", 0.05, 0)
+	if err := r.sys.Activate(name); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestSingleRequestRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.addActiveServer(t, "S1")
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	var got []Response
+	cli.OnResponse = append(cli.OnResponse, func(resp Response) { got = append(got, resp) })
+	r.k.At(0, func() { r.sys.sendRequest(cli) })
+	r.k.RunAll(0)
+	if len(got) != 1 {
+		t.Fatalf("responses=%d", len(got))
+	}
+	resp := got[0]
+	// Latency = request msg + pull msg + 0.05 service + 20KB transfer: well
+	// under a second on an idle 10 Mbps path, but strictly positive.
+	if resp.Latency <= 0.05 || resp.Latency > 0.5 {
+		t.Fatalf("latency=%v", resp.Latency)
+	}
+	if cli.Responses() != 1 {
+		t.Fatal("client counter")
+	}
+}
+
+func TestFIFOOrderAndQueueGrowth(t *testing.T) {
+	r := newRig(t)
+	srv := r.sys.AddServer("S1", r.sHost, "G1", 1.0, 0) // slow: 1 s/request
+	if err := r.sys.Activate("S1"); err != nil {
+		t.Fatal(err)
+	}
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	var order []uint64
+	cli.OnResponse = append(cli.OnResponse, func(resp Response) { order = append(order, resp.Req.ID) })
+	for i := 0; i < 5; i++ {
+		r.k.At(0.001*float64(i), func() { r.sys.sendRequest(cli) })
+	}
+	// All 5 arrive within ~10 ms; the single server serves them in ~5 s.
+	r.k.Run(0.5)
+	if q := r.sys.QueueLen("G1"); q < 3 {
+		t.Fatalf("queue should back up, len=%d", q)
+	}
+	r.k.RunAll(0)
+	if len(order) != 5 {
+		t.Fatalf("responses=%d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if srv.Served() != 5 {
+		t.Fatalf("served=%d", srv.Served())
+	}
+	if r.sys.MaxQueueLen("G1") < 3 {
+		t.Fatal("high-water mark not tracked")
+	}
+}
+
+func TestTwoServersShareQueue(t *testing.T) {
+	r := newRig(t)
+	r.addActiveServer(t, "S1")
+	s2 := r.sys.AddServer("S2", r.sHost, "G1", 0.05, 0)
+	if err := r.sys.Activate("S2"); err != nil {
+		t.Fatal(err)
+	}
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	n := 0
+	cli.OnResponse = append(cli.OnResponse, func(Response) { n++ })
+	for i := 0; i < 10; i++ {
+		r.k.At(0, func() { r.sys.sendRequest(cli) })
+	}
+	r.k.RunAll(0)
+	if n != 10 {
+		t.Fatalf("responses=%d", n)
+	}
+	if s2.Served() == 0 {
+		t.Fatal("second server never pulled work")
+	}
+}
+
+func TestPoissonArrivalRate(t *testing.T) {
+	r := newRig(t)
+	r.addActiveServer(t, "S1")
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 5.0, sim.NewRand(42))
+	n := 0
+	cli.OnResponse = append(cli.OnResponse, func(Response) { n++ })
+	r.sys.Start()
+	r.k.Run(200)
+	r.sys.StopClients()
+	r.k.RunAll(0)
+	rate := float64(n) / 200
+	if math.Abs(rate-5.0) > 0.5 {
+		t.Fatalf("observed rate %v, want ~5", rate)
+	}
+}
+
+func TestDeactivateFinishesCurrentRequest(t *testing.T) {
+	r := newRig(t)
+	srv := r.sys.AddServer("S1", r.sHost, "G1", 1.0, 0)
+	if err := r.sys.Activate("S1"); err != nil {
+		t.Fatal(err)
+	}
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	done := 0
+	cli.OnResponse = append(cli.OnResponse, func(Response) { done++ })
+	r.k.At(0, func() { r.sys.sendRequest(cli) })
+	r.k.At(0, func() { r.sys.sendRequest(cli) })
+	r.k.At(0.5, func() {
+		if err := r.sys.Deactivate("S1"); err != nil {
+			t.Error(err)
+		}
+	})
+	r.k.RunAll(0)
+	if done != 1 {
+		t.Fatalf("done=%d: deactivation should finish in-flight request only", done)
+	}
+	if srv.Active() {
+		t.Fatal("server still active")
+	}
+	if r.sys.QueueLen("G1") != 1 {
+		t.Fatalf("queue=%d, want 1 stranded request", r.sys.QueueLen("G1"))
+	}
+}
+
+func TestActivateDrainsBacklog(t *testing.T) {
+	r := newRig(t)
+	r.sys.AddServer("S1", r.sHost, "G1", 0.05, 0) // inactive
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	n := 0
+	cli.OnResponse = append(cli.OnResponse, func(Response) { n++ })
+	for i := 0; i < 4; i++ {
+		r.k.At(0, func() { r.sys.sendRequest(cli) })
+	}
+	r.k.Run(5)
+	if n != 0 || r.sys.QueueLen("G1") != 4 {
+		t.Fatalf("n=%d queue=%d before activation", n, r.sys.QueueLen("G1"))
+	}
+	r.k.At(6, func() {
+		if err := r.sys.Activate("S1"); err != nil {
+			t.Error(err)
+		}
+	})
+	r.k.RunAll(0)
+	if n != 4 {
+		t.Fatalf("backlog not drained: n=%d", n)
+	}
+}
+
+func TestMoveClientRoutesNewRequests(t *testing.T) {
+	r := newRig(t)
+	if err := r.sys.CreateQueue("G2"); err != nil {
+		t.Fatal(err)
+	}
+	r.addActiveServer(t, "S1")
+	s2 := r.sys.AddServer("S2", r.sHost, "G2", 0.05, 0)
+	if err := r.sys.Activate("S2"); err != nil {
+		t.Fatal(err)
+	}
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	n := 0
+	cli.OnResponse = append(cli.OnResponse, func(Response) { n++ })
+	r.k.At(0, func() { r.sys.sendRequest(cli) })
+	r.k.At(1, func() {
+		if err := r.sys.MoveClient("C1", "G2"); err != nil {
+			t.Error(err)
+		}
+	})
+	r.k.At(2, func() { r.sys.sendRequest(cli) })
+	r.k.RunAll(0)
+	if n != 2 {
+		t.Fatalf("responses=%d", n)
+	}
+	if s2.Served() != 1 {
+		t.Fatalf("S2 served=%d, want the post-move request", s2.Served())
+	}
+}
+
+func TestConnectServerRules(t *testing.T) {
+	r := newRig(t)
+	r.sys.AddServer("S1", r.sHost, "G1", 0.05, 0)
+	if err := r.sys.CreateQueue("G2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sys.ConnectServer("S1", "G2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sys.Activate("S1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sys.ConnectServer("S1", "G1"); err == nil {
+		t.Fatal("re-pointing an active server should fail")
+	}
+	if err := r.sys.ConnectServer("S1", "nope"); err == nil {
+		t.Fatal("unknown queue should fail")
+	}
+	if err := r.sys.MoveClient("nope", "G1"); err == nil {
+		t.Fatal("unknown client should fail")
+	}
+}
+
+func TestCongestionRaisesLatency(t *testing.T) {
+	r := newRig(t)
+	r.addActiveServer(t, "S1")
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	var lat []float64
+	cli.OnResponse = append(cli.OnResponse, func(resp Response) { lat = append(lat, resp.Latency) })
+	r.k.At(0, func() { r.sys.sendRequest(cli) })
+	// Crush the client's access link before the second request.
+	r.k.At(5, func() { r.net.SetBackgroundBoth(r.l1, 10e6-2e3) }) // ~2 Kbps left
+	r.k.At(6, func() { r.sys.sendRequest(cli) })
+	r.k.RunAll(0)
+	if len(lat) != 2 {
+		t.Fatalf("lat=%v", lat)
+	}
+	if lat[1] < 10*lat[0] || lat[1] < 2.0 {
+		t.Fatalf("congested latency %v should dwarf idle latency %v", lat[1], lat[0])
+	}
+}
+
+func TestCrashServerDropsWork(t *testing.T) {
+	r := newRig(t)
+	srv := r.sys.AddServer("S1", r.sHost, "G1", 1.0, 0)
+	if err := r.sys.Activate("S1"); err != nil {
+		t.Fatal(err)
+	}
+	cli := r.sys.AddClient("C1", r.cHost, "G1", 0, sim.NewRand(1))
+	n := 0
+	cli.OnResponse = append(cli.OnResponse, func(Response) { n++ })
+	r.k.At(0, func() { r.sys.sendRequest(cli) })
+	r.k.At(0.1, func() {
+		if err := r.sys.CrashServer("S1"); err != nil {
+			t.Error(err)
+		}
+	})
+	r.k.Run(30)
+	if srv.Active() {
+		t.Fatal("crashed server still active")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, float64) {
+		k := sim.NewKernel()
+		net := netsim.New(k)
+		a := net.AddHost("a")
+		b := net.AddHost("b")
+		q := net.AddHost("q")
+		rt := net.AddRouter("r")
+		net.Connect(a, rt, 10e6, 1e-3)
+		net.Connect(b, rt, 10e6, 1e-3)
+		net.Connect(q, rt, 10e6, 1e-3)
+		sys := New(k, net, q)
+		_ = sys.CreateQueue("G")
+		sys.AddServer("S", b, "G", 0.05, 1e-6)
+		_ = sys.Activate("S")
+		cli := sys.AddClient("C", a, "G", 3, sim.NewRand(7))
+		total := 0.0
+		cli.OnResponse = append(cli.OnResponse, func(resp Response) { total += resp.Latency })
+		sys.Start()
+		k.Run(100)
+		sys.StopClients()
+		k.RunAll(0)
+		return cli.Responses(), total
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", n1, t1, n2, t2)
+	}
+	if n1 < 250 {
+		t.Fatalf("too few responses: %d", n1)
+	}
+}

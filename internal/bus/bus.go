@@ -1,0 +1,145 @@
+// Package bus is a content-based publish/subscribe event service in the
+// spirit of Siena, which the paper uses to carry probe observations and
+// gauge reports across the distributed system.
+//
+// Deliveries are real messages on the simulated network. By default they are
+// best-effort, so monitoring traffic competes with application data — the
+// configuration the paper deployed and then identified as a problem ("the
+// same network is being used to monitor the system as to run it");
+// Prioritized delivery models the QoS mitigation of §5.3.
+package bus
+
+import (
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// Message is one event notification.
+type Message struct {
+	Topic  string
+	Fields map[string]any
+	Src    netsim.NodeID
+	Time   sim.Time
+}
+
+// Str reads a string field.
+func (m Message) Str(name string) string {
+	v, _ := m.Fields[name].(string)
+	return v
+}
+
+// Num reads a numeric field.
+func (m Message) Num(name string) float64 {
+	v, _ := m.Fields[name].(float64)
+	return v
+}
+
+// Filter decides whether a subscription matches a message (content-based
+// routing).
+type Filter func(Message) bool
+
+// TopicIs matches messages by exact topic.
+func TopicIs(topic string) Filter {
+	return func(m Message) bool { return m.Topic == topic }
+}
+
+// TopicAndField matches topic plus one string field value.
+func TopicAndField(topic, field, value string) Filter {
+	return func(m Message) bool { return m.Topic == topic && m.Str(field) == value }
+}
+
+// Subscription is a registered consumer.
+type Subscription struct {
+	id      uint64
+	Host    netsim.NodeID
+	filter  Filter
+	handler func(Message)
+	dead    bool
+}
+
+// Bus routes published messages to matching subscribers over the network.
+type Bus struct {
+	K   *sim.Kernel
+	Net *netsim.Network
+	// MsgBits is the on-wire size of one notification (default 2 KB).
+	MsgBits float64
+	// Priority applies to all bus traffic; BestEffort reproduces the
+	// paper's monitoring lag, Prioritized is the QoS ablation.
+	Priority netsim.Priority
+
+	subs      []*Subscription
+	nextID    uint64
+	published uint64
+	delivered uint64
+	dropped   uint64
+	dropRate  float64
+	dropRNG   *sim.Rand
+}
+
+// New creates a bus on the network.
+func New(k *sim.Kernel, net *netsim.Network) *Bus {
+	return &Bus{K: k, Net: net, MsgBits: 2 * 8192}
+}
+
+// Published returns the number of Publish calls.
+func (b *Bus) Published() uint64 { return b.published }
+
+// Delivered returns the number of notifications handed to subscribers.
+func (b *Bus) Delivered() uint64 { return b.delivered }
+
+// Dropped returns the number of notifications lost to injected faults.
+func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// SetDrop makes the bus lose the given fraction of notifications,
+// deterministically via rng — failure injection for the monitoring plane.
+func (b *Bus) SetDrop(rate float64, rng *sim.Rand) {
+	b.dropRate = rate
+	b.dropRNG = rng
+}
+
+// Subscribe registers a handler running on host for messages matching f.
+func (b *Bus) Subscribe(host netsim.NodeID, f Filter, handler func(Message)) *Subscription {
+	s := &Subscription{id: b.nextID, Host: host, filter: f, handler: handler}
+	b.nextID++
+	b.subs = append(b.subs, s)
+	return s
+}
+
+// Unsubscribe removes a subscription; queued deliveries are dropped.
+func (b *Bus) Unsubscribe(s *Subscription) {
+	if s == nil {
+		return
+	}
+	s.dead = true
+	for i, x := range b.subs {
+		if x == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish routes msg to every matching subscriber. Delivery to a subscriber
+// on the same host is immediate (next event); remote deliveries traverse the
+// network with the bus priority.
+func (b *Bus) Publish(msg Message) {
+	msg.Time = b.K.Now()
+	b.published++
+	for _, s := range b.subs {
+		if s.dead || !s.filter(msg) {
+			continue
+		}
+		if b.dropRate > 0 && b.dropRNG != nil && b.dropRNG.Float64() < b.dropRate {
+			b.dropped++
+			continue
+		}
+		s := s
+		b.Net.SendMessage(msg.Src, s.Host, b.MsgBits, b.Priority, func() {
+			if s.dead {
+				return
+			}
+			b.delivered++
+			s.handler(msg)
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package bus
+
+import (
+	"testing"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+func rig() (*sim.Kernel, *netsim.Network, netsim.NodeID, netsim.NodeID, netsim.LinkID) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddHost("a")
+	r := n.AddRouter("r")
+	b := n.AddHost("b")
+	l1 := n.Connect(a, r, 10e6, 1e-3)
+	n.Connect(r, b, 10e6, 1e-3)
+	return k, n, a, b, l1
+}
+
+func TestPublishDelivers(t *testing.T) {
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	var got []Message
+	b.Subscribe(bHost, TopicIs("x"), func(m Message) { got = append(got, m) })
+	b.Publish(Message{Topic: "x", Src: a, Fields: map[string]any{"v": 1.5, "s": "hi"}})
+	b.Publish(Message{Topic: "y", Src: a})
+	k.RunAll(0)
+	if len(got) != 1 {
+		t.Fatalf("delivered=%d, want 1 (topic filter)", len(got))
+	}
+	if got[0].Num("v") != 1.5 || got[0].Str("s") != "hi" {
+		t.Fatalf("fields corrupted: %+v", got[0])
+	}
+	if b.Published() != 2 || b.Delivered() != 1 {
+		t.Fatalf("stats: pub=%d del=%d", b.Published(), b.Delivered())
+	}
+}
+
+func TestContentFilter(t *testing.T) {
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	cnt := 0
+	b.Subscribe(bHost, TopicAndField("probe", "client", "C3"), func(Message) { cnt++ })
+	b.Publish(Message{Topic: "probe", Src: a, Fields: map[string]any{"client": "C3"}})
+	b.Publish(Message{Topic: "probe", Src: a, Fields: map[string]any{"client": "C4"}})
+	k.RunAll(0)
+	if cnt != 1 {
+		t.Fatalf("content filter matched %d, want 1", cnt)
+	}
+}
+
+func TestMultipleSubscribersOrdered(t *testing.T) {
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	var order []int
+	b.Subscribe(bHost, TopicIs("x"), func(Message) { order = append(order, 1) })
+	b.Subscribe(bHost, TopicIs("x"), func(Message) { order = append(order, 2) })
+	b.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order %v", order)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	cnt := 0
+	sub := b.Subscribe(bHost, TopicIs("x"), func(Message) { cnt++ })
+	b.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	b.Unsubscribe(sub)
+	b.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	if cnt != 1 {
+		t.Fatalf("cnt=%d, want 1", cnt)
+	}
+	b.Unsubscribe(sub) // double unsubscribe is a no-op
+	b.Unsubscribe(nil)
+}
+
+func TestUnsubscribeDropsInFlight(t *testing.T) {
+	// A notification already on the wire must not be delivered after the
+	// subscriber cancels.
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	cnt := 0
+	sub := b.Subscribe(bHost, TopicIs("x"), func(Message) { cnt++ })
+	b.Publish(Message{Topic: "x", Src: a})
+	sub2 := b.Subscribe(bHost, TopicIs("x"), func(Message) {})
+	_ = sub2
+	b.Unsubscribe(sub)
+	k.RunAll(0)
+	if cnt != 0 {
+		t.Fatalf("in-flight delivery after unsubscribe: %d", cnt)
+	}
+}
+
+func TestSameHostDeliveryFast(t *testing.T) {
+	k, n, a, _, _ := rig()
+	b := New(k, n)
+	at := -1.0
+	b.Subscribe(a, TopicIs("x"), func(Message) { at = k.Now() })
+	b.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	if at < 0 || at > 1e-3 {
+		t.Fatalf("local delivery at %v", at)
+	}
+}
+
+func TestCongestionDelaysDelivery(t *testing.T) {
+	k, n, a, bHost, l1 := rig()
+	b := New(k, n)
+	var times []float64
+	b.Subscribe(bHost, TopicIs("x"), func(Message) { times = append(times, k.Now()) })
+	k.At(0, func() { b.Publish(Message{Topic: "x", Src: a}) })
+	k.At(10, func() { n.SetBackgroundBoth(l1, 10e6) }) // saturate
+	k.At(10.1, func() { b.Publish(Message{Topic: "x", Src: a}) })
+	k.RunAll(0)
+	if len(times) != 2 {
+		t.Fatalf("deliveries=%d", len(times))
+	}
+	idle := times[0]
+	congested := times[1] - 10.1
+	if congested < 10*idle {
+		t.Fatalf("congested delivery %v not slower than idle %v", congested, idle)
+	}
+	// Prioritized traffic ignores congestion.
+	b.Priority = netsim.Prioritized
+	t0 := k.Now()
+	b.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	if d := times[2] - t0; d > 2*idle+1e-6 {
+		t.Fatalf("prioritized delivery %v should match idle %v", d, idle)
+	}
+}
+
+func TestMessageTimeStamped(t *testing.T) {
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	var stamp float64
+	b.Subscribe(bHost, TopicIs("x"), func(m Message) { stamp = m.Time })
+	k.At(5, func() { b.Publish(Message{Topic: "x", Src: a}) })
+	k.RunAll(0)
+	if stamp != 5 {
+		t.Fatalf("publish time %v, want 5", stamp)
+	}
+}

@@ -1,0 +1,445 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"archadapt/internal/model"
+)
+
+// Env is an evaluation environment: variable bindings layered over a system,
+// plus optional external functions (style-specific queries such as the
+// paper's findGoodSGrp, which consults the runtime layer).
+type Env struct {
+	Sys   *model.System
+	vars  map[string]Value
+	Funcs map[string]func(args []Value) (Value, error)
+}
+
+// NewEnv creates an environment rooted at sys with `self` bound to it.
+func NewEnv(sys *model.System) *Env {
+	e := &Env{Sys: sys, vars: map[string]Value{}, Funcs: map[string]func([]Value) (Value, error){}}
+	return e
+}
+
+// Bind sets a variable.
+func (e *Env) Bind(name string, v Value) *Env {
+	e.vars[name] = v
+	return e
+}
+
+// child creates a scope with one extra binding.
+func (e *Env) child(name string, v Value) *Env {
+	c := &Env{Sys: e.Sys, vars: map[string]Value{}, Funcs: e.Funcs}
+	for k, vv := range e.vars {
+		c.vars[k] = vv
+	}
+	c.vars[name] = v
+	return c
+}
+
+// Eval evaluates expr in env.
+func Eval(expr Expr, env *Env) (Value, error) {
+	switch x := expr.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *Ref:
+		return evalRef(x, env)
+	case *Unary:
+		return evalUnary(x, env)
+	case *Binary:
+		return evalBinary(x, env)
+	case *Call:
+		return evalCall(x, env)
+	case *Quant:
+		return evalQuant(x, env)
+	}
+	return Nil(), fmt.Errorf("constraint: unknown expression %T", expr)
+}
+
+// EvalBool evaluates expr and requires a boolean result.
+func EvalBool(expr Expr, env *Env) (bool, error) {
+	v, err := Eval(expr, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy()
+}
+
+func evalRef(r *Ref, env *Env) (Value, error) {
+	head := r.Parts[0]
+	var cur Value
+	switch {
+	case head == "self":
+		cur = Elem(env.Sys)
+	default:
+		if v, ok := env.vars[head]; ok {
+			cur = v
+		} else if v, ok := lookupImplicit(head, env); ok {
+			// Bare identifiers resolve against the implicit subject (`it`),
+			// then the system: the paper writes `averageLatency <=
+			// maxLatency` with both sides resolved in the constrained
+			// element's context.
+			return v, nil
+		} else {
+			return Nil(), fmt.Errorf("constraint: unbound identifier %q", head)
+		}
+	}
+	for _, part := range r.Parts[1:] {
+		next, err := member(cur, part, env)
+		if err != nil {
+			return Nil(), err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupImplicit resolves a bare name against `it` (the element under
+// check), then the system's properties.
+func lookupImplicit(name string, env *Env) (Value, bool) {
+	if it, ok := env.vars["it"]; ok && it.Kind == KElem {
+		if v, ok := propValue(it.Elem, name); ok {
+			return v, true
+		}
+	}
+	if env.Sys != nil {
+		if v, ok := propValue(env.Sys, name); ok {
+			return v, true
+		}
+	}
+	return Nil(), false
+}
+
+func propValue(e model.Element, name string) (Value, bool) {
+	raw, ok := e.Props().Get(name)
+	if !ok {
+		return Nil(), false
+	}
+	switch v := raw.(type) {
+	case float64:
+		return Num(v), true
+	case bool:
+		return Bool(v), true
+	case string:
+		return Str(v), true
+	case []string:
+		set := make([]Value, len(v))
+		for i, s := range v {
+			set[i] = Str(s)
+		}
+		return Set(set), true
+	}
+	return Nil(), false
+}
+
+// member resolves `cur.part`: structural pseudo-properties first
+// (Components, Connectors, Ports, Roles, Reps, name, type), then element
+// properties.
+func member(cur Value, part string, env *Env) (Value, error) {
+	if cur.Kind != KElem {
+		return Nil(), fmt.Errorf("constraint: cannot select %q from %s", part, cur)
+	}
+	e := cur.Elem
+	switch part {
+	case "name":
+		return Str(e.Name()), nil
+	case "type":
+		return Str(e.Type()), nil
+	}
+	switch el := e.(type) {
+	case *model.System:
+		switch part {
+		case "Components":
+			return elemSet(componentsAsElements(el.Components())), nil
+		case "Connectors":
+			conns := el.Connectors()
+			out := make([]model.Element, len(conns))
+			for i, c := range conns {
+				out[i] = c
+			}
+			return elemSet(out), nil
+		}
+	case *model.Component:
+		switch part {
+		case "Ports":
+			ports := el.Ports()
+			out := make([]model.Element, len(ports))
+			for i, p := range ports {
+				out[i] = p
+			}
+			return elemSet(out), nil
+		case "Reps":
+			if el.Rep == nil {
+				return Set(nil), nil
+			}
+			return elemSet(componentsAsElements(el.Rep.Components())), nil
+		}
+	case *model.Connector:
+		if part == "Roles" {
+			roles := el.Roles()
+			out := make([]model.Element, len(roles))
+			for i, r := range roles {
+				out[i] = r
+			}
+			return elemSet(out), nil
+		}
+	}
+	if v, ok := propValue(e, part); ok {
+		return v, nil
+	}
+	return Nil(), fmt.Errorf("constraint: %s %q has no property %q", e.Kind(), e.Name(), part)
+}
+
+func componentsAsElements(cs []*model.Component) []model.Element {
+	out := make([]model.Element, len(cs))
+	for i, c := range cs {
+		out[i] = c
+	}
+	return out
+}
+
+func elemSet(es []model.Element) Value {
+	vs := make([]Value, len(es))
+	for i, e := range es {
+		vs[i] = Elem(e)
+	}
+	return Set(vs)
+}
+
+func evalUnary(u *Unary, env *Env) (Value, error) {
+	v, err := Eval(u.X, env)
+	if err != nil {
+		return Nil(), err
+	}
+	switch u.Op {
+	case "!":
+		b, err := v.Truthy()
+		if err != nil {
+			return Nil(), err
+		}
+		return Bool(!b), nil
+	case "-":
+		if v.Kind != KNum {
+			return Nil(), fmt.Errorf("constraint: unary - on %s", v)
+		}
+		return Num(-v.Num), nil
+	}
+	return Nil(), fmt.Errorf("constraint: unknown unary %q", u.Op)
+}
+
+func evalBinary(b *Binary, env *Env) (Value, error) {
+	// Short-circuit boolean operators.
+	if b.Op == "and" || b.Op == "or" {
+		l, err := EvalBool(b.L, env)
+		if err != nil {
+			return Nil(), err
+		}
+		if b.Op == "and" && !l {
+			return Bool(false), nil
+		}
+		if b.Op == "or" && l {
+			return Bool(true), nil
+		}
+		r, err := EvalBool(b.R, env)
+		if err != nil {
+			return Nil(), err
+		}
+		return Bool(r), nil
+	}
+	l, err := Eval(b.L, env)
+	if err != nil {
+		return Nil(), err
+	}
+	r, err := Eval(b.R, env)
+	if err != nil {
+		return Nil(), err
+	}
+	switch b.Op {
+	case "==":
+		return Bool(equal(l, r)), nil
+	case "!=":
+		return Bool(!equal(l, r)), nil
+	case "<", "<=", ">", ">=":
+		if l.Kind != KNum || r.Kind != KNum {
+			return Nil(), fmt.Errorf("constraint: %s requires numbers, got %s %s", b.Op, l, r)
+		}
+		switch b.Op {
+		case "<":
+			return Bool(l.Num < r.Num), nil
+		case "<=":
+			return Bool(l.Num <= r.Num), nil
+		case ">":
+			return Bool(l.Num > r.Num), nil
+		default:
+			return Bool(l.Num >= r.Num), nil
+		}
+	case "+", "-", "*", "/":
+		if l.Kind != KNum || r.Kind != KNum {
+			return Nil(), fmt.Errorf("constraint: %s requires numbers, got %s %s", b.Op, l, r)
+		}
+		switch b.Op {
+		case "+":
+			return Num(l.Num + r.Num), nil
+		case "-":
+			return Num(l.Num - r.Num), nil
+		case "*":
+			return Num(l.Num * r.Num), nil
+		default:
+			if r.Num == 0 {
+				return Nil(), fmt.Errorf("constraint: division by zero")
+			}
+			return Num(l.Num / r.Num), nil
+		}
+	}
+	return Nil(), fmt.Errorf("constraint: unknown operator %q", b.Op)
+}
+
+func evalCall(c *Call, env *Env) (Value, error) {
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return Nil(), err
+		}
+		args[i] = v
+	}
+	switch c.Fn {
+	case "size":
+		if len(args) != 1 || args[0].Kind != KSet {
+			return Nil(), fmt.Errorf("constraint: size() wants one set argument")
+		}
+		return Num(float64(len(args[0].Set))), nil
+	case "connected":
+		if len(args) != 2 {
+			return Nil(), fmt.Errorf("constraint: connected() wants two arguments")
+		}
+		a, aok := asComponent(args[0])
+		b, bok := asComponent(args[1])
+		if !aok || !bok {
+			return Nil(), fmt.Errorf("constraint: connected() wants components, got %s, %s", args[0], args[1])
+		}
+		return Bool(env.Sys.Connected(a, b)), nil
+	case "attached":
+		if len(args) != 2 {
+			return Nil(), fmt.Errorf("constraint: attached() wants two arguments")
+		}
+		// Accept (port, role) in either order — the paper writes both.
+		p, r := asPortRole(args[0], args[1])
+		if p == nil || r == nil {
+			return Nil(), fmt.Errorf("constraint: attached() wants a port and a role, got %s, %s", args[0], args[1])
+		}
+		return Bool(env.Sys.Attached(p, r)), nil
+	case "hasProperty":
+		if len(args) != 2 || args[0].Kind != KElem || args[1].Kind != KStr {
+			return Nil(), fmt.Errorf("constraint: hasProperty(elem, name)")
+		}
+		return Bool(args[0].Elem.Props().Has(args[1].Str)), nil
+	case "union":
+		var all []Value
+		for _, a := range args {
+			if a.Kind != KSet {
+				return Nil(), fmt.Errorf("constraint: union() wants sets")
+			}
+			all = append(all, a.Set...)
+		}
+		return Set(all), nil
+	case "contains":
+		if len(args) != 2 || args[0].Kind != KSet {
+			return Nil(), fmt.Errorf("constraint: contains(set, v)")
+		}
+		for _, v := range args[0].Set {
+			if equal(v, args[1]) {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	}
+	if fn, ok := env.Funcs[c.Fn]; ok {
+		return fn(args)
+	}
+	return Nil(), fmt.Errorf("constraint: unknown function %q", c.Fn)
+}
+
+func asComponent(v Value) (*model.Component, bool) {
+	if v.Kind != KElem {
+		return nil, false
+	}
+	c, ok := v.Elem.(*model.Component)
+	return c, ok
+}
+
+func asPortRole(a, b Value) (*model.Port, *model.Role) {
+	if a.Kind != KElem || b.Kind != KElem {
+		return nil, nil
+	}
+	if p, ok := a.Elem.(*model.Port); ok {
+		if r, ok := b.Elem.(*model.Role); ok {
+			return p, r
+		}
+		return nil, nil
+	}
+	if r, ok := a.Elem.(*model.Role); ok {
+		if p, ok := b.Elem.(*model.Port); ok {
+			return p, r
+		}
+	}
+	return nil, nil
+}
+
+func evalQuant(q *Quant, env *Env) (Value, error) {
+	dom, err := Eval(q.Dom, env)
+	if err != nil {
+		return Nil(), err
+	}
+	if dom.Kind != KSet {
+		return Nil(), fmt.Errorf("constraint: quantifier domain is not a set: %s", dom)
+	}
+	var matches []Value
+	for _, v := range dom.Set {
+		if q.Type != "" {
+			if v.Kind != KElem || v.Elem.Type() != q.Type {
+				continue
+			}
+		}
+		ok, err := EvalBool(q.Pred, env.child(q.Var, v))
+		if err != nil {
+			return Nil(), err
+		}
+		switch q.Mode {
+		case "exists":
+			if ok {
+				return Bool(true), nil
+			}
+		case "forall":
+			if !ok {
+				return Bool(false), nil
+			}
+		case "select":
+			if ok {
+				matches = append(matches, v)
+			}
+		}
+	}
+	switch q.Mode {
+	case "exists":
+		return Bool(false), nil
+	case "forall":
+		return Bool(true), nil
+	}
+	// select: deterministic order by element name where applicable.
+	sort.SliceStable(matches, func(i, j int) bool {
+		a, b := matches[i], matches[j]
+		if a.Kind == KElem && b.Kind == KElem {
+			return a.Elem.Name() < b.Elem.Name()
+		}
+		return false
+	})
+	if q.One {
+		if len(matches) == 0 {
+			return Nil(), nil
+		}
+		return matches[0], nil
+	}
+	return Set(matches), nil
+}

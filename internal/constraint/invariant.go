@@ -1,0 +1,162 @@
+package constraint
+
+import (
+	"fmt"
+
+	"archadapt/internal/model"
+)
+
+// Invariant is a named constraint evaluated over the architecture. When
+// Scope names an element type (e.g. "ClientT" or "ClientRoleT"), the
+// invariant is checked once per element of that type with `it` bound to the
+// element; with an empty Scope it is checked once against the system.
+//
+// This is the runtime form of the paper's
+//
+//	invariant r : averageLatency <= maxLatency  !→  fixLatency(r)
+//
+// — the association to a repair strategy lives in the repair package.
+type Invariant struct {
+	Name  string
+	Scope string
+	Expr  Expr
+}
+
+// NewInvariant parses src into an invariant.
+func NewInvariant(name, scope, src string) (*Invariant, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("invariant %s: %w", name, err)
+	}
+	return &Invariant{Name: name, Scope: scope, Expr: e}, nil
+}
+
+// MustInvariant is NewInvariant that panics on parse errors.
+func MustInvariant(name, scope, src string) *Invariant {
+	inv, err := NewInvariant(name, scope, src)
+	if err != nil {
+		panic(err)
+	}
+	return inv
+}
+
+// Violation reports one failed invariant instance.
+type Violation struct {
+	Invariant *Invariant
+	// Subject is the element the invariant was checked against (nil for
+	// system-scoped invariants).
+	Subject model.Element
+	// Err is non-nil when the expression itself failed to evaluate (missing
+	// property, type error); the paper treats these as model errors.
+	Err error
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	subj := "system"
+	if v.Subject != nil {
+		subj = fmt.Sprintf("%s %s", v.Subject.Kind(), v.Subject.Name())
+	}
+	if v.Err != nil {
+		return fmt.Sprintf("%s on %s: evaluation error: %v", v.Invariant.Name, subj, v.Err)
+	}
+	return fmt.Sprintf("%s violated on %s", v.Invariant.Name, subj)
+}
+
+// scopeElements enumerates the elements an invariant quantifies over.
+func scopeElements(sys *model.System, scope string) []model.Element {
+	var out []model.Element
+	for _, c := range sys.Components() {
+		if c.Type() == scope {
+			out = append(out, c)
+		}
+		for _, p := range c.Ports() {
+			if p.Type() == scope {
+				out = append(out, p)
+			}
+		}
+	}
+	for _, c := range sys.Connectors() {
+		if c.Type() == scope {
+			out = append(out, c)
+		}
+		for _, r := range c.Roles() {
+			if r.Type() == scope {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Check evaluates the invariant over sys and returns violations. Elements
+// lacking the referenced properties are skipped silently only when
+// `SkipIncomplete` asks for it (gauges may not have reported yet); otherwise
+// evaluation errors surface as violations with Err set.
+func (inv *Invariant) Check(sys *model.System, funcs map[string]func([]Value) (Value, error), skipIncomplete bool) []Violation {
+	env := NewEnv(sys)
+	if funcs != nil {
+		env.Funcs = funcs
+	}
+	if inv.Scope == "" {
+		ok, err := EvalBool(inv.Expr, env)
+		if err != nil {
+			if skipIncomplete {
+				return nil
+			}
+			return []Violation{{Invariant: inv, Err: err}}
+		}
+		if !ok {
+			return []Violation{{Invariant: inv}}
+		}
+		return nil
+	}
+	var out []Violation
+	for _, el := range scopeElements(sys, inv.Scope) {
+		ok, err := EvalBool(inv.Expr, env.child("it", Elem(el)))
+		if err != nil {
+			if skipIncomplete {
+				continue
+			}
+			out = append(out, Violation{Invariant: inv, Subject: el, Err: err})
+			continue
+		}
+		if !ok {
+			out = append(out, Violation{Invariant: inv, Subject: el})
+		}
+	}
+	return out
+}
+
+// Registry is an ordered collection of invariants checked together.
+type Registry struct {
+	invs  []*Invariant
+	Funcs map[string]func([]Value) (Value, error)
+	// SkipIncomplete suppresses violations caused by missing properties —
+	// the normal mode while monitoring is still warming up.
+	SkipIncomplete bool
+}
+
+// NewRegistry returns an empty registry with SkipIncomplete set.
+func NewRegistry() *Registry {
+	return &Registry{Funcs: map[string]func([]Value) (Value, error){}, SkipIncomplete: true}
+}
+
+// Add appends an invariant.
+func (r *Registry) Add(inv *Invariant) *Registry {
+	r.invs = append(r.invs, inv)
+	return r
+}
+
+// Invariants returns the registered invariants in order.
+func (r *Registry) Invariants() []*Invariant { return r.invs }
+
+// CheckAll evaluates every invariant and concatenates violations in
+// registration order.
+func (r *Registry) CheckAll(sys *model.System) []Violation {
+	var out []Violation
+	for _, inv := range r.invs {
+		out = append(out, inv.Check(sys, r.Funcs, r.SkipIncomplete)...)
+	}
+	return out
+}

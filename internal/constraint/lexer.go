@@ -1,0 +1,132 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates token types.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tOp    // < <= > >= == != + - * / !
+	tPunct // ( ) . , : | { }
+	tKeyword
+)
+
+var keywords = map[string]bool{
+	"and": true, "or": true, "not": true,
+	"exists": true, "forall": true, "select": true, "one": true,
+	"in": true, "true": true, "false": true, "nil": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return strconv.Quote(t.text)
+}
+
+// lex tokenizes src; errors carry byte offsets.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := src[j]
+				if unicode.IsDigit(rune(d)) {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			f, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("constraint: bad number %q at %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tNumber, text: src[i:j], num: f, pos: i})
+			i = j
+		case c == '"':
+			j := i + 1
+			var sb []byte
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb = append(sb, src[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("constraint: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tString, text: string(sb), pos: i})
+			i = j + 1
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			k := tIdent
+			if keywords[word] {
+				k = tKeyword
+			}
+			toks = append(toks, token{kind: k, text: word, pos: i})
+			i = j
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tOp, text: src[i : i+2], pos: i})
+				i += 2
+			} else {
+				if c == '=' {
+					return nil, fmt.Errorf("constraint: single '=' at %d (use '==')", i)
+				}
+				toks = append(toks, token{kind: tOp, text: string(c), pos: i})
+				i++
+			}
+		case c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, token{kind: tOp, text: string(c), pos: i})
+			i++
+		case c == '(' || c == ')' || c == '.' || c == ',' || c == ':' || c == '|' || c == '{' || c == '}':
+			toks = append(toks, token{kind: tPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("constraint: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: n})
+	return toks, nil
+}

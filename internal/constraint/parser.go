@@ -1,0 +1,272 @@
+package constraint
+
+import "fmt"
+
+// Parse parses a constraint expression.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("constraint: trailing input at %s in %q", p.peek(), src)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics; for statically known expressions.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return fmt.Errorf("constraint: expected %q, found %s in %q", text, p.peek(), p.src)
+	}
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tKeyword, "not") || p.accept(tOp, "!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "==": true, "!=": true}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tOp && cmpOps[t.text] {
+		p.i++
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: t.text, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tOp && (t.text == "+" || t.text == "-") {
+			p.i++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tOp && (t.text == "*" || t.text == "/") {
+			p.i++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tNumber:
+		p.i++
+		return &Lit{Val: Num(t.num)}, nil
+	case t.kind == tString:
+		p.i++
+		return &Lit{Val: Str(t.text)}, nil
+	case t.kind == tKeyword && t.text == "true":
+		p.i++
+		return &Lit{Val: Bool(true)}, nil
+	case t.kind == tKeyword && t.text == "false":
+		p.i++
+		return &Lit{Val: Bool(false)}, nil
+	case t.kind == tKeyword && t.text == "nil":
+		p.i++
+		return &Lit{Val: Nil()}, nil
+	case t.kind == tKeyword && (t.text == "exists" || t.text == "forall" || t.text == "select"):
+		return p.parseQuant()
+	case t.kind == tPunct && t.text == "(":
+		p.i++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tIdent:
+		return p.parseRefOrCall()
+	}
+	return nil, fmt.Errorf("constraint: unexpected %s in %q", t, p.src)
+}
+
+func (p *parser) parseQuant() (Expr, error) {
+	mode := p.next().text
+	one := false
+	if mode == "select" && p.accept(tKeyword, "one") {
+		one = true
+	}
+	v := p.peek()
+	if v.kind != tIdent {
+		return nil, fmt.Errorf("constraint: expected variable after %q, found %s", mode, v)
+	}
+	p.i++
+	typ := ""
+	if p.accept(tPunct, ":") {
+		tt := p.peek()
+		if tt.kind != tIdent {
+			return nil, fmt.Errorf("constraint: expected type after ':', found %s", tt)
+		}
+		typ = tt.text
+		p.i++
+	}
+	if err := p.expect(tKeyword, "in"); err != nil {
+		return nil, err
+	}
+	dom, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tPunct, "|"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	return &Quant{Mode: mode, One: one, Var: v.text, Type: typ, Dom: dom, Pred: pred}, nil
+}
+
+func (p *parser) parseRefOrCall() (Expr, error) {
+	name := p.next().text
+	if p.accept(tPunct, "(") {
+		var args []Expr
+		if !p.accept(tPunct, ")") {
+			for {
+				a, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.accept(tPunct, ",") {
+					continue
+				}
+				if err := p.expect(tPunct, ")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		return &Call{Fn: name, Args: args}, nil
+	}
+	parts := []string{name}
+	for p.accept(tPunct, ".") {
+		t := p.peek()
+		if t.kind != tIdent {
+			return nil, fmt.Errorf("constraint: expected identifier after '.', found %s", t)
+		}
+		parts = append(parts, t.text)
+		p.i++
+	}
+	return &Ref{Parts: parts}, nil
+}

@@ -1,0 +1,128 @@
+// Package constraint implements the architectural constraint language used
+// to express invariants over the model — the role Armani plays for Acme in
+// the paper. Expressions support numeric/boolean/string operations, element
+// property references, and the first-order forms of Figure 5:
+//
+//	invariant averageLatency <= maxLatency
+//	exists p : RequestT in cli.Ports | attached(p, badRole)
+//	select sgrp : ServerGroupT in self.Components | connected(sgrp, client)
+//	size(loadedServerGroups) == 0
+//
+// The evaluator is pure: it reads the model and never mutates it.
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"archadapt/internal/model"
+)
+
+// ValueKind discriminates runtime value types.
+type ValueKind int
+
+// Runtime value kinds.
+const (
+	KNil ValueKind = iota
+	KNum
+	KBool
+	KStr
+	KElem
+	KSet
+)
+
+// Value is a constraint-language runtime value.
+type Value struct {
+	Kind ValueKind
+	Num  float64
+	Bool bool
+	Str  string
+	Elem model.Element
+	Set  []Value
+}
+
+// Nil is the nil value.
+func Nil() Value { return Value{Kind: KNil} }
+
+// Num wraps a number.
+func Num(f float64) Value { return Value{Kind: KNum, Num: f} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value { return Value{Kind: KBool, Bool: b} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{Kind: KStr, Str: s} }
+
+// Elem wraps a model element.
+func Elem(e model.Element) Value {
+	if e == nil {
+		return Nil()
+	}
+	return Value{Kind: KElem, Elem: e}
+}
+
+// Set wraps a list of values.
+func Set(vs []Value) Value { return Value{Kind: KSet, Set: vs} }
+
+// Truthy reports the boolean interpretation; only booleans are truthy/falsy,
+// everything else is a type error.
+func (v Value) Truthy() (bool, error) {
+	if v.Kind != KBool {
+		return false, fmt.Errorf("constraint: %s is not a boolean", v)
+	}
+	return v.Bool, nil
+}
+
+// String renders the value for error messages and the ADL printer.
+func (v Value) String() string {
+	switch v.Kind {
+	case KNil:
+		return "nil"
+	case KNum:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KBool:
+		return strconv.FormatBool(v.Bool)
+	case KStr:
+		return strconv.Quote(v.Str)
+	case KElem:
+		return fmt.Sprintf("<%s %s>", v.Elem.Kind(), v.Elem.Name())
+	case KSet:
+		parts := make([]string, len(v.Set))
+		for i, e := range v.Set {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "?"
+}
+
+// equal compares two values for the == / != operators.
+func equal(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KNil:
+		return true
+	case KNum:
+		return a.Num == b.Num
+	case KBool:
+		return a.Bool == b.Bool
+	case KStr:
+		return a.Str == b.Str
+	case KElem:
+		return a.Elem == b.Elem
+	case KSet:
+		if len(a.Set) != len(b.Set) {
+			return false
+		}
+		for i := range a.Set {
+			if !equal(a.Set[i], b.Set[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

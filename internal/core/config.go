@@ -1,0 +1,95 @@
+// Package core implements the model layer of Figure 1: the architecture
+// manager. It consumes gauge reports, maintains the architectural model's
+// properties, checks the architectural constraints, and — on violation —
+// drives the repair engine, whose committed operations the translator
+// propagates to the environment manager. It also owns the repair-time gauge
+// churn that dominated the paper's measured 30-second repairs.
+package core
+
+import "archadapt/internal/netsim"
+
+// Config tunes the architecture manager. Zero value fields fall back to the
+// defaults in Defaults(), which mirror the paper's deployment.
+type Config struct {
+	// CheckPeriod is how often constraints are evaluated against the model.
+	CheckPeriod float64
+	// GaugePeriod is the reporting period of all gauges.
+	GaugePeriod float64
+	// LatencyWindow is the latency gauge's sliding window.
+	LatencyWindow float64
+	// LoadSmoothing is the load gauge's EWMA coefficient in (0,1]; 1 (the
+	// default) reports raw queue samples as the paper did. Lower values add
+	// hysteresis, damping scale-up/scale-down flapping.
+	LoadSmoothing float64
+
+	// GaugeCaching enables the §5.3 extension: re-target gauges in place
+	// instead of destroy+create.
+	GaugeCaching bool
+	// MonitoringPriority lifts monitoring traffic into a QoS-protected
+	// class (§5.3 mitigation). Default BestEffort, as deployed in the paper.
+	MonitoringPriority netsim.Priority
+	// SkipRemosPrequery leaves Remos cold at startup. The default (false)
+	// warms all client↔server pairs at deploy time, as the paper did after
+	// discovering multi-minute cold queries; skipping it is the ablation
+	// that exposes that pathology.
+	SkipRemosPrequery bool
+
+	// SmartSelection repairs the worst-latency client first instead of the
+	// first reporter (§7 future work).
+	SmartSelection bool
+
+	// DisableRepairs runs the manager as a pure observer (the control run):
+	// monitoring and constraint checking proceed, repairs never execute.
+	DisableRepairs bool
+
+	// ScriptedRepairs drives adaptation through the Figure 5 repair script
+	// compiled by internal/script, instead of the hand-coded Go tactics.
+	// Both implementations make identical decisions (asserted by tests);
+	// the scripted path demonstrates the "could be generated from the
+	// repair strategies in Figure 5" form the paper describes.
+	ScriptedRepairs bool
+
+	// ScaleDown enables the paper's third (unshown) repair: deactivate
+	// servers in underutilized groups to "keep the set of currently active
+	// servers to a minimum" (§1). Registers the utilizationFloor invariant
+	// and binds the shrink strategy.
+	ScaleDown bool
+
+	// SettleTime suppresses repeat repairs on one subject while the last
+	// repair's effect lands (§5.3). Zero disables.
+	SettleTime float64
+	// OscillationWindow and OscillationMoves configure move-oscillation
+	// detection; DampFactor scales the cooldown when damping kicks in.
+	OscillationWindow float64
+	OscillationMoves  int
+	DampFactor        float64
+}
+
+// Defaults returns the paper-faithful configuration: best-effort monitoring,
+// destroy/recreate gauge churn, no settling, no damping, first-reporter
+// repair selection, pre-queried Remos (the paper pre-queried for its runs).
+func Defaults() Config {
+	return Config{
+		CheckPeriod:   2,
+		GaugePeriod:   5,
+		LatencyWindow: 20,
+	}
+}
+
+// withDefaults fills zero fields from Defaults().
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.CheckPeriod <= 0 {
+		c.CheckPeriod = d.CheckPeriod
+	}
+	if c.GaugePeriod <= 0 {
+		c.GaugePeriod = d.GaugePeriod
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = d.LatencyWindow
+	}
+	if c.LoadSmoothing <= 0 || c.LoadSmoothing > 1 {
+		c.LoadSmoothing = 1
+	}
+	return c
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+
+	"archadapt/internal/app"
+	"archadapt/internal/netsim"
+	"archadapt/internal/operators"
+	"archadapt/internal/remos"
+	"archadapt/internal/repair"
+	"archadapt/internal/sim"
+)
+
+// rig builds a minimal two-group deployment with the manager on its own
+// host.
+type rig struct {
+	k         *sim.Kernel
+	net       *netsim.Network
+	a         *app.System
+	mgr       *Manager
+	crushLink netsim.LinkID
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	r1 := net.AddRouter("r1")
+	r2 := net.AddRouter("r2")
+	cHost := net.AddHost("cHost")
+	aHost := net.AddHost("aHost")
+	bHost := net.AddHost("bHost")
+	spareHost := net.AddHost("spareHost")
+	mHost := net.AddHost("mHost")
+	qHost := net.AddHost("qHost")
+	net.Connect(cHost, r1, 10e6, 1e-3)
+	crush := net.Connect(r1, r2, 10e6, 1e-3)
+	net.Connect(aHost, r2, 10e6, 1e-3)
+	net.Connect(spareHost, r2, 10e6, 1e-3)
+	r3 := net.AddRouter("r3")
+	net.Connect(r1, r3, 10e6, 1e-3)
+	net.Connect(bHost, r3, 10e6, 1e-3)
+	net.Connect(mHost, r3, 10e6, 1e-3)
+	net.Connect(qHost, r3, 10e6, 1e-3)
+
+	a := app.New(k, net, qHost)
+	_ = a.CreateQueue("GA")
+	_ = a.CreateQueue("GB")
+	a.AddServer("A1", aHost, "GA", 0.05, 2.4e-6)
+	a.AddServer("A2", spareHost, "GA", 0.05, 2.4e-6) // spare
+	a.AddServer("B1", bHost, "GB", 0.05, 2.4e-6)
+	_ = a.Activate("A1")
+	_ = a.Activate("B1")
+	a.AddClient("C1", cHost, "GA", 1.0, sim.NewRand(3))
+
+	mdl, err := operators.Build(operators.Spec{
+		Name: "rig",
+		Groups: []operators.GroupSpec{
+			{Name: "GA", Servers: []string{"A1", "A2"}, ActiveCount: 1},
+			{Name: "GB", Servers: []string{"B1"}, ActiveCount: 1},
+		},
+		Clients:       []operators.ClientSpec{{Name: "C1", Group: "GA"}},
+		MaxLatency:    2.0,
+		MaxServerLoad: 6,
+		MinBandwidth:  10e3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := remos.New(k, net, mHost)
+	mgr := New(cfg, k, net, a, mdl, mHost, rm)
+	return &rig{k: k, net: net, a: a, mgr: mgr, crushLink: crush}
+}
+
+func TestDeployCreatesMonitoring(t *testing.T) {
+	r := newRig(t, Config{})
+	r.mgr.Deploy()
+	r.a.Start()
+	r.k.Run(120)
+	// 1 client × (latency + bandwidth) + 2 groups × load = 4 gauges.
+	if got := r.mgr.GaugeMgr.Deployed(); got != 4 {
+		t.Fatalf("gauges=%d, want 4", got)
+	}
+	if r.mgr.Reports() == 0 {
+		t.Fatal("no gauge reports consumed")
+	}
+	// The model learned measured properties.
+	c1 := r.mgr.Model.Component("C1")
+	if _, ok := c1.Props().Float(operators.PropAvgLatency); !ok {
+		t.Fatal("averageLatency never reached the model")
+	}
+	_, _, role, err := operators.GroupOf(r.mgr.Model, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := role.Props().Float(operators.PropBandwidth); !ok {
+		t.Fatal("bandwidth never reached the model")
+	}
+	if r.mgr.Checks() == 0 {
+		t.Fatal("control loop never ran")
+	}
+	if len(r.mgr.Spans()) != 0 {
+		t.Fatalf("healthy system repaired itself: %+v", r.mgr.Spans())
+	}
+}
+
+func TestBandwidthViolationTriggersMove(t *testing.T) {
+	r := newRig(t, Config{})
+	r.mgr.Deploy()
+	r.a.Start()
+	r.k.At(150, func() { r.net.SetBackgroundBoth(r.crushLink, 10e6-5e3) })
+	r.k.Run(400)
+	if r.a.Client("C1").Group != "GB" {
+		t.Fatalf("client not moved; group=%s spans=%+v alerts=%d",
+			r.a.Client("C1").Group, r.mgr.Spans(), len(r.mgr.Alerts()))
+	}
+	// Model and runtime agree.
+	grp, _, _, err := operators.GroupOf(r.mgr.Model, r.mgr.Model.Component("C1"))
+	if err != nil || grp.Name() != "GB" {
+		t.Fatalf("model group=%v err=%v", grp, err)
+	}
+	found := false
+	for _, sp := range r.mgr.Spans() {
+		for _, op := range sp.Ops {
+			if op.Kind == repair.OpMoveClient && op.Group == "GB" {
+				found = true
+			}
+		}
+		if sp.End <= sp.Start {
+			t.Fatal("span has no duration")
+		}
+	}
+	if !found {
+		t.Fatal("no move op recorded")
+	}
+}
+
+func TestOverloadTriggersAddServer(t *testing.T) {
+	r := newRig(t, Config{})
+	r.mgr.Deploy()
+	// Overwhelm GA's single active server: 4 req/s of 20KB (≈0.45 s each).
+	cli := r.a.Client("C1")
+	cli.Rate = 4
+	cli.RespBits = func() float64 { return 20 * 8192 }
+	r.a.Start()
+	r.k.Run(400)
+	if !r.a.Server("A2").Active() {
+		t.Fatalf("spare never activated; spans=%+v", r.mgr.Spans())
+	}
+	grp := r.mgr.Model.Component("GA")
+	if got := operators.ActiveServers(grp); len(got) != 2 {
+		t.Fatalf("model servers=%v", got)
+	}
+}
+
+func TestDisableRepairsObservesOnly(t *testing.T) {
+	r := newRig(t, Config{DisableRepairs: true})
+	r.mgr.Deploy()
+	r.a.Start()
+	r.k.At(150, func() { r.net.SetBackgroundBoth(r.crushLink, 10e6-5e3) })
+	r.k.Run(500)
+	if len(r.mgr.Spans()) != 0 {
+		t.Fatal("observer mode repaired")
+	}
+	if r.mgr.ViolationsSeen() == 0 {
+		t.Fatal("observer mode should still see violations")
+	}
+	if r.a.Client("C1").Group != "GA" {
+		t.Fatal("client moved in observer mode")
+	}
+}
+
+func TestRepairDurationIncludesGaugeChurn(t *testing.T) {
+	r := newRig(t, Config{})
+	r.mgr.Deploy()
+	r.a.Start()
+	r.k.At(150, func() { r.net.SetBackgroundBoth(r.crushLink, 10e6-5e3) })
+	r.k.Run(600)
+	spans := r.mgr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no repairs")
+	}
+	// Destroy/recreate churn for latency+bandwidth gauges: tens of seconds.
+	if d := spans[0].Duration(); d < 10 || d > 200 {
+		t.Fatalf("repair duration %v, want tens of seconds", d)
+	}
+	creates, deletes, _ := r.mgr.GaugeMgr.Counts()
+	if deletes == 0 || creates <= 4 {
+		t.Fatalf("no gauge churn recorded: creates=%d deletes=%d", creates, deletes)
+	}
+}
+
+func TestGaugeCachingShortensSpans(t *testing.T) {
+	run := func(caching bool) float64 {
+		r := newRig(t, Config{GaugeCaching: caching})
+		r.mgr.Deploy()
+		r.a.Start()
+		r.k.At(150, func() { r.net.SetBackgroundBoth(r.crushLink, 10e6-5e3) })
+		r.k.Run(600)
+		spans := r.mgr.Spans()
+		if len(spans) == 0 {
+			t.Fatal("no repairs")
+		}
+		return spans[0].Duration()
+	}
+	slow := run(false)
+	fast := run(true)
+	if fast >= slow/2 {
+		t.Fatalf("caching churn %v not much faster than recreate %v", fast, slow)
+	}
+	_, _, retargets := func() (uint64, uint64, uint64) {
+		r := newRig(t, Config{GaugeCaching: true})
+		r.mgr.Deploy()
+		r.a.Start()
+		r.k.At(150, func() { r.net.SetBackgroundBoth(r.crushLink, 10e6-5e3) })
+		r.k.Run(600)
+		return r.mgr.GaugeMgr.Counts()
+	}()
+	if retargets == 0 {
+		t.Fatal("caching mode never retargeted")
+	}
+}
+
+func TestAlertsOnUnrepairable(t *testing.T) {
+	// Crush the path but make GB unattractive too (no better group): the
+	// engine should escalate rather than thrash.
+	r := newRig(t, Config{})
+	r.mgr.Deploy()
+	r.a.Start()
+	r.k.At(150, func() {
+		r.net.SetBackgroundBoth(r.crushLink, 10e6-5e3)
+		// Also crush the GB path.
+		id, ok := r.net.LinkBetween(r.net.MustLookup("r1"), r.net.MustLookup("r3"))
+		if !ok {
+			t.Error("no r1-r3 link")
+			return
+		}
+		r.net.SetBackgroundBoth(id, 10e6-5e3)
+	})
+	r.k.Run(500)
+	if r.a.Client("C1").Group != "GA" {
+		t.Fatal("client moved with nowhere to go")
+	}
+	if len(r.mgr.Alerts())+failedSpans(r.mgr) == 0 {
+		t.Fatal("no escalation recorded")
+	}
+}
+
+func failedSpans(m *Manager) int {
+	n := 0
+	for _, rec := range m.Engine.Records() {
+		if rec.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestScaleDownConfig(t *testing.T) {
+	r := newRig(t, Config{ScaleDown: true, SettleTime: 30, LoadSmoothing: 0.3})
+	// Activate the spare manually, keep the client idle: the group is
+	// underutilized and should shrink back.
+	_ = r.a.Activate("A2")
+	mdl := r.mgr.Model
+	grp := mdl.Component("GA")
+	txn := repair.NewTxn(mdl)
+	if _, err := operators.AddServer(txn, grp); err != nil {
+		t.Fatal(err)
+	}
+	r.a.Client("C1").Rate = 0.05 // nearly idle
+	r.mgr.Deploy()
+	r.a.Start()
+	r.k.Run(600)
+	if r.a.Server("A2").Active() {
+		t.Fatalf("underutilized spare not deactivated; spans=%+v", r.mgr.Spans())
+	}
+}
+
+func TestManagerString(t *testing.T) {
+	r := newRig(t, Config{})
+	if s := r.mgr.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

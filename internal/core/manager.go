@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"archadapt/internal/app"
+	"archadapt/internal/bus"
+	"archadapt/internal/constraint"
+	"archadapt/internal/envmgr"
+	"archadapt/internal/gauges"
+	"archadapt/internal/model"
+	"archadapt/internal/netsim"
+	"archadapt/internal/operators"
+	"archadapt/internal/probes"
+	"archadapt/internal/remos"
+	"archadapt/internal/repair"
+	"archadapt/internal/sim"
+	"archadapt/internal/translator"
+)
+
+// RepairSpan is one completed repair with its wall-clock extent, the
+// intervals drawn atop Figures 11–13. Duration covers strategy execution,
+// operator propagation and gauge churn.
+type RepairSpan struct {
+	Start, End float64
+	Strategy   string
+	Subject    string
+	Tactics    []string
+	Ops        []repair.Op
+}
+
+// Duration returns End-Start.
+func (r RepairSpan) Duration() float64 { return r.End - r.Start }
+
+// Alert is a human-escalation event (§7: "alert a human observer for manual
+// intervention").
+type Alert struct {
+	Time    float64
+	Subject string
+	Reason  string
+}
+
+// Manager is the architecture manager: the model layer of the framework.
+type Manager struct {
+	Cfg  Config
+	K    *sim.Kernel
+	Net  *netsim.Network
+	App  *app.System
+	Env  *envmgr.Manager
+	Rm   *remos.Service
+	Host netsim.NodeID
+
+	Model    *model.System
+	Registry *constraint.Registry
+	Engine   *repair.Engine
+	Trans    *translator.Translator
+
+	ProbeBus  *bus.Bus
+	ReportBus *bus.Bus
+	GaugeMgr  *gauges.Manager
+
+	queueProbe *probes.QueueProbe
+	stopCheck  func()
+
+	busy        bool
+	spans       []RepairSpan
+	alerts      []Alert
+	reports     uint64
+	checks      uint64
+	violationsN uint64
+}
+
+// New wires a manager over an already-built model and application. Hosts:
+// the manager (and gauge manager) run on host — in the paper's testbed, the
+// machine running Server 4.
+func New(cfg Config, k *sim.Kernel, net *netsim.Network, a *app.System, mdl *model.System, host netsim.NodeID, rm *remos.Service) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		Cfg: cfg, K: k, Net: net, App: a, Model: mdl, Host: host, Rm: rm,
+	}
+	m.ProbeBus = bus.New(k, net)
+	m.ProbeBus.Priority = cfg.MonitoringPriority
+	m.ReportBus = bus.New(k, net)
+	m.ReportBus.Priority = cfg.MonitoringPriority
+
+	m.GaugeMgr = gauges.NewManager(k, net, host)
+	m.GaugeMgr.Caching = cfg.GaugeCaching
+	m.GaugeMgr.Priority = cfg.MonitoringPriority
+
+	m.Env = envmgr.New(k, net, a, host, rm)
+	m.Trans = translator.New(m.Env)
+
+	m.Registry = constraint.NewRegistry()
+	m.Registry.Add(constraint.MustInvariant(operators.InvLatency, operators.TClient,
+		"averageLatency <= maxLatency"))
+	m.Registry.Add(constraint.MustInvariant(operators.InvLoad, operators.TServerGroup,
+		"load <= maxServerLoad"))
+	m.Registry.Add(constraint.MustInvariant(operators.InvBandwidth, operators.TClientRole,
+		"bandwidth >= minBandwidth"))
+
+	m.Engine = repair.NewEngine(mdl, m.Trans)
+	m.Engine.SettleTime = cfg.SettleTime
+	m.Engine.OscillationWindow = cfg.OscillationWindow
+	m.Engine.OscillationMoves = cfg.OscillationMoves
+	m.Engine.DampFactor = cfg.DampFactor
+	m.Engine.AlertFn = func(v constraint.Violation, reason string) {
+		m.alerts = append(m.alerts, Alert{Time: k.Now(), Subject: subjectName(v), Reason: reason})
+	}
+	if cfg.ScriptedRepairs {
+		strat, err := operators.CompileFixLatency(m.FindGoodSGrp)
+		if err != nil {
+			panic("core: compiling Figure 5 script: " + err.Error())
+		}
+		m.Engine.Bind(operators.InvLatency, strat)
+	} else {
+		m.Engine.Bind(operators.InvLatency, operators.FixLatency(m.FindGoodSGrp))
+	}
+	if cfg.ScaleDown {
+		if !mdl.Props().Has(operators.PropMinServerLoad) {
+			mdl.Props().Set(operators.PropMinServerLoad, 1.0)
+		}
+		if !mdl.Props().Has(operators.PropMinReplicas) {
+			mdl.Props().Set(operators.PropMinReplicas, 1.0)
+		}
+		m.Registry.Add(constraint.MustInvariant(operators.InvUtilization, operators.TServerGroup,
+			"load >= minServerLoad or replicationCount <= minReplicas"))
+		m.Engine.Bind(operators.InvUtilization, operators.ShrinkStrategy())
+	}
+	return m
+}
+
+func subjectName(v constraint.Violation) string {
+	if v.Subject == nil {
+		return "system"
+	}
+	return v.Subject.Name()
+}
+
+// Spans returns completed repair spans.
+func (m *Manager) Spans() []RepairSpan { return m.spans }
+
+// Alerts returns human-escalation events.
+func (m *Manager) Alerts() []Alert { return m.alerts }
+
+// Reports returns the number of gauge reports consumed.
+func (m *Manager) Reports() uint64 { return m.reports }
+
+// Checks returns the number of constraint evaluations performed.
+func (m *Manager) Checks() uint64 { return m.checks }
+
+// ViolationsSeen returns the cumulative violation count across checks.
+func (m *Manager) ViolationsSeen() uint64 { return m.violationsN }
+
+// groupServerHost returns the host of a group's first active server.
+func (m *Manager) groupServerHost(group string) (netsim.NodeID, bool) {
+	act := m.App.ActiveServersOf(group)
+	if len(act) == 0 {
+		return 0, false
+	}
+	return m.App.Server(act[0]).Host, true
+}
+
+// FindGoodSGrp is the runtime query of §3.3: the server group with the best
+// predicted bandwidth to the client above minBW. Predictions come from the
+// Remos substitute's warm cache; cold pairs are invisible (the paper's
+// motivation for pre-querying).
+func (m *Manager) FindGoodSGrp(sys *model.System, cli *model.Component, minBW float64) (*model.Component, float64) {
+	c := m.App.Client(cli.Name())
+	if c == nil {
+		return nil, 0
+	}
+	var best *model.Component
+	bestBW := minBW
+	for _, grp := range sys.ComponentsByType(operators.TServerGroup) {
+		host, ok := m.groupServerHost(grp.Name())
+		if !ok {
+			continue
+		}
+		bw, ok := m.Rm.Predict(host, c.Host)
+		if !ok {
+			continue
+		}
+		if bw >= bestBW {
+			best, bestBW = grp, bw
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bestBW
+}
+
+// Deploy installs probes and gauges and starts the control loop. It mirrors
+// the paper's run protocol: monitoring needs its quiescent warm-up before
+// constraints begin to see fresh properties.
+func (m *Manager) Deploy() {
+	// Probes.
+	for _, name := range m.App.Clients() {
+		probes.AttachResponseProbe(m.ProbeBus, m.App.Client(name))
+	}
+	m.queueProbe = probes.StartQueueProbe(m.K, m.ProbeBus, m.App, m.Cfg.GaugePeriod)
+
+	// Remos pre-querying (paper §5.3 mitigation).
+	if !m.Cfg.SkipRemosPrequery {
+		var cliHosts, srvHosts []netsim.NodeID
+		for _, name := range m.App.Clients() {
+			cliHosts = append(cliHosts, m.App.Client(name).Host)
+		}
+		for _, name := range m.App.Servers() {
+			srvHosts = append(srvHosts, m.App.Server(name).Host)
+		}
+		m.Rm.PrequeryAll(srvHosts, cliHosts)
+	}
+
+	// Gauges.
+	for _, name := range m.App.Clients() {
+		cli := m.App.Client(name)
+		lg := gauges.NewLatencyGauge(m.K, m.ProbeBus, m.ReportBus, cli.Host, name,
+			m.Cfg.LatencyWindow, m.Cfg.GaugePeriod)
+		_ = m.GaugeMgr.Create(lg, nil)
+		m.createBandwidthGauge(name)
+	}
+	for _, g := range m.App.Groups() {
+		lg := gauges.NewLoadGauge(m.K, m.ProbeBus, m.ReportBus, m.App.QueueHost, g, m.Cfg.GaugePeriod)
+		lg.Smooth = m.Cfg.LoadSmoothing
+		_ = m.GaugeMgr.Create(lg, nil)
+	}
+
+	// Gauge consumer: reports update the model.
+	m.ReportBus.Subscribe(m.Host, bus.TopicIs(gauges.TopicReport), m.consumeReport)
+
+	// Control loop.
+	m.stopCheck = m.K.Ticker(m.K.Now()+m.Cfg.CheckPeriod, m.Cfg.CheckPeriod, func(now sim.Time) {
+		m.check(now)
+	})
+}
+
+// Stop halts the control loop and probes.
+func (m *Manager) Stop() {
+	if m.stopCheck != nil {
+		m.stopCheck()
+	}
+	if m.queueProbe != nil {
+		m.queueProbe.Stop()
+	}
+}
+
+func (m *Manager) createBandwidthGauge(client string) {
+	cli := m.App.Client(client)
+	bg := gauges.NewBandwidthGauge(m.K, m.ReportBus, m.Rm, cli.Host, client, cli.Host,
+		func() (netsim.NodeID, bool) { return m.groupServerHost(cli.Group) },
+		m.Cfg.GaugePeriod)
+	_ = m.GaugeMgr.Create(bg, nil)
+}
+
+// consumeReport applies one gauge report to the model (Figure 4's
+// "gauge consumers ... update an abstraction/model").
+func (m *Manager) consumeReport(msg bus.Message) {
+	m.reports++
+	target := msg.Str("target")
+	prop := msg.Str("prop")
+	value := msg.Num("value")
+	switch msg.Str("kind") {
+	case "client":
+		if c := m.Model.Component(target); c != nil {
+			c.Props().Set(prop, value)
+		}
+	case "group":
+		if g := m.Model.Component(target); g != nil {
+			g.Props().Set(prop, value)
+		}
+	case "clientRole":
+		cli := m.Model.Component(target)
+		if cli == nil {
+			return
+		}
+		_, _, role, err := operators.GroupOf(m.Model, cli)
+		if err != nil {
+			return
+		}
+		role.Props().Set(prop, value)
+	}
+}
+
+// check is one control-loop tick: evaluate all invariants, pick violations,
+// drive the engine, then run the repair's gauge churn.
+func (m *Manager) check(now float64) {
+	m.checks++
+	if m.busy {
+		return // a repair (including its gauge churn) is still in progress
+	}
+	vs := m.Registry.CheckAll(m.Model)
+	m.violationsN += uint64(len(vs))
+	if len(vs) == 0 || m.Cfg.DisableRepairs {
+		return
+	}
+	if m.Cfg.SmartSelection {
+		sort.SliceStable(vs, func(i, j int) bool { return severity(vs[i]) > severity(vs[j]) })
+	}
+	recs := m.Engine.HandleAll(vs, now)
+	for _, rec := range recs {
+		if rec.Err != nil || len(rec.Ops) == 0 {
+			continue
+		}
+		m.busy = true
+		span := RepairSpan{
+			Start:    now,
+			Strategy: rec.Strategy,
+			Subject:  rec.Subject,
+			Tactics:  rec.Applied,
+			Ops:      rec.Ops,
+		}
+		rec := rec
+		m.churnGauges(rec.Ops, func() {
+			span.End = m.K.Now()
+			rec.Duration = span.Duration()
+			m.spans = append(m.spans, span)
+			m.busy = false
+		})
+		break
+	}
+}
+
+// severity orders violations for SmartSelection: worst latency overrun
+// first, then worst load, then worst bandwidth deficit.
+func severity(v constraint.Violation) float64 {
+	if v.Subject == nil {
+		return 0
+	}
+	switch v.Invariant.Name {
+	case operators.InvLatency:
+		return 1e6 + v.Subject.Props().FloatOr(operators.PropAvgLatency, 0)
+	case operators.InvLoad:
+		return 1e3 + v.Subject.Props().FloatOr(operators.PropLoad, 0)
+	default:
+		return -v.Subject.Props().FloatOr(operators.PropBandwidth, 0)
+	}
+}
+
+// churnGauges performs the post-repair gauge maintenance: the gauges
+// observing the elements a repair touched must be torn down and recreated
+// (or re-targeted, with caching). This is the cost that made the paper's
+// repairs average 30 seconds. done fires when all affected gauges are live
+// again.
+func (m *Manager) churnGauges(ops []repair.Op, done func()) {
+	type churnItem struct {
+		old string
+		mk  func() gauges.Gauge
+	}
+	var items []churnItem
+	seen := map[string]bool{}
+	add := func(old string, mk func() gauges.Gauge) {
+		if seen[old] {
+			return
+		}
+		seen[old] = true
+		items = append(items, churnItem{old: old, mk: mk})
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case repair.OpMoveClient:
+			client := op.Client
+			cli := m.App.Client(client)
+			if cli == nil {
+				continue
+			}
+			add("latency:"+client, func() gauges.Gauge {
+				return gauges.NewLatencyGauge(m.K, m.ProbeBus, m.ReportBus, cli.Host, client,
+					m.Cfg.LatencyWindow, m.Cfg.GaugePeriod)
+			})
+			add("bandwidth:"+client, func() gauges.Gauge {
+				return gauges.NewBandwidthGauge(m.K, m.ReportBus, m.Rm, cli.Host, client, cli.Host,
+					func() (netsim.NodeID, bool) { return m.groupServerHost(cli.Group) },
+					m.Cfg.GaugePeriod)
+			})
+		case repair.OpAddServer, repair.OpRemoveServer:
+			group := op.Group
+			add("load:"+group, func() gauges.Gauge {
+				lg := gauges.NewLoadGauge(m.K, m.ProbeBus, m.ReportBus, m.App.QueueHost, group, m.Cfg.GaugePeriod)
+				lg.Smooth = m.Cfg.LoadSmoothing
+				return lg
+			})
+		}
+	}
+	if len(items) == 0 {
+		m.K.After(0, done)
+		return
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(items) {
+			done()
+			return
+		}
+		it := items[i]
+		if err := m.GaugeMgr.Recreate(it.old, it.mk(), func() { step(i + 1) }); err != nil {
+			// Gauge missing (already churned): skip.
+			step(i + 1)
+		}
+	}
+	step(0)
+}
+
+// String summarizes manager state for logs.
+func (m *Manager) String() string {
+	return fmt.Sprintf("core.Manager{checks=%d reports=%d repairs=%d alerts=%d}",
+		m.checks, m.reports, len(m.spans), len(m.alerts))
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"testing"
+
+	"archadapt/internal/sim"
+	"archadapt/internal/workload"
+)
+
+// Failure injection: monitoring messages are dropped on the wire. The
+// framework must degrade gracefully — slower detection, but no crashes and
+// still a decisive win over the control run.
+func TestLossyMonitoringStillAdapts(t *testing.T) {
+	tb := NewTestbed(1)
+	cfg := Options{Adaptive: true, Seed: 1}.Cfg
+	mgr := tb.Manage(cfg)
+	// 20% loss on both monitoring buses (probe observations and gauge
+	// reports); the application's own traffic is unaffected.
+	mgr.ProbeBus.SetDrop(0.2, sim.NewRand(99))
+	mgr.ReportBus.SetDrop(0.2, sim.NewRand(98))
+	mgr.Deploy()
+	rng := sim.NewRand(uint64(1) ^ 0x9e3779b97f4a7c15)
+	schedule(tb, rng)
+	tb.K.Run(900)
+	if len(mgr.Spans()) == 0 {
+		t.Fatal("no repairs at 20% monitoring loss")
+	}
+	// The starved clients still end up on SG2.
+	moved := 0
+	for _, c := range []string{"C3", "C4"} {
+		if tb.App.Client(c).Group == SG2 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("no client moved despite repairs: %+v", mgr.Spans())
+	}
+}
+
+// Heavy loss: the system must survive (no panics, no wedged manager) even
+// when most monitoring traffic disappears.
+func TestSevereMonitoringLossSurvives(t *testing.T) {
+	tb := NewTestbed(1)
+	cfg := Options{Adaptive: true, Seed: 1}.Cfg
+	mgr := tb.Manage(cfg)
+	mgr.ProbeBus.SetDrop(0.9, sim.NewRand(7))
+	mgr.ReportBus.SetDrop(0.9, sim.NewRand(8))
+	mgr.Deploy()
+	rng := sim.NewRand(uint64(1) ^ 0x9e3779b97f4a7c15)
+	schedule(tb, rng)
+	tb.K.Run(900)
+	if mgr.Checks() == 0 {
+		t.Fatal("control loop stalled")
+	}
+	// No assertion on repairs: with 90% loss the framework may legitimately
+	// never assemble a fresh-enough model. The test is that nothing breaks.
+}
+
+func schedule(tb *Testbed, rng *sim.Rand) {
+	workload.Paper(tb.Net, tb.App, tb.Links, rng).Install(tb.K)
+}

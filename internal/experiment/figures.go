@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"archadapt/internal/metrics"
+)
+
+// Figure identifies one of the paper's evaluation figures.
+type Figure int
+
+// The paper's figures (§5).
+const (
+	Figure7  Figure = 7  // workload stepping functions
+	Figure8  Figure = 8  // control: average latency
+	Figure9  Figure = 9  // control: server load (queue length)
+	Figure10 Figure = 10 // control: available bandwidth
+	Figure11 Figure = 11 // adaptive: average latency
+	Figure12 Figure = 12 // adaptive: available bandwidth
+	Figure13 Figure = 13 // adaptive: server load
+)
+
+// Title returns the paper's caption for a figure.
+func (f Figure) Title() string {
+	switch f {
+	case Figure7:
+		return "Figure 7. Bandwidth and Server Load Generation"
+	case Figure8:
+		return "Figure 8. Average Latency for Control"
+	case Figure9:
+		return "Figure 9. Server Load for Control"
+	case Figure10:
+		return "Figure 10. Available Bandwidth in Control"
+	case Figure11:
+		return "Figure 11. Average Latency under Repair"
+	case Figure12:
+		return "Figure 12. Available Bandwidth under Repair"
+	case Figure13:
+		return "Figure 13. Server Load under Repair"
+	}
+	return fmt.Sprintf("Figure %d", int(f))
+}
+
+// Adaptive reports whether the figure comes from the adaptive run.
+func (f Figure) Adaptive() bool { return f >= Figure11 }
+
+// SeriesFor extracts the series a figure plots from a run's results.
+func SeriesFor(f Figure, r *Results) []*metrics.Series {
+	var out []*metrics.Series
+	switch f {
+	case Figure8, Figure11:
+		for _, c := range r.Clients {
+			out = append(out, r.Latency[c])
+		}
+	case Figure9, Figure13:
+		for _, g := range r.Groups {
+			out = append(out, r.Queue[g])
+		}
+	case Figure10, Figure12:
+		for _, c := range r.Clients {
+			out = append(out, r.Bandwidth[c])
+		}
+	}
+	return out
+}
+
+// RenderFigure produces the textual form of a figure: an ASCII plot with the
+// paper's log axes plus the repair interval bars of Figures 11–13.
+func RenderFigure(f Figure, r *Results) string {
+	var b strings.Builder
+	series := SeriesFor(f, r)
+	switch f {
+	case Figure8, Figure11:
+		b.WriteString(metrics.ASCIIPlot(f.Title(), series, 76, 14, true, 0.1, 1000))
+	case Figure9, Figure13:
+		b.WriteString(metrics.ASCIIPlot(f.Title(), series, 76, 14, true, 0.1, 10000))
+	case Figure10, Figure12:
+		b.WriteString(metrics.ASCIIPlot(f.Title(), series, 76, 14, true, 0.0001, 10))
+	case Figure7:
+		return renderFigure7()
+	}
+	if f.Adaptive() && len(r.Spans) > 0 {
+		b.WriteString("repair intervals:\n")
+		for _, sp := range r.Spans {
+			var ops []string
+			for _, op := range sp.Ops {
+				ops = append(ops, op.String())
+			}
+			fmt.Fprintf(&b, "  [%6.0f .. %6.0f] %-12s %s (%s)\n",
+				sp.Start, sp.End, sp.Subject, strings.Join(sp.Tactics, "+"), strings.Join(ops, ", "))
+		}
+	}
+	return b.String()
+}
+
+// renderFigure7 prints the workload schedule as the paper's stepping
+// functions.
+func renderFigure7() string {
+	return `Figure 7. Bandwidth and Server Load Generation
+  t in [   0, 120): quiescent warm-up; all paths idle; baseline traffic
+  t in [ 120, 600): avail BW C3,C4<->SG1 = 5 Kbps (crushed); C3,C4<->SG2 = 5 Mbps
+  t in [ 600,1200): all clients 20KB @ 2/s; C3,C4<->SG1 = 2 Mbps; C3,C4<->SG2 = 3 Mbps
+  t in [1200,1800): baseline traffic; C3,C4<->SG2 = 9 Mbps; C3,C4<->SG1 = 3 Mbps
+  baseline traffic: ~8KB replies (lognormal), 1 req/s per client, 0.5KB requests
+`
+}
+
+// CSVFor renders a figure's series as CSV blocks.
+func CSVFor(f Figure, r *Results) string {
+	var b strings.Builder
+	for _, s := range SeriesFor(f, r) {
+		b.WriteString(s.CSV())
+	}
+	return b.String()
+}
+
+// CompareRuns renders the control-vs-adaptive comparison table the
+// discussion in §5.2/§5.3 makes qualitatively.
+func CompareRuns(control, adaptive *Results) string {
+	cs, as := control.Summarize(), adaptive.Summarize()
+	var b strings.Builder
+	b.WriteString("metric                                control      adaptive\n")
+	fmt.Fprintf(&b, "first latency violation (s)       %9.0f    %9.0f\n", cs.FirstViolationAt, as.FirstViolationAt)
+	fmt.Fprintf(&b, "samples above 2 s (%%)             %9.1f    %9.1f\n", 100*cs.FracAbove2s, 100*as.FracAbove2s)
+	fmt.Fprintf(&b, "final 10 min above 2 s (%%)        %9.1f    %9.1f\n", 100*cs.FinalPhaseFracAbove2s, 100*as.FinalPhaseFracAbove2s)
+	fmt.Fprintf(&b, "max queue length                  %9.0f    %9.0f\n", cs.MaxQueue, as.MaxQueue)
+	fmt.Fprintf(&b, "min available bandwidth (Mbps)    %9.4f    %9.4f\n", cs.MinBandwidthMbps, as.MinBandwidthMbps)
+	fmt.Fprintf(&b, "repairs / moves / alerts          %4d/%2d/%3d   %4d/%2d/%3d\n",
+		cs.Repairs, cs.Moves, cs.Alerts, as.Repairs, as.Moves, as.Alerts)
+	fmt.Fprintf(&b, "mean repair duration (s)          %9.1f    %9.1f\n", cs.MeanRepairSeconds, as.MeanRepairSeconds)
+	var acts []string
+	for srv, at := range as.ServerActivations {
+		acts = append(acts, fmt.Sprintf("%s@%.0fs", srv, at))
+	}
+	sort.Strings(acts)
+	fmt.Fprintf(&b, "spares activated (adaptive)       %s\n", strings.Join(acts, ", "))
+	return b.String()
+}

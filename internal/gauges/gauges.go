@@ -1,0 +1,304 @@
+// Package gauges implements the middle level of the Figure 4 monitoring
+// stack: gauges consume probe observations, interpret them as architectural
+// properties, and disseminate reports on the gauge reporting bus.
+//
+// Three gauge types cover the paper's example: AverageLatency (per client),
+// Load (queue length per server group) and Bandwidth (per client↔group
+// connection, via the Remos substitute).
+//
+// The gauge *protocol* — creation, communication, deletion — is modeled with
+// explicit per-message costs, because the paper measured that repair time
+// ("averages 30 seconds") was dominated by "communicating to create and
+// delete gauges", and proposed caching/relocating gauges as the fix. Manager
+// implements both the destroy/recreate protocol and the caching extension.
+package gauges
+
+import (
+	"archadapt/internal/bus"
+	"archadapt/internal/netsim"
+	"archadapt/internal/probes"
+	"archadapt/internal/remos"
+	"archadapt/internal/sim"
+)
+
+// TopicReport is the gauge-reporting-bus topic. Fields: gauge (string),
+// target (string: client or group name), kind ("client" | "group" |
+// "clientRole"), prop (string) and value (float64).
+const TopicReport = "gauge.report"
+
+// Gauge is a deployed gauge instance.
+type Gauge interface {
+	// Name identifies the gauge (unique per manager).
+	Name() string
+	// Host is where the gauge executes.
+	Host() netsim.NodeID
+	// start/stop bracket the measurement activity; called by the Manager
+	// once the lifecycle protocol completes.
+	start()
+	stop()
+}
+
+// report publishes one gauge report.
+func report(b *bus.Bus, src netsim.NodeID, gauge, target, kind, prop string, value float64) {
+	b.Publish(bus.Message{
+		Topic: TopicReport,
+		Src:   src,
+		Fields: map[string]any{
+			"gauge":  gauge,
+			"target": target,
+			"kind":   kind,
+			"prop":   prop,
+			"value":  value,
+		},
+	})
+}
+
+// --- AverageLatency gauge ---
+
+// LatencyGauge maintains a sliding-window average of one client's
+// request-response latency and reports it periodically as the
+// averageLatency property.
+type LatencyGauge struct {
+	name   string
+	host   netsim.NodeID
+	client string
+
+	K      *sim.Kernel
+	Probe  *bus.Bus // probe bus (input)
+	Report *bus.Bus // gauge reporting bus (output)
+
+	// Window is the sliding-window width in seconds; Period the reporting
+	// interval.
+	Window float64
+	Period float64
+
+	sub      *bus.Subscription
+	stopTick func()
+	samples  []latSample
+}
+
+type latSample struct {
+	t   sim.Time
+	lat float64
+}
+
+// NewLatencyGauge creates (but does not start) a latency gauge for client,
+// running on host (typically the client's machine).
+func NewLatencyGauge(k *sim.Kernel, probeBus, reportBus *bus.Bus, host netsim.NodeID, client string, window, period float64) *LatencyGauge {
+	return &LatencyGauge{
+		name: "latency:" + client, host: host, client: client,
+		K: k, Probe: probeBus, Report: reportBus,
+		Window: window, Period: period,
+	}
+}
+
+// Name implements Gauge.
+func (g *LatencyGauge) Name() string { return g.name }
+
+// Host implements Gauge.
+func (g *LatencyGauge) Host() netsim.NodeID { return g.host }
+
+// Average returns the current windowed average (0 when no samples).
+func (g *LatencyGauge) Average() float64 {
+	if len(g.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range g.samples {
+		sum += s.lat
+	}
+	return sum / float64(len(g.samples))
+}
+
+func (g *LatencyGauge) start() {
+	g.sub = g.Probe.Subscribe(g.host,
+		bus.TopicAndField(probes.TopicResponse, "client", g.client),
+		func(m bus.Message) {
+			g.samples = append(g.samples, latSample{t: g.K.Now(), lat: m.Num("latency")})
+		})
+	g.stopTick = g.K.Ticker(g.K.Now()+g.Period, g.Period, func(now sim.Time) {
+		cutoff := now - g.Window
+		kept := g.samples[:0]
+		for _, s := range g.samples {
+			if s.t >= cutoff {
+				kept = append(kept, s)
+			}
+		}
+		g.samples = kept
+		if len(g.samples) == 0 {
+			return
+		}
+		report(g.Report, g.host, g.name, g.client, "client", "averageLatency", g.Average())
+	})
+}
+
+func (g *LatencyGauge) stop() {
+	if g.sub != nil {
+		g.Probe.Unsubscribe(g.sub)
+		g.sub = nil
+	}
+	if g.stopTick != nil {
+		g.stopTick()
+		g.stopTick = nil
+	}
+	g.samples = nil
+}
+
+// Reset clears the window (used when a gauge is re-targeted under caching).
+func (g *LatencyGauge) Reset() { g.samples = g.samples[:0] }
+
+// --- Load gauge ---
+
+// LoadGauge tracks one server group's queue length from probe samples and
+// reports it as the load property.
+type LoadGauge struct {
+	name  string
+	host  netsim.NodeID
+	group string
+
+	K      *sim.Kernel
+	Probe  *bus.Bus
+	Report *bus.Bus
+	Period float64
+	// Smooth is the EWMA coefficient in (0,1]; 1 reports raw samples.
+	Smooth float64
+
+	sub      *bus.Subscription
+	stopTick func()
+	value    float64
+	seen     bool
+}
+
+// NewLoadGauge creates a load gauge for a group, running on host (the queue
+// machine).
+func NewLoadGauge(k *sim.Kernel, probeBus, reportBus *bus.Bus, host netsim.NodeID, group string, period float64) *LoadGauge {
+	return &LoadGauge{
+		name: "load:" + group, host: host, group: group,
+		K: k, Probe: probeBus, Report: reportBus, Period: period, Smooth: 1.0,
+	}
+}
+
+// Name implements Gauge.
+func (g *LoadGauge) Name() string { return g.name }
+
+// Host implements Gauge.
+func (g *LoadGauge) Host() netsim.NodeID { return g.host }
+
+// Value returns the current (smoothed) load.
+func (g *LoadGauge) Value() float64 { return g.value }
+
+func (g *LoadGauge) start() {
+	g.sub = g.Probe.Subscribe(g.host,
+		bus.TopicAndField(probes.TopicQueue, "group", g.group),
+		func(m bus.Message) {
+			v := m.Num("len")
+			if !g.seen || g.Smooth >= 1 {
+				g.value = v
+				g.seen = true
+				return
+			}
+			g.value = g.Smooth*v + (1-g.Smooth)*g.value
+		})
+	g.stopTick = g.K.Ticker(g.K.Now()+g.Period, g.Period, func(sim.Time) {
+		if !g.seen {
+			return
+		}
+		report(g.Report, g.host, g.name, g.group, "group", "load", g.value)
+	})
+}
+
+func (g *LoadGauge) stop() {
+	if g.sub != nil {
+		g.Probe.Unsubscribe(g.sub)
+		g.sub = nil
+	}
+	if g.stopTick != nil {
+		g.stopTick()
+		g.stopTick = nil
+	}
+}
+
+// --- Bandwidth gauge ---
+
+// BandwidthGauge periodically queries Remos for the available bandwidth
+// between a client and its server group and reports it as the client role's
+// bandwidth property. Re-targeting after a move repair goes through the
+// Manager (destroy/recreate, or Retarget under caching).
+type BandwidthGauge struct {
+	name   string
+	host   netsim.NodeID
+	client string
+
+	K      *sim.Kernel
+	Report *bus.Bus
+	Rm     *remos.Service
+	Period float64
+
+	// ServerHost yields the measurement endpoint for the client's current
+	// group (the first active server's machine).
+	ServerHost func() (netsim.NodeID, bool)
+	ClientHost netsim.NodeID
+
+	stopTick func()
+	inFlight bool
+	sentAt   sim.Time
+	last     float64
+	seen     bool
+}
+
+// NewBandwidthGauge creates a bandwidth gauge for client, running on host.
+func NewBandwidthGauge(k *sim.Kernel, reportBus *bus.Bus, rm *remos.Service, host netsim.NodeID, client string, clientHost netsim.NodeID, serverHost func() (netsim.NodeID, bool), period float64) *BandwidthGauge {
+	return &BandwidthGauge{
+		name: "bandwidth:" + client, host: host, client: client,
+		K: k, Report: reportBus, Rm: rm, Period: period,
+		ServerHost: serverHost, ClientHost: clientHost,
+	}
+}
+
+// Name implements Gauge.
+func (g *BandwidthGauge) Name() string { return g.name }
+
+// Host implements Gauge.
+func (g *BandwidthGauge) Host() netsim.NodeID { return g.host }
+
+// Last returns the last reported value.
+func (g *BandwidthGauge) Last() (float64, bool) { return g.last, g.seen }
+
+func (g *BandwidthGauge) start() {
+	g.stopTick = g.K.Ticker(g.K.Now()+g.Period, g.Period, func(now sim.Time) {
+		if g.inFlight {
+			// A lost query or reply must not wedge the gauge: give a cold
+			// collection ample time, then retry.
+			if now-g.sentAt < g.Rm.ColdDelay+4*g.Period {
+				return
+			}
+			g.inFlight = false
+		}
+		sh, ok := g.ServerHost()
+		if !ok {
+			return
+		}
+		g.inFlight = true
+		g.sentAt = now
+		sent := now
+		g.Rm.GetFlow(g.host, sh, g.ClientHost, func(bw float64) {
+			if g.sentAt != sent {
+				return // a retry superseded this query
+			}
+			g.inFlight = false
+			g.last, g.seen = bw, true
+			report(g.Report, g.host, g.name, g.client, "clientRole", "bandwidth", bw)
+		})
+	})
+}
+
+func (g *BandwidthGauge) stop() {
+	if g.stopTick != nil {
+		g.stopTick()
+		g.stopTick = nil
+	}
+}
+
+var _ Gauge = (*LatencyGauge)(nil)
+var _ Gauge = (*LoadGauge)(nil)
+var _ Gauge = (*BandwidthGauge)(nil)

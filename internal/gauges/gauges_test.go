@@ -1,0 +1,275 @@
+package gauges
+
+import (
+	"math"
+	"testing"
+
+	"archadapt/internal/bus"
+	"archadapt/internal/netsim"
+	"archadapt/internal/probes"
+	"archadapt/internal/remos"
+	"archadapt/internal/sim"
+)
+
+type rig struct {
+	k       *sim.Kernel
+	net     *netsim.Network
+	probe   *bus.Bus
+	report  *bus.Bus
+	mgr     *Manager
+	gHost   netsim.NodeID
+	mHost   netsim.NodeID
+	rm      *remos.Service
+	reports []bus.Message
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	gHost := net.AddHost("gauge")
+	r := net.AddRouter("r")
+	mHost := net.AddHost("mgr")
+	net.Connect(gHost, r, 10e6, 1e-3)
+	net.Connect(mHost, r, 10e6, 1e-3)
+	rg := &rig{
+		k: k, net: net,
+		probe:  bus.New(k, net),
+		report: bus.New(k, net),
+		mgr:    NewManager(k, net, mHost),
+		gHost:  gHost, mHost: mHost,
+		rm: remos.New(k, net, mHost),
+	}
+	rg.report.Subscribe(mHost, bus.TopicIs(TopicReport), func(m bus.Message) {
+		rg.reports = append(rg.reports, m)
+	})
+	return rg
+}
+
+func (r *rig) pubResponse(client string, latency float64) {
+	r.probe.Publish(bus.Message{
+		Topic: probes.TopicResponse,
+		Src:   r.gHost,
+		Fields: map[string]any{
+			"client": client, "latency": latency, "group": "G",
+		},
+	})
+}
+
+func TestLatencyGaugeWindowedAverage(t *testing.T) {
+	r := newRig(t)
+	g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+	if err := r.mgr.Create(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Deployment handshake first; then samples at t=30.
+	r.k.At(30, func() { r.pubResponse("C1", 1.0) })
+	r.k.At(31, func() { r.pubResponse("C1", 3.0) })
+	r.k.At(31, func() { r.pubResponse("C2", 100.0) }) // other client: filtered out
+	r.k.Run(40)
+	if len(r.reports) == 0 {
+		t.Fatal("no gauge reports")
+	}
+	last := r.reports[len(r.reports)-1]
+	if last.Str("target") != "C1" || last.Str("prop") != "averageLatency" || last.Str("kind") != "client" {
+		t.Fatalf("report fields %+v", last.Fields)
+	}
+	if v := last.Num("value"); math.Abs(v-2.0) > 1e-9 {
+		t.Fatalf("avg=%v, want 2.0", v)
+	}
+	// Old samples age out of the window.
+	r.k.Run(60)
+	n := len(r.reports)
+	r.k.Run(70)
+	if len(r.reports) != n {
+		t.Fatal("gauge should stop reporting once the window empties")
+	}
+}
+
+func TestLoadGaugeSmoothing(t *testing.T) {
+	r := newRig(t)
+	g := NewLoadGauge(r.k, r.probe, r.report, r.gHost, "G", 5)
+	g.Smooth = 0.5
+	if err := r.mgr.Create(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	pub := func(at, v float64) {
+		r.k.At(at, func() {
+			r.probe.Publish(bus.Message{
+				Topic: probes.TopicQueue, Src: r.gHost,
+				Fields: map[string]any{"group": "G", "len": v},
+			})
+		})
+	}
+	pub(30, 10)
+	pub(31, 0)
+	r.k.Run(40)
+	// EWMA: first sample initializes to 10, then 0.5*0 + 0.5*10 = 5.
+	if v := g.Value(); math.Abs(v-5.0) > 1e-9 {
+		t.Fatalf("smoothed=%v, want 5", v)
+	}
+}
+
+func TestBandwidthGaugeQueriesRemos(t *testing.T) {
+	r := newRig(t)
+	r.rm.Prequery(r.mHost, r.gHost)
+	r.k.RunAll(0) // advances the clock past the 90 s collection
+	g := NewBandwidthGauge(r.k, r.report, r.rm, r.gHost, "C1", r.gHost,
+		func() (netsim.NodeID, bool) { return r.mHost, true }, 5)
+	if err := r.mgr.Create(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(r.k.Now() + 60)
+	if len(r.reports) == 0 {
+		t.Fatal("no bandwidth reports")
+	}
+	last := r.reports[len(r.reports)-1]
+	if last.Str("kind") != "clientRole" || last.Str("prop") != "bandwidth" {
+		t.Fatalf("fields %+v", last.Fields)
+	}
+	if v := last.Num("value"); math.Abs(v-10e6) > 1 {
+		t.Fatalf("bw=%v", v)
+	}
+	if v, ok := g.Last(); !ok || v != last.Num("value") {
+		t.Fatal("Last() mismatch")
+	}
+}
+
+func TestBandwidthGaugeSkipsWhenNoServer(t *testing.T) {
+	r := newRig(t)
+	g := NewBandwidthGauge(r.k, r.report, r.rm, r.gHost, "C1", r.gHost,
+		func() (netsim.NodeID, bool) { return 0, false }, 5)
+	_ = r.mgr.Create(g, nil)
+	r.k.Run(60)
+	if len(r.reports) != 0 {
+		t.Fatal("gauge reported with no measurement endpoint")
+	}
+}
+
+func TestCreationHandshakeCost(t *testing.T) {
+	r := newRig(t)
+	g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+	live := -1.0
+	if err := r.mgr.Create(g, func() { live = r.k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(120)
+	// 4 round trips with 2.5 s protocol delay each: at least 10 s.
+	if live < 10 {
+		t.Fatalf("gauge live at %v, want >= 10 s of protocol cost", live)
+	}
+	if live > 30 {
+		t.Fatalf("gauge deployment too slow on idle network: %v", live)
+	}
+	if c, _, _ := r.mgr.Counts(); c != 1 {
+		t.Fatal("create count")
+	}
+	if r.mgr.ProtocolTime() <= 0 {
+		t.Fatal("protocol time not accounted")
+	}
+}
+
+func TestDuplicateCreateRejected(t *testing.T) {
+	r := newRig(t)
+	g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+	_ = r.mgr.Create(g, nil)
+	g2 := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+	if err := r.mgr.Create(g2, nil); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+}
+
+func TestDeleteStopsReporting(t *testing.T) {
+	r := newRig(t)
+	g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 60, 5)
+	_ = r.mgr.Create(g, nil)
+	r.k.At(30, func() { r.pubResponse("C1", 1.0) })
+	r.k.Run(45)
+	n := len(r.reports)
+	if n == 0 {
+		t.Fatal("no reports before delete")
+	}
+	done := false
+	if err := r.mgr.Delete(g.Name(), func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(200)
+	if !done {
+		t.Fatal("delete handshake never completed")
+	}
+	if len(r.reports) != n {
+		t.Fatalf("gauge reported after delete: %d -> %d", n, len(r.reports))
+	}
+	if r.mgr.Deployed() != 0 {
+		t.Fatal("gauge still deployed")
+	}
+	if err := r.mgr.Delete(g.Name(), nil); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestRecreateVsCachedCost(t *testing.T) {
+	measure := func(caching bool) float64 {
+		r := newRig(t)
+		r.mgr.Caching = caching
+		g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+		_ = r.mgr.Create(g, nil)
+		r.k.Run(60)
+		start := r.k.Now()
+		doneAt := -1.0
+		repl := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1x", 20, 5)
+		if err := r.mgr.Recreate(g.Name(), repl, func() { doneAt = r.k.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		r.k.Run(600)
+		if doneAt < 0 {
+			t.Fatal("recreate never completed")
+		}
+		if r.mgr.Gauge("C1x") == nil && r.mgr.Gauge(repl.Name()) == nil {
+			t.Fatal("replacement not deployed")
+		}
+		return doneAt - start
+	}
+	slow := measure(false)
+	fast := measure(true)
+	// Paper §5.3: caching should improve repair speed "dramatically".
+	if fast >= slow/3 {
+		t.Fatalf("cached churn %v not dramatically faster than recreate %v", fast, slow)
+	}
+}
+
+func TestRecreateUnknownGauge(t *testing.T) {
+	r := newRig(t)
+	g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+	if err := r.mgr.Recreate("nope", g, nil); err == nil {
+		t.Fatal("recreate of unknown gauge should fail")
+	}
+}
+
+func TestChurnUnderCongestionIsSlower(t *testing.T) {
+	// The gauge protocol rides the shared network: churn during congestion
+	// takes longer — the §5.3 monitoring-lag pathology at repair time.
+	measure := func(congest bool) float64 {
+		r := newRig(t)
+		if congest {
+			id, ok := r.net.LinkBetween(r.gHost, r.net.MustLookup("r"))
+			if !ok {
+				t.Fatal("no link")
+			}
+			r.net.SetBackgroundBoth(id, 10e6)
+		}
+		g := NewLatencyGauge(r.k, r.probe, r.report, r.gHost, "C1", 20, 5)
+		done := -1.0
+		_ = r.mgr.Create(g, func() { done = r.k.Now() })
+		r.k.Run(3000)
+		if done < 0 {
+			t.Fatal("create never completed")
+		}
+		return done
+	}
+	idle := measure(false)
+	congested := measure(true)
+	if congested < idle*1.2 {
+		t.Fatalf("congested churn %v should exceed idle %v", congested, idle)
+	}
+}

@@ -1,0 +1,188 @@
+package gauges
+
+import (
+	"fmt"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// Manager owns gauge lifecycles and implements the gauge protocol the paper
+// defines "for gauge creation, communication, and deletion".
+//
+// Creating a gauge costs CreateMsgs sequential control-message round trips
+// between the manager host and the gauge host, each padded by ProtocolDelay
+// (deployment, class loading, subscription setup — the costs that made the
+// paper's repairs average 30 seconds). Deletion costs DeleteMsgs round
+// trips. With Caching enabled, a re-target after a repair is a single
+// reconfiguration round trip instead of delete+create — the paper's §5.3
+// proposal ("caching gauges or relocating them ... should see our repair
+// speed improve dramatically").
+type Manager struct {
+	K    *sim.Kernel
+	Net  *netsim.Network
+	Host netsim.NodeID
+
+	CreateMsgs    int
+	DeleteMsgs    int
+	MsgBits       float64
+	ProtocolDelay float64
+	// RetryTimeout bounds each handshake leg: a lost message is
+	// retransmitted after this long, so gauge deployment survives lossy
+	// monitoring networks.
+	RetryTimeout float64
+	Priority     netsim.Priority
+	Caching      bool
+
+	gauges map[string]Gauge
+
+	creates, deletes, retargets uint64
+	protocolBusy                float64 // cumulative protocol time
+}
+
+// NewManager creates a gauge manager anchored at host.
+func NewManager(k *sim.Kernel, net *netsim.Network, host netsim.NodeID) *Manager {
+	return &Manager{
+		K: k, Net: net, Host: host,
+		CreateMsgs: 4, DeleteMsgs: 2,
+		MsgBits:       8192,
+		ProtocolDelay: 2.5,
+		RetryTimeout:  15,
+		gauges:        map[string]Gauge{},
+	}
+}
+
+// Counts returns lifecycle statistics (creates, deletes, retargets).
+func (m *Manager) Counts() (creates, deletes, retargets uint64) {
+	return m.creates, m.deletes, m.retargets
+}
+
+// ProtocolTime returns cumulative time spent in lifecycle protocol
+// exchanges.
+func (m *Manager) ProtocolTime() float64 { return m.protocolBusy }
+
+// Gauge returns a deployed gauge by name.
+func (m *Manager) Gauge(name string) Gauge { return m.gauges[name] }
+
+// Deployed returns the number of live gauges.
+func (m *Manager) Deployed() int { return len(m.gauges) }
+
+// sendReliable delivers one protocol message with retransmission: if the
+// network drops it (lossy monitoring plane), it is resent after
+// RetryTimeout until it lands.
+func (m *Manager) sendReliable(from, to netsim.NodeID, cb func()) {
+	delivered := false
+	var attempt func()
+	attempt = func() {
+		if delivered {
+			return
+		}
+		m.Net.SendMessage(from, to, m.MsgBits, m.Priority, func() {
+			if !delivered {
+				delivered = true
+				cb()
+			}
+		})
+		if m.RetryTimeout > 0 {
+			m.K.After(m.RetryTimeout, func() {
+				if !delivered {
+					attempt()
+				}
+			})
+		}
+	}
+	attempt()
+}
+
+// handshake runs n sequential round trips to host and calls done.
+func (m *Manager) handshake(host netsim.NodeID, n int, done func()) {
+	if n <= 0 {
+		m.K.After(0, done)
+		return
+	}
+	start := m.K.Now()
+	var step func(remaining int)
+	step = func(remaining int) {
+		if remaining == 0 {
+			m.protocolBusy += m.K.Now() - start
+			done()
+			return
+		}
+		// Request leg, then protocol work, then ack leg.
+		m.sendReliable(m.Host, host, func() {
+			m.K.After(m.ProtocolDelay, func() {
+				m.sendReliable(host, m.Host, func() {
+					step(remaining - 1)
+				})
+			})
+		})
+	}
+	step(n)
+}
+
+// Create deploys a gauge: after the creation handshake completes the gauge
+// starts measuring and reporting. done (optional) fires when the gauge is
+// live.
+func (m *Manager) Create(g Gauge, done func()) error {
+	if _, dup := m.gauges[g.Name()]; dup {
+		return fmt.Errorf("gauges: %s already deployed", g.Name())
+	}
+	m.creates++
+	m.gauges[g.Name()] = g
+	m.handshake(g.Host(), m.CreateMsgs, func() {
+		if m.gauges[g.Name()] == g { // not deleted meanwhile
+			g.start()
+		}
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// Delete tears a gauge down; done fires when the teardown handshake
+// completes.
+func (m *Manager) Delete(name string, done func()) error {
+	g, ok := m.gauges[name]
+	if !ok {
+		return fmt.Errorf("gauges: no gauge %s", name)
+	}
+	m.deletes++
+	delete(m.gauges, name)
+	g.stop()
+	m.handshake(g.Host(), m.DeleteMsgs, func() {
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// Recreate implements the repair-time gauge churn for one gauge: without
+// caching it is Delete followed by Create of the replacement; with caching
+// it is a single reconfiguration round trip (the replacement gauge reuses
+// the deployed instance's slot). done fires when the gauge is live again.
+func (m *Manager) Recreate(old string, replacement Gauge, done func()) error {
+	g, ok := m.gauges[old]
+	if !ok {
+		return fmt.Errorf("gauges: no gauge %s", old)
+	}
+	if m.Caching {
+		m.retargets++
+		g.stop()
+		delete(m.gauges, old)
+		m.gauges[replacement.Name()] = replacement
+		m.handshake(replacement.Host(), 1, func() {
+			if m.gauges[replacement.Name()] == replacement {
+				replacement.start()
+			}
+			if done != nil {
+				done()
+			}
+		})
+		return nil
+	}
+	return m.Delete(old, func() {
+		_ = m.Create(replacement, done)
+	})
+}

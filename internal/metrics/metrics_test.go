@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func series(vals ...float64) *Series {
+	s := NewSeries("s")
+	for i, v := range vals {
+		s.Add(float64(i), v)
+	}
+	return s
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := series(1, 2, 3, 4, 5)
+	if s.Min() != 1 || s.Max() != 5 || s.Mean() != 3 {
+		t.Fatalf("min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("p50=%v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("p100=%v", got)
+	}
+	if got := s.FracAbove(3); got != 0.4 {
+		t.Fatalf("fracAbove=%v", got)
+	}
+	if got := s.FirstAbove(3.5); got != 3 {
+		t.Fatalf("firstAbove=%v", got)
+	}
+	if got := s.LastAbove(3.5); got != 4 {
+		t.Fatalf("lastAbove=%v", got)
+	}
+	if got := s.FirstAbove(100); got != -1 {
+		t.Fatalf("firstAbove(100)=%v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("e")
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+	if s.FracAbove(1) != 0 || s.FirstAbove(1) != -1 {
+		t.Fatal("empty series predicates")
+	}
+}
+
+func TestFracAboveBetween(t *testing.T) {
+	s := series(0, 10, 10, 0, 10) // t = 0..4
+	if got := s.FracAboveBetween(5, 1, 4); got != 2.0/3.0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := s.FracAboveBetween(5, 10, 20); got != 0 {
+		t.Fatal("empty range should be 0")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := series(1.5, 2.5)
+	out := s.CSV()
+	if !strings.HasPrefix(out, "# s\n") || !strings.Contains(out, "0.0,1.5") {
+		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := NewWindow(10)
+	if _, ok := w.Avg(0); ok {
+		t.Fatal("empty window should not average")
+	}
+	w.Add(0, 2)
+	w.Add(5, 4)
+	if avg, ok := w.Avg(6); !ok || avg != 3 {
+		t.Fatalf("avg=%v ok=%v", avg, ok)
+	}
+	// First sample falls out of the window at t=11.
+	if avg, _ := w.Avg(11); avg != 4 {
+		t.Fatalf("avg=%v, want 4", avg)
+	}
+	if _, ok := w.Avg(100); ok {
+		t.Fatal("expired window should be empty")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s1 := series(0.1, 1, 10, 100)
+	s2 := series(100, 10, 1, 0.1)
+	s2.Name = "s2"
+	out := ASCIIPlot("test", []*Series{s1, s2}, 40, 8, true, 0.1, 100)
+	if !strings.Contains(out, "test") || !strings.Contains(out, "*=s") || !strings.Contains(out, "o=s2") {
+		t.Fatalf("plot:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	if empty := ASCIIPlot("none", []*Series{NewSeries("x")}, 40, 8, false, 0, 1); !strings.Contains(empty, "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+// Property: Percentile is monotone in p, bounded by Min/Max; FracAbove is
+// antitone in the threshold.
+func TestSeriesProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries("p")
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(float64(i), v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := s.Percentile(p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+			if v < s.Min()-1e-12 || v > s.Max()+1e-12 {
+				return false
+			}
+		}
+		below := math.Nextafter(s.Min(), math.Inf(-1))
+		return s.FracAbove(below) == 1 && s.FracAbove(s.Max()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

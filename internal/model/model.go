@@ -1,0 +1,491 @@
+// Package model implements the runtime software-architecture model at the
+// heart of the paper: a graph of typed components and connectors annotated
+// with property lists, the representation scheme shared by Acme, xADL and
+// SADL (§2).
+//
+// Components expose Ports; connectors expose Roles; an Attachment binds a
+// port to a role. A component may carry a Representation — a nested
+// sub-architecture (the paper's ServerGrpRep holding the replicated servers)
+// — together with Bindings that map inner ports to outer ports.
+//
+// The model is a plain data structure mutated only from kernel context; the
+// repair package layers transactional undo on top of the mutation methods
+// here.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind discriminates element categories.
+type Kind int
+
+// Element kinds.
+const (
+	KindComponent Kind = iota
+	KindConnector
+	KindPort
+	KindRole
+	KindSystem
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindComponent:
+		return "component"
+	case KindConnector:
+		return "connector"
+	case KindPort:
+		return "port"
+	case KindRole:
+		return "role"
+	case KindSystem:
+		return "system"
+	}
+	return "unknown"
+}
+
+// Element is the interface shared by all architecture elements.
+type Element interface {
+	Name() string
+	Kind() Kind
+	Type() string
+	Props() *Props
+}
+
+// elem carries the common fields of every element.
+type elem struct {
+	name  string
+	typ   string
+	props Props
+}
+
+func (e *elem) Name() string  { return e.name }
+func (e *elem) Type() string  { return e.typ }
+func (e *elem) Props() *Props { return &e.props }
+
+// Port is a component's point of interaction.
+type Port struct {
+	elem
+	Owner *Component
+}
+
+// Kind implements Element.
+func (p *Port) Kind() Kind { return KindPort }
+
+// QName returns "component.port".
+func (p *Port) QName() string { return p.Owner.Name() + "." + p.Name() }
+
+// Role is a connector's point of attachment.
+type Role struct {
+	elem
+	Owner *Connector
+}
+
+// Kind implements Element.
+func (r *Role) Kind() Kind { return KindRole }
+
+// QName returns "connector.role".
+func (r *Role) QName() string { return r.Owner.Name() + "." + r.Name() }
+
+// Component is a principal computational element or data store.
+type Component struct {
+	elem
+	ports  []*Port
+	Rep    *System // optional representation (nested sub-architecture)
+	parent *System
+}
+
+// Kind implements Element.
+func (c *Component) Kind() Kind { return KindComponent }
+
+// System returns the system that owns this component.
+func (c *Component) System() *System { return c.parent }
+
+// Ports returns the component's ports in declaration order.
+func (c *Component) Ports() []*Port { return c.ports }
+
+// Port returns the named port, or nil.
+func (c *Component) Port(name string) *Port {
+	for _, p := range c.ports {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// AddPort declares a new port of the given type.
+func (c *Component) AddPort(name, typ string) *Port {
+	if c.Port(name) != nil {
+		panic(fmt.Sprintf("model: duplicate port %s.%s", c.name, name))
+	}
+	p := &Port{elem: elem{name: name, typ: typ, props: NewProps()}, Owner: c}
+	c.ports = append(c.ports, p)
+	return p
+}
+
+// RemovePort deletes a port; attachments referencing it must be removed
+// first.
+func (c *Component) RemovePort(name string) error {
+	for i, p := range c.ports {
+		if p.name == name {
+			if c.parent != nil && len(c.parent.AttachmentsOfPort(p)) > 0 {
+				return fmt.Errorf("model: port %s still attached", p.QName())
+			}
+			c.ports = append(c.ports[:i], c.ports[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("model: no port %s.%s", c.name, name)
+}
+
+// EnsureRep returns the component's representation, creating an empty one if
+// needed.
+func (c *Component) EnsureRep() *System {
+	if c.Rep == nil {
+		c.Rep = NewSystem(c.name+"Rep", "")
+	}
+	return c.Rep
+}
+
+// Connector is a pathway of interaction between components.
+type Connector struct {
+	elem
+	roles  []*Role
+	parent *System
+}
+
+// Kind implements Element.
+func (c *Connector) Kind() Kind { return KindConnector }
+
+// System returns the owning system.
+func (c *Connector) System() *System { return c.parent }
+
+// Roles returns the connector's roles in declaration order.
+func (c *Connector) Roles() []*Role { return c.roles }
+
+// Role returns the named role, or nil.
+func (c *Connector) Role(name string) *Role {
+	for _, r := range c.roles {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// AddRole declares a new role of the given type.
+func (c *Connector) AddRole(name, typ string) *Role {
+	if c.Role(name) != nil {
+		panic(fmt.Sprintf("model: duplicate role %s.%s", c.name, name))
+	}
+	r := &Role{elem: elem{name: name, typ: typ, props: NewProps()}, Owner: c}
+	c.roles = append(c.roles, r)
+	return r
+}
+
+// RemoveRole deletes a role; attachments referencing it must be removed
+// first.
+func (c *Connector) RemoveRole(name string) error {
+	for i, r := range c.roles {
+		if r.name == name {
+			if c.parent != nil && len(c.parent.AttachmentsOfRole(r)) > 0 {
+				return fmt.Errorf("model: role %s still attached", r.QName())
+			}
+			c.roles = append(c.roles[:i], c.roles[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("model: no role %s.%s", c.name, name)
+}
+
+// Attachment binds a component port to a connector role.
+type Attachment struct {
+	Port *Port
+	Role *Role
+}
+
+// Binding maps a port of an inner (representation) component to a port of
+// the outer component.
+type Binding struct {
+	Inner *Port
+	Outer *Port
+}
+
+// System is an architecture graph: components, connectors, attachments.
+// A System may also serve as a component representation.
+type System struct {
+	elem
+	components []*Component
+	connectors []*Connector
+	atts       []Attachment
+	bindings   []Binding
+}
+
+// NewSystem creates an empty system with the given name and style (type).
+func NewSystem(name, style string) *System {
+	return &System{elem: elem{name: name, typ: style, props: NewProps()}}
+}
+
+// Kind implements Element.
+func (s *System) Kind() Kind { return KindSystem }
+
+// Components returns the components in declaration order.
+func (s *System) Components() []*Component { return s.components }
+
+// Connectors returns the connectors in declaration order.
+func (s *System) Connectors() []*Connector { return s.connectors }
+
+// Attachments returns all attachments.
+func (s *System) Attachments() []Attachment { return s.atts }
+
+// Bindings returns all representation bindings.
+func (s *System) Bindings() []Binding { return s.bindings }
+
+// Component returns the named component, or nil.
+func (s *System) Component(name string) *Component {
+	for _, c := range s.components {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Connector returns the named connector, or nil.
+func (s *System) Connector(name string) *Connector {
+	for _, c := range s.connectors {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// AddComponent creates a component of the given type.
+func (s *System) AddComponent(name, typ string) *Component {
+	if s.Component(name) != nil {
+		panic(fmt.Sprintf("model: duplicate component %q", name))
+	}
+	c := &Component{elem: elem{name: name, typ: typ, props: NewProps()}, parent: s}
+	s.components = append(s.components, c)
+	return c
+}
+
+// AddConnector creates a connector of the given type.
+func (s *System) AddConnector(name, typ string) *Connector {
+	if s.Connector(name) != nil {
+		panic(fmt.Sprintf("model: duplicate connector %q", name))
+	}
+	c := &Connector{elem: elem{name: name, typ: typ, props: NewProps()}, parent: s}
+	s.connectors = append(s.connectors, c)
+	return c
+}
+
+// RemoveComponent deletes a component and fails if it still has attachments.
+func (s *System) RemoveComponent(name string) error {
+	for i, c := range s.components {
+		if c.name != name {
+			continue
+		}
+		for _, p := range c.ports {
+			if len(s.AttachmentsOfPort(p)) > 0 {
+				return fmt.Errorf("model: component %q still attached via %s", name, p.QName())
+			}
+		}
+		s.components = append(s.components[:i], s.components[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("model: no component %q", name)
+}
+
+// RemoveConnector deletes a connector and fails if it still has attachments.
+func (s *System) RemoveConnector(name string) error {
+	for i, c := range s.connectors {
+		if c.name != name {
+			continue
+		}
+		for _, r := range c.roles {
+			if len(s.AttachmentsOfRole(r)) > 0 {
+				return fmt.Errorf("model: connector %q still attached via %s", name, r.QName())
+			}
+		}
+		s.connectors = append(s.connectors[:i], s.connectors[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("model: no connector %q", name)
+}
+
+// Attach binds port to role. Both must belong to this system, and a role can
+// hold at most one attachment (a port may attach to several roles).
+func (s *System) Attach(p *Port, r *Role) error {
+	if p == nil || r == nil {
+		return fmt.Errorf("model: attach with nil endpoint")
+	}
+	if p.Owner.parent != s || r.Owner.parent != s {
+		return fmt.Errorf("model: attach across systems (%s -> %s)", p.QName(), r.QName())
+	}
+	for _, a := range s.atts {
+		if a.Role == r {
+			return fmt.Errorf("model: role %s already attached", r.QName())
+		}
+		if a.Port == p && a.Role == r {
+			return fmt.Errorf("model: duplicate attachment %s -> %s", p.QName(), r.QName())
+		}
+	}
+	s.atts = append(s.atts, Attachment{Port: p, Role: r})
+	return nil
+}
+
+// Detach removes the attachment between p and r.
+func (s *System) Detach(p *Port, r *Role) error {
+	for i, a := range s.atts {
+		if a.Port == p && a.Role == r {
+			s.atts = append(s.atts[:i], s.atts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("model: no attachment %s -> %s", p.QName(), r.QName())
+}
+
+// Bind records a representation binding inner↔outer.
+func (s *System) Bind(inner, outer *Port) {
+	s.bindings = append(s.bindings, Binding{Inner: inner, Outer: outer})
+}
+
+// Unbind removes a binding.
+func (s *System) Unbind(inner *Port) error {
+	for i, b := range s.bindings {
+		if b.Inner == inner {
+			s.bindings = append(s.bindings[:i], s.bindings[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("model: no binding for %s", inner.QName())
+}
+
+// AttachmentsOfPort returns attachments involving p.
+func (s *System) AttachmentsOfPort(p *Port) []Attachment {
+	var out []Attachment
+	for _, a := range s.atts {
+		if a.Port == p {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AttachmentsOfRole returns attachments involving r.
+func (s *System) AttachmentsOfRole(r *Role) []Attachment {
+	var out []Attachment
+	for _, a := range s.atts {
+		if a.Role == r {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Attached reports whether port p is attached to role r — the paper's
+// attached(role, port) predicate (Fig. 5 line 8).
+func (s *System) Attached(p *Port, r *Role) bool {
+	for _, a := range s.atts {
+		if a.Port == p && a.Role == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Connected reports whether two components share a connector — the paper's
+// connected(sgrp, client) predicate (Fig. 5 line 20).
+func (s *System) Connected(a, b *Component) bool {
+	for _, conn := range s.ConnectorsOf(a) {
+		for _, other := range s.ComponentsOn(conn) {
+			if other == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ConnectorsOf returns the connectors some port of c attaches to.
+func (s *System) ConnectorsOf(c *Component) []*Connector {
+	seen := map[*Connector]bool{}
+	var out []*Connector
+	for _, a := range s.atts {
+		if a.Port.Owner == c && !seen[a.Role.Owner] {
+			seen[a.Role.Owner] = true
+			out = append(out, a.Role.Owner)
+		}
+	}
+	return out
+}
+
+// ComponentsOn returns the components attached to connector conn.
+func (s *System) ComponentsOn(conn *Connector) []*Component {
+	seen := map[*Component]bool{}
+	var out []*Component
+	for _, a := range s.atts {
+		if a.Role.Owner == conn && !seen[a.Port.Owner] {
+			seen[a.Port.Owner] = true
+			out = append(out, a.Port.Owner)
+		}
+	}
+	return out
+}
+
+// ComponentsByType returns components whose type equals typ, sorted by name
+// for deterministic iteration in repair scripts.
+func (s *System) ComponentsByType(typ string) []*Component {
+	var out []*Component
+	for _, c := range s.components {
+		if c.typ == typ {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Validate checks structural integrity: attachment endpoints belong to this
+// system, no dangling references, representation bindings are well-formed.
+func (s *System) Validate() error {
+	inComps := map[*Component]bool{}
+	for _, c := range s.components {
+		inComps[c] = true
+	}
+	inConns := map[*Connector]bool{}
+	for _, c := range s.connectors {
+		inConns[c] = true
+	}
+	for _, a := range s.atts {
+		if a.Port == nil || a.Role == nil {
+			return fmt.Errorf("model: attachment with nil endpoint in %q", s.name)
+		}
+		if !inComps[a.Port.Owner] {
+			return fmt.Errorf("model: attachment port %s not in system %q", a.Port.QName(), s.name)
+		}
+		if !inConns[a.Role.Owner] {
+			return fmt.Errorf("model: attachment role %s not in system %q", a.Role.QName(), s.name)
+		}
+	}
+	roleSeen := map[*Role]bool{}
+	for _, a := range s.atts {
+		if roleSeen[a.Role] {
+			return fmt.Errorf("model: role %s multiply attached", a.Role.QName())
+		}
+		roleSeen[a.Role] = true
+	}
+	for _, c := range s.components {
+		if c.Rep != nil {
+			if err := c.Rep.Validate(); err != nil {
+				return fmt.Errorf("model: rep of %q: %w", c.name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Props is an ordered-by-name property list attached to every architecture
+// element. Property values are dynamically typed: float64, int, bool, string,
+// or []string. The paper annotates elements with performance attributes
+// (delay, bandwidth, load) and threshold parameters (maxLatency,
+// maxServerLoad, minBandwidth); gauges write the former, the task layer the
+// latter.
+type Props struct {
+	m map[string]any
+}
+
+// NewProps returns an empty property list.
+func NewProps() Props { return Props{m: map[string]any{}} }
+
+// Set stores a property value. Ints are normalized to float64 so numeric
+// comparisons in the constraint language have one numeric type.
+func (p *Props) Set(name string, v any) {
+	if p.m == nil {
+		p.m = map[string]any{}
+	}
+	switch x := v.(type) {
+	case int:
+		p.m[name] = float64(x)
+	case int64:
+		p.m[name] = float64(x)
+	case float32:
+		p.m[name] = float64(x)
+	case float64, bool, string, []string:
+		p.m[name] = v
+	default:
+		panic(fmt.Sprintf("model: unsupported property type %T for %q", v, name))
+	}
+}
+
+// Get returns the raw value.
+func (p *Props) Get(name string) (any, bool) {
+	v, ok := p.m[name]
+	return v, ok
+}
+
+// Has reports whether the property exists.
+func (p *Props) Has(name string) bool { _, ok := p.m[name]; return ok }
+
+// Delete removes a property.
+func (p *Props) Delete(name string) { delete(p.m, name) }
+
+// Float returns a numeric property.
+func (p *Props) Float(name string) (float64, bool) {
+	v, ok := p.m[name]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// FloatOr returns a numeric property or def when absent.
+func (p *Props) FloatOr(name string, def float64) float64 {
+	if f, ok := p.Float(name); ok {
+		return f
+	}
+	return def
+}
+
+// Bool returns a boolean property.
+func (p *Props) Bool(name string) (bool, bool) {
+	v, ok := p.m[name]
+	if !ok {
+		return false, false
+	}
+	b, ok := v.(bool)
+	return b, ok
+}
+
+// BoolOr returns a boolean property or def when absent.
+func (p *Props) BoolOr(name string, def bool) bool {
+	if b, ok := p.Bool(name); ok {
+		return b
+	}
+	return def
+}
+
+// Str returns a string property.
+func (p *Props) Str(name string) (string, bool) {
+	v, ok := p.m[name]
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// StrOr returns a string property or def when absent.
+func (p *Props) StrOr(name, def string) string {
+	if s, ok := p.Str(name); ok {
+		return s
+	}
+	return def
+}
+
+// Names returns the property names sorted, for deterministic iteration and
+// printing.
+func (p *Props) Names() []string {
+	out := make([]string, 0, len(p.m))
+	for k := range p.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of properties.
+func (p *Props) Len() int { return len(p.m) }
+
+// clone deep-copies the property list.
+func (p *Props) clone() Props {
+	c := NewProps()
+	for k, v := range p.m {
+		if ss, ok := v.([]string); ok {
+			c.m[k] = append([]string(nil), ss...)
+			continue
+		}
+		c.m[k] = v
+	}
+	return c
+}

@@ -1,0 +1,235 @@
+package netsim
+
+import (
+	"archadapt/internal/sim"
+)
+
+// Flow is an elastic bulk transfer in progress. Its rate is recomputed
+// whenever the flow set or background load changes.
+type Flow struct {
+	id         uint64
+	Src, Dst   NodeID
+	Tag        string
+	path       []hop
+	remaining  float64 // bits still to deliver
+	rate       float64 // bits/sec currently allotted
+	last       sim.Time
+	completion *sim.Event
+	done       func(*Flow)
+	net        *Network
+	started    sim.Time
+	size       float64
+	cancelled  bool
+}
+
+// Rate returns the flow's current max–min allocation in bits/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns unsent bits (settled to the current instant only at
+// reflow boundaries; callers inside the kernel see a consistent snapshot).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Size returns the flow's total size in bits.
+func (f *Flow) Size() float64 { return f.size }
+
+// Started returns the start time of the flow.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// StartTransfer begins an elastic transfer of the given number of bits and
+// invokes done (if non-nil) when the last bit arrives. Zero-hop transfers
+// (src == dst, e.g. client C5 talking to server S5 on the shared machine)
+// complete on the next event with negligible local-IPC delay.
+func (n *Network) StartTransfer(src, dst NodeID, bits float64, tag string, done func(*Flow)) *Flow {
+	if bits <= 0 {
+		bits = 1
+	}
+	f := &Flow{
+		id:        n.nextFlow,
+		Src:       src,
+		Dst:       dst,
+		Tag:       tag,
+		path:      n.route(src, dst),
+		remaining: bits,
+		size:      bits,
+		last:      n.K.Now(),
+		done:      done,
+		net:       n,
+		started:   n.K.Now(),
+	}
+	n.nextFlow++
+	if len(f.path) == 0 {
+		// Same host: model as a fast local copy.
+		n.K.After(1e-5, func() { n.finish(f) })
+		return f
+	}
+	n.flows = append(n.flows, f)
+	n.reflow()
+	return f
+}
+
+// Cancel aborts an in-progress transfer without invoking its completion
+// callback. Used by failure-injection tests (e.g. a server crash mid-reply).
+func (f *Flow) Cancel() {
+	if f.cancelled {
+		return
+	}
+	f.cancelled = true
+	if f.completion != nil {
+		f.completion.Cancel()
+	}
+	f.net.removeFlow(f)
+	f.net.reflow()
+}
+
+// ActiveFlows returns the number of elastic flows currently in the network.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// CompletedFlows returns the number of finished transfers.
+func (n *Network) CompletedFlows() uint64 { return n.completedFlows }
+
+// BitsDelivered returns total bits delivered by completed transfers.
+func (n *Network) BitsDelivered() float64 { return n.bitsDelivered }
+
+func (n *Network) removeFlow(f *Flow) {
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *Network) finish(f *Flow) {
+	if f.cancelled {
+		return
+	}
+	f.remaining = 0
+	n.completedFlows++
+	n.bitsDelivered += f.size
+	if f.done != nil {
+		f.done(f)
+	}
+}
+
+// reflow settles every flow's progress to the current instant, recomputes
+// max–min fair rates, and reschedules completion events.
+func (n *Network) reflow() {
+	now := n.K.Now()
+	// Settle progress under the old rates.
+	for _, f := range n.flows {
+		if dt := now - f.last; dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+	}
+	n.computeRates()
+	// Reschedule completions under the new rates.
+	for _, f := range n.flows {
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		rate := f.rate
+		if rate <= 0 {
+			continue // fully stalled; will be rescheduled on the next reflow
+		}
+		eta := f.remaining / rate
+		f := f
+		f.completion = n.K.After(eta, func() {
+			n.removeFlow(f)
+			n.finish(f)
+			n.reflow()
+		})
+	}
+}
+
+// computeRates assigns each elastic flow its max–min fair rate via
+// progressive filling: repeatedly find the most constrained (link,dir),
+// freeze the flows crossing it at the equal share, remove that capacity, and
+// continue. Flows whose links are saturated by background traffic receive
+// MinFlowRate so that transfers always trickle (the paper's control run shows
+// available bandwidth bottoming out near 1e-4 Mbps rather than zero).
+func (n *Network) computeRates() {
+	type res struct {
+		avail float64
+		count int
+	}
+	// resources indexed by link*2+dir
+	resources := make([]res, len(n.links)*2)
+	for i, l := range n.links {
+		resources[i*2+int(Fwd)] = res{avail: l.availCap(Fwd)}
+		resources[i*2+int(Rev)] = res{avail: l.availCap(Rev)}
+	}
+	active := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		f.rate = 0
+		if len(f.path) == 0 {
+			continue
+		}
+		active = append(active, f)
+		for _, h := range f.path {
+			resources[int(h.link)*2+int(h.dir)].count++
+		}
+	}
+	frozen := make(map[*Flow]bool, len(active))
+	for len(frozen) < len(active) {
+		// Find the minimum fair share among resources with unfrozen flows.
+		minShare := -1.0
+		for _, r := range resources {
+			if r.count == 0 {
+				continue
+			}
+			share := r.avail / float64(r.count)
+			if minShare < 0 || share < minShare {
+				minShare = share
+			}
+		}
+		if minShare < 0 {
+			break // no constrained resources left
+		}
+		if minShare < n.MinFlowRate {
+			minShare = n.MinFlowRate
+		}
+		progressed := false
+		for _, f := range active {
+			if frozen[f] {
+				continue
+			}
+			// Freeze f if any of its resources is at the bottleneck share.
+			bottled := false
+			for _, h := range f.path {
+				r := resources[int(h.link)*2+int(h.dir)]
+				if r.count > 0 && r.avail/float64(r.count) <= minShare+1e-12 {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				continue
+			}
+			f.rate = minShare
+			frozen[f] = true
+			progressed = true
+			for _, h := range f.path {
+				idx := int(h.link)*2 + int(h.dir)
+				resources[idx].avail -= minShare
+				if resources[idx].avail < 0 {
+					resources[idx].avail = 0
+				}
+				resources[idx].count--
+			}
+		}
+		if !progressed {
+			// Numerical corner: give every remaining flow the floor rate.
+			for _, f := range active {
+				if !frozen[f] {
+					f.rate = n.MinFlowRate
+					frozen[f] = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import "archadapt/internal/sim"
+
+// Priority selects how a control message competes with data traffic.
+type Priority int
+
+const (
+	// BestEffort messages share the network with data and competition
+	// traffic: their latency grows as available bandwidth shrinks. This is
+	// the paper's deployed configuration ("the same network is being used to
+	// monitor the system as to run it").
+	BestEffort Priority = iota
+	// Prioritized messages ride a QoS-protected class and see full link
+	// capacity regardless of congestion — the mitigation the paper proposes
+	// in §5.3. Implemented as the ablation BenchmarkAblationMonitoringQoS.
+	Prioritized
+)
+
+// MsgStats accumulates control-message accounting.
+type MsgStats struct {
+	Sent     uint64
+	Bits     float64
+	TotalLag float64 // summed delivery delays
+	MaxLag   float64
+	Dropped  uint64
+}
+
+// msgStats is exported via Network.MessageStats.
+var _ = MsgStats{}
+
+// MessageStats returns cumulative control-plane statistics.
+func (n *Network) MessageStats() MsgStats { return n.msgStats }
+
+// DropRate (0..1) drops that fraction of best-effort control messages,
+// deterministically via the supplied RNG. Used for failure-injection tests of
+// the monitoring stack.
+func (n *Network) SetDrop(rate float64, rng *sim.Rand) {
+	n.dropRate = rate
+	n.dropRNG = rng
+}
+
+// SendMessage delivers a small control message of the given size after the
+// path's current delay and invokes fn on arrival (fn may be nil for
+// fire-and-forget accounting). It returns the modeled delay.
+//
+// Control messages do not open elastic flows: RPC calls, probe observations
+// and gauge reports are tiny compared to data transfers, but their latency
+// must still reflect congestion, because the paper's §5.3 lag between "the
+// bandwidth actually rises and the time it is noticed" comes from exactly
+// this coupling.
+func (n *Network) SendMessage(src, dst NodeID, bits float64, prio Priority, fn func()) float64 {
+	delay := n.MessageDelay(src, dst, bits, prio)
+	if n.dropRate > 0 && prio == BestEffort && n.dropRNG != nil && n.dropRNG.Float64() < n.dropRate {
+		n.msgStats.Dropped++
+		return delay
+	}
+	n.msgStats.Sent++
+	n.msgStats.Bits += bits
+	n.msgStats.TotalLag += delay
+	if delay > n.msgStats.MaxLag {
+		n.msgStats.MaxLag = delay
+	}
+	if fn != nil {
+		n.K.After(delay, fn)
+	}
+	return delay
+}
+
+// MessageDelay computes the current delivery delay for a control message
+// without sending it.
+func (n *Network) MessageDelay(src, dst NodeID, bits float64, prio Priority) float64 {
+	if src == dst {
+		return 1e-5
+	}
+	path := n.route(src, dst)
+	delay := 0.0
+	for _, h := range path {
+		l := n.links[h.link]
+		bw := l.Capacity
+		if prio == BestEffort {
+			bw = l.availCap(h.dir)
+			if bw < n.CtrlFloor {
+				bw = n.CtrlFloor
+			}
+		}
+		delay += l.PropDelay + n.CtrlPerHopOverhead + bits/bw
+	}
+	return delay
+}

@@ -1,0 +1,311 @@
+// Package netsim is a fluid-flow network simulator that stands in for the
+// paper's physical testbed (Figure 6: five routers, eleven machines, 10 Mbps
+// links).
+//
+// Data transfers are modeled as elastic flows that share link capacity
+// max–min fairly, the standard fluid approximation of TCP behaviour.
+// Background "competition" traffic (the paper's bandwidth-competition
+// generator, Figure 7) is modeled as non-elastic load that reduces the
+// capacity available to elastic flows. Small control messages (RPC,
+// monitoring traffic) do not open flows; their delivery delay is computed
+// from the available bandwidth along the path at send time — which is exactly
+// what makes monitoring slow when the network is congested, a pathology the
+// paper reports in §5.3.
+package netsim
+
+import (
+	"fmt"
+
+	"archadapt/internal/sim"
+)
+
+// NodeID identifies a host or router.
+type NodeID int
+
+// LinkID identifies a duplex link; each direction has independent capacity.
+type LinkID int
+
+// Dir selects a link direction.
+type Dir int
+
+// Link directions: Fwd is A→B, Rev is B→A.
+const (
+	Fwd Dir = 0
+	Rev Dir = 1
+)
+
+// Node is a host or router in the topology.
+type Node struct {
+	ID     NodeID
+	Name   string
+	Router bool
+}
+
+// Link is a duplex link between two nodes. Capacity is in bits per second and
+// applies to each direction independently. bg is the current background
+// (competition) load per direction.
+type Link struct {
+	ID        LinkID
+	A, B      NodeID
+	Capacity  float64
+	PropDelay float64 // seconds, per traversal
+	bg        [2]float64
+}
+
+// hop is one directed traversal of a link.
+type hop struct {
+	link LinkID
+	dir  Dir
+}
+
+// Network is the simulated network. All methods must be called from kernel
+// context (the simulation is single-threaded).
+type Network struct {
+	K      *sim.Kernel
+	nodes  []*Node
+	links  []*Link
+	byName map[string]NodeID
+	adj    map[NodeID][]hopTo
+
+	paths map[pathKey][]hop // route cache, invalidated on topology change
+
+	flows    []*Flow
+	nextFlow uint64
+
+	// MinFlowRate is the floor rate for an elastic flow when competition has
+	// consumed a link entirely; the paper's Figure 10 bottoms out around
+	// 1e-4 Mbps (100 bps), which is the default here.
+	MinFlowRate float64
+	// CtrlFloor bounds control-message delay when the network is saturated.
+	CtrlFloor float64
+	// CtrlPerHopOverhead is fixed per-hop processing time for control
+	// messages.
+	CtrlPerHopOverhead float64
+
+	// Stats
+	completedFlows uint64
+	bitsDelivered  float64
+	msgStats       MsgStats
+
+	// Failure injection for control messages.
+	dropRate float64
+	dropRNG  *sim.Rand
+}
+
+type hopTo struct {
+	to NodeID
+	h  hop
+}
+
+type pathKey struct{ src, dst NodeID }
+
+// New creates an empty network bound to the kernel.
+func New(k *sim.Kernel) *Network {
+	return &Network{
+		K:                  k,
+		byName:             map[string]NodeID{},
+		adj:                map[NodeID][]hopTo{},
+		paths:              map[pathKey][]hop{},
+		MinFlowRate:        100,  // bits/sec
+		CtrlFloor:          9600, // bits/sec
+		CtrlPerHopOverhead: 5e-4, // 0.5 ms per hop
+	}
+}
+
+// AddHost adds a non-router node.
+func (n *Network) AddHost(name string) NodeID { return n.addNode(name, false) }
+
+// AddRouter adds a router node.
+func (n *Network) AddRouter(name string) NodeID { return n.addNode(name, true) }
+
+func (n *Network) addNode(name string, router bool) NodeID {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, &Node{ID: id, Name: name, Router: router})
+	n.byName[name] = id
+	return id
+}
+
+// Node returns the node by id.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[int(id)] }
+
+// Lookup returns a node id by name.
+func (n *Network) Lookup(name string) (NodeID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// MustLookup is Lookup that panics on unknown names (for experiment wiring).
+func (n *Network) MustLookup(name string) NodeID {
+	id, ok := n.byName[name]
+	if !ok {
+		panic("netsim: unknown node " + name)
+	}
+	return id
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumLinks returns the link count.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// Connect adds a duplex link; capacity in bits/sec per direction.
+func (n *Network) Connect(a, b NodeID, capacity, propDelay float64) LinkID {
+	if a == b {
+		panic("netsim: self link")
+	}
+	if capacity <= 0 {
+		panic("netsim: non-positive capacity")
+	}
+	id := LinkID(len(n.links))
+	n.links = append(n.links, &Link{ID: id, A: a, B: b, Capacity: capacity, PropDelay: propDelay})
+	n.adj[a] = append(n.adj[a], hopTo{to: b, h: hop{link: id, dir: Fwd}})
+	n.adj[b] = append(n.adj[b], hopTo{to: a, h: hop{link: id, dir: Rev}})
+	n.paths = map[pathKey][]hop{} // routes may change
+	return id
+}
+
+// Link returns the link by id.
+func (n *Network) Link(id LinkID) *Link { return n.links[int(id)] }
+
+// LinkBetween returns the link connecting a and b directly, if any.
+func (n *Network) LinkBetween(a, b NodeID) (LinkID, bool) {
+	for _, ht := range n.adj[a] {
+		if ht.to == b {
+			return ht.h.link, true
+		}
+	}
+	return 0, false
+}
+
+// route returns the hop sequence of a shortest (min-hop) path src→dst,
+// computed by BFS and cached. Deterministic: neighbors are explored in
+// insertion order.
+func (n *Network) route(src, dst NodeID) []hop {
+	if src == dst {
+		return nil
+	}
+	if p, ok := n.paths[pathKey{src, dst}]; ok {
+		return p
+	}
+	type crumb struct {
+		prev NodeID
+		via  hop
+	}
+	seen := make([]bool, len(n.nodes))
+	from := make([]crumb, len(n.nodes))
+	queue := []NodeID{src}
+	seen[src] = true
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ht := range n.adj[cur] {
+			if seen[ht.to] {
+				continue
+			}
+			seen[ht.to] = true
+			from[ht.to] = crumb{prev: cur, via: ht.h}
+			if ht.to == dst {
+				found = true
+				break
+			}
+			queue = append(queue, ht.to)
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("netsim: no route %s -> %s", n.nodes[src].Name, n.nodes[dst].Name))
+	}
+	var rev []hop
+	for at := dst; at != src; at = from[at].prev {
+		rev = append(rev, from[at].via)
+	}
+	path := make([]hop, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	n.paths[pathKey{src, dst}] = path
+	return path
+}
+
+// PathHops returns the number of hops on the route src→dst.
+func (n *Network) PathHops(src, dst NodeID) int { return len(n.route(src, dst)) }
+
+// SetBackground sets the background (competition) load on one direction of a
+// link, in bits/sec, and reflows all elastic traffic. Loads above capacity
+// are clamped to capacity.
+func (n *Network) SetBackground(id LinkID, d Dir, load float64) {
+	l := n.links[int(id)]
+	if load < 0 {
+		load = 0
+	}
+	if load > l.Capacity {
+		load = l.Capacity
+	}
+	l.bg[d] = load
+	n.reflow()
+}
+
+// SetBackgroundBoth sets the same background load on both directions.
+func (n *Network) SetBackgroundBoth(id LinkID, load float64) {
+	l := n.links[int(id)]
+	if load < 0 {
+		load = 0
+	}
+	if load > l.Capacity {
+		load = l.Capacity
+	}
+	l.bg[Fwd] = load
+	l.bg[Rev] = load
+	n.reflow()
+}
+
+// Background returns the background load on a direction of a link.
+func (n *Network) Background(id LinkID, d Dir) float64 { return n.links[int(id)].bg[d] }
+
+// availCap is the capacity available to elastic flows on (link, dir).
+func (l *Link) availCap(d Dir) float64 {
+	a := l.Capacity - l.bg[d]
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// AvailBandwidth returns the bottleneck available bandwidth (capacity minus
+// background load) along src→dst in bits/sec. This is what the Remos
+// substitute predicts and what the bandwidth gauges report; it corresponds to
+// the "Available Bandwidth" series of Figures 10 and 12.
+func (n *Network) AvailBandwidth(src, dst NodeID) float64 {
+	path := n.route(src, dst)
+	if len(path) == 0 {
+		return 0
+	}
+	min := -1.0
+	for _, h := range path {
+		a := n.links[h.link].availCap(h.dir)
+		if min < 0 || a < min {
+			min = a
+		}
+	}
+	if min < n.MinFlowRate {
+		min = n.MinFlowRate
+	}
+	return min
+}
+
+// BottleneckShare returns the bandwidth a new elastic flow would currently
+// obtain on src→dst: the max–min fair share given present flows and
+// background load.
+func (n *Network) BottleneckShare(src, dst NodeID) float64 {
+	probe := &Flow{path: n.route(src, dst), remaining: 1}
+	n.flows = append(n.flows, probe)
+	n.computeRates()
+	share := probe.rate
+	n.flows = n.flows[:len(n.flows)-1]
+	n.computeRates()
+	return share
+}

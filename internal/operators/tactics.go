@@ -1,0 +1,165 @@
+package operators
+
+import (
+	"fmt"
+
+	"archadapt/internal/model"
+	"archadapt/internal/repair"
+)
+
+// GroupQuery is the runtime-layer query behind the paper's
+//
+//	findGoodSGroup(cl: ClientT, bw: float): ServerGroupT
+//
+// It returns the server group with the best predicted bandwidth to the
+// client that is above bw (and the prediction itself), or nil when no group
+// qualifies. The production implementation consults the Remos substitute via
+// the environment manager; tests inject stubs.
+type GroupQuery func(sys *model.System, cli *model.Component, minBW float64) (*model.Component, float64)
+
+// ErrNoServerGroupFound is the paper's `abort NoServerGroupFound` (Fig. 5
+// line 41).
+var ErrNoServerGroupFound = fmt.Errorf("operators: no server group with sufficient bandwidth")
+
+// subjectClient resolves the violation subject to a ClientT component. The
+// latency invariant is scoped to clients, mirroring Fig. 5 lines 5-8 where
+// the strategy selects the client attached to the violated role.
+func subjectClient(ctx *repair.Context) (*model.Component, error) {
+	el := ctx.Violation.Subject
+	if el == nil {
+		return nil, fmt.Errorf("operators: violation has no subject")
+	}
+	cli, ok := el.(*model.Component)
+	if !ok || cli.Type() != TClient {
+		return nil, fmt.Errorf("operators: violation subject %s is not a client", el.Name())
+	}
+	return cli, nil
+}
+
+// FixServerLoad is the first tactic of Figure 5 (lines 16-26): if any server
+// group connected to the client is overloaded, activate a server in each.
+// It declines (false) when no group is overloaded, or when every overloaded
+// group is out of spares — in the paper's run that is exactly when "the only
+// repair possible was to move clients".
+func FixServerLoad() *repair.Tactic {
+	return &repair.Tactic{
+		Name: "fixServerLoad",
+		Script: func(ctx *repair.Context) (bool, error) {
+			cli, err := subjectClient(ctx)
+			if err != nil {
+				return false, err
+			}
+			maxLoad := ctx.Sys.Props().FloatOr(PropMaxServerLoad, 6)
+			var loaded []*model.Component
+			for _, grp := range ctx.Sys.ComponentsByType(TServerGroup) {
+				if !ctx.Sys.Connected(grp, cli) {
+					continue
+				}
+				if grp.Props().FloatOr(PropLoad, 0) > maxLoad {
+					loaded = append(loaded, grp)
+				}
+			}
+			if len(loaded) == 0 {
+				return false, nil
+			}
+			activated := 0
+			for _, grp := range loaded {
+				if _, err := AddServer(ctx.Txn, grp); err == nil {
+					activated++
+				}
+			}
+			return activated > 0, nil
+		},
+	}
+}
+
+// FixBandwidth is the second tactic of Figure 5 (lines 28-42): when the
+// client's connection bandwidth is below the floor, move the client to the
+// group with the best predicted bandwidth. A missing bandwidth property
+// (gauge not yet reporting) declines rather than aborting; a query that
+// finds no better group returns ErrNoServerGroupFound, the paper's abort.
+func FixBandwidth(query GroupQuery) *repair.Tactic {
+	return &repair.Tactic{
+		Name: "fixBandwidth",
+		Script: func(ctx *repair.Context) (bool, error) {
+			cli, err := subjectClient(ctx)
+			if err != nil {
+				return false, err
+			}
+			curGrp, _, role, err := GroupOf(ctx.Sys, cli)
+			if err != nil {
+				return false, err
+			}
+			minBW := ctx.Sys.Props().FloatOr(PropMinBandwidth, 10e3)
+			bw, ok := role.Props().Float(PropBandwidth)
+			if !ok {
+				return false, nil
+			}
+			if bw >= minBW {
+				return false, nil
+			}
+			if query == nil {
+				return false, fmt.Errorf("operators: no group query configured")
+			}
+			good, predicted := query(ctx.Sys, cli, minBW)
+			if good == nil {
+				return false, ErrNoServerGroupFound
+			}
+			if good == curGrp {
+				// Measurements disagree (gauge lag): the best group is the
+				// one we are already on. Decline and let monitoring settle.
+				return false, nil
+			}
+			if err := MoveClient(ctx.Txn, ctx.Sys, cli, good, predicted); err != nil {
+				return false, err
+			}
+			return true, nil
+		},
+	}
+}
+
+// FixUnderutilization is the paper's third repair ("not shown": reduce the
+// number of servers in a server group if the server group is underutilized")
+// — it keeps the active-server set minimal, the cost goal stated in §1.
+func FixUnderutilization() *repair.Tactic {
+	return &repair.Tactic{
+		Name: "fixUnderutilization",
+		Script: func(ctx *repair.Context) (bool, error) {
+			grp, ok := ctx.Violation.Subject.(*model.Component)
+			if !ok || grp.Type() != TServerGroup {
+				return false, fmt.Errorf("operators: utilization subject is not a server group")
+			}
+			minLoad := ctx.Sys.Props().FloatOr(PropMinServerLoad, 1)
+			minReplicas := int(ctx.Sys.Props().FloatOr(PropMinReplicas, 1))
+			if grp.Props().FloatOr(PropLoad, 0) >= minLoad {
+				return false, nil
+			}
+			if len(ActiveServers(grp)) <= minReplicas {
+				return false, nil
+			}
+			if err := RemoveServer(ctx.Txn, grp, ""); err != nil {
+				return false, nil // cannot shrink further; not an error
+			}
+			return true, nil
+		},
+	}
+}
+
+// FixLatency assembles the Figure 5 strategy: first try to relieve server
+// load, then try to move the client to a better-connected group.
+func FixLatency(query GroupQuery) *repair.Strategy {
+	return &repair.Strategy{
+		Name:    "fixLatency",
+		Policy:  repair.FirstSuccess,
+		Tactics: []*repair.Tactic{FixServerLoad(), FixBandwidth(query)},
+	}
+}
+
+// ShrinkStrategy wraps FixUnderutilization for the utilization invariant.
+func ShrinkStrategy() *repair.Strategy {
+	return &repair.Strategy{
+		Name:    "shrink",
+		Policy:  repair.FirstSuccess,
+		Tactics: []*repair.Tactic{FixUnderutilization()},
+	}
+}

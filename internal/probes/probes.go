@@ -1,0 +1,116 @@
+// Package probes implements the lowest level of the paper's three-level
+// monitoring infrastructure (Figure 4): probes are deployed in the target
+// system, observe raw events, and announce observations on the probe bus.
+//
+// The application probes correspond to the paper's AIDE-instrumented Java
+// probes ("the probes report when particular methods have been called, so
+// that bandwidth, latency, and server load can be calculated by the
+// gauges"); the flow probe wraps Remos.
+package probes
+
+import (
+	"archadapt/internal/app"
+	"archadapt/internal/bus"
+	"archadapt/internal/sim"
+)
+
+// Probe-bus topics.
+const (
+	// TopicResponse carries one observation per client response:
+	// fields client (string), latency (float64), group (string).
+	TopicResponse = "probe.response"
+	// TopicQueue carries periodic queue-length samples:
+	// fields group (string), len (float64).
+	TopicQueue = "probe.queue"
+	// TopicServer carries server activity samples:
+	// fields server (string), busy (float64 0/1), served (float64).
+	TopicServer = "probe.server"
+)
+
+// AttachResponseProbe instruments a client so every completed response is
+// announced on the probe bus from the client's host.
+func AttachResponseProbe(b *bus.Bus, c *app.Client) {
+	c.OnResponse = append(c.OnResponse, func(r app.Response) {
+		b.Publish(bus.Message{
+			Topic: TopicResponse,
+			Src:   c.Host,
+			Fields: map[string]any{
+				"client":  c.Name,
+				"latency": r.Latency,
+				"group":   r.Req.Group,
+			},
+		})
+	})
+}
+
+// QueueProbe samples every group's queue length on a period and announces
+// the samples from the queue machine. This realizes the paper's server-load
+// measure ("we measure server load by measuring the size of the queue of
+// waiting client requests").
+type QueueProbe struct {
+	stop func()
+}
+
+// StartQueueProbe begins sampling. Samples start after one period (probes
+// need deployment time; the paper's first two minutes are quiescent for
+// exactly this reason).
+func StartQueueProbe(k *sim.Kernel, b *bus.Bus, sys *app.System, period float64) *QueueProbe {
+	p := &QueueProbe{}
+	p.stop = k.Ticker(k.Now()+period, period, func(now sim.Time) {
+		for _, g := range sys.Groups() {
+			b.Publish(bus.Message{
+				Topic: TopicQueue,
+				Src:   sys.QueueHost,
+				Fields: map[string]any{
+					"group": g,
+					"len":   float64(sys.QueueLen(g)),
+				},
+			})
+		}
+	})
+	return p
+}
+
+// Stop halts sampling.
+func (p *QueueProbe) Stop() {
+	if p.stop != nil {
+		p.stop()
+	}
+}
+
+// ServerProbe samples server busyness — used by utilization analyses and
+// the webfarm example.
+type ServerProbe struct {
+	stop func()
+}
+
+// StartServerProbe begins sampling all servers on a period.
+func StartServerProbe(k *sim.Kernel, b *bus.Bus, sys *app.System, period float64) *ServerProbe {
+	p := &ServerProbe{}
+	p.stop = k.Ticker(k.Now()+period, period, func(now sim.Time) {
+		for _, name := range sys.Servers() {
+			srv := sys.Server(name)
+			busy := 0.0
+			if srv.Busy() {
+				busy = 1.0
+			}
+			b.Publish(bus.Message{
+				Topic: TopicServer,
+				Src:   srv.Host,
+				Fields: map[string]any{
+					"server": name,
+					"busy":   busy,
+					"served": float64(srv.Served()),
+				},
+			})
+		}
+	})
+	return p
+}
+
+// Stop halts sampling.
+func (p *ServerProbe) Stop() {
+	if p.stop != nil {
+		p.stop()
+	}
+}

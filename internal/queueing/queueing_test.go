@@ -1,0 +1,95 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1MatchesClosedForm(t *testing.T) {
+	// With m=1 the M/M/m formulas reduce to the classic M/M/1: W = 1/(μ-λ),
+	// Lq = ρ²/(1-ρ), P(wait) = ρ.
+	q := MMm{Lambda: 3, Mu: 5, M: 1}
+	rho := 3.0 / 5.0
+	if got := q.ErlangC(); math.Abs(got-rho) > 1e-9 {
+		t.Fatalf("ErlangC=%v, want %v", got, rho)
+	}
+	if got := q.MeanResponse(); math.Abs(got-1/(5.0-3.0)) > 1e-9 {
+		t.Fatalf("W=%v, want %v", got, 1/(5.0-3.0))
+	}
+	if got := q.MeanQueueLength(); math.Abs(got-rho*rho/(1-rho)) > 1e-9 {
+		t.Fatalf("Lq=%v", got)
+	}
+}
+
+func TestErlangCKnownValue(t *testing.T) {
+	// Standard worked example: λ=2/min, μ=1/min per server, m=3 ⇒
+	// a=2 Erlangs, C(3,2) = 4/9.
+	q := MMm{Lambda: 2, Mu: 1, M: 3}
+	if got := q.ErlangC(); math.Abs(got-4.0/9.0) > 1e-9 {
+		t.Fatalf("ErlangC=%v, want 4/9", got)
+	}
+}
+
+func TestUnstableSystem(t *testing.T) {
+	q := MMm{Lambda: 10, Mu: 1, M: 3}
+	if q.Valid() {
+		t.Fatal("ρ>1 should be invalid")
+	}
+	if !math.IsInf(q.MeanResponse(), 1) {
+		t.Fatal("unstable response should be +Inf")
+	}
+}
+
+func TestPaperSizing(t *testing.T) {
+	// The paper's design inputs: six clients at ~1 req/s each (λ≈6/s),
+	// replies around 20 KB with service time ≈0.3–0.45 s (μ≈2.2–3.3/s),
+	// bound 2 s. Three servers must suffice — that was the experiment's
+	// starting configuration.
+	m, q, ok := ServersFor(6, 3.0, 2.0, 10)
+	if !ok {
+		t.Fatal("no sizing found")
+	}
+	if m != 3 {
+		t.Fatalf("ServersFor=%d (%s), want 3 (the paper's initial deployment)", m, q)
+	}
+	// And the 10 Kbps floor: a 2.5 KB reply in 2 s needs 10 Kbps.
+	if bw := MinBandwidth(2.5*8192, 2.0); math.Abs(bw-10240) > 1 {
+		t.Fatalf("MinBandwidth=%v, want ~10Kbps", bw)
+	}
+}
+
+func TestServersForImpossible(t *testing.T) {
+	if _, _, ok := ServersFor(100, 0.5, 0.1, 4); ok {
+		t.Fatal("bound cannot be met; ok should be false")
+	}
+}
+
+// Properties: adding a server never hurts; response is always at least the
+// service time; utilization in (0,1) for valid systems.
+func TestMonotonicityProperties(t *testing.T) {
+	f := func(l8, m8 uint8, m int8) bool {
+		lambda := 0.1 + float64(l8)/16
+		mu := 0.1 + float64(m8)/16
+		m1 := int(m%8) + 1
+		q1 := MMm{Lambda: lambda, Mu: mu, M: m1}
+		q2 := MMm{Lambda: lambda, Mu: mu, M: m1 + 1}
+		if !q1.Valid() {
+			return true
+		}
+		if q1.Utilization() <= 0 || q1.Utilization() >= 1 {
+			return false
+		}
+		if q1.MeanResponse() < 1/mu-1e-12 {
+			return false
+		}
+		if q2.Valid() && q2.MeanResponse() > q1.MeanResponse()+1e-9 {
+			return false
+		}
+		c := q1.ErlangC()
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package remos simulates the Remos resource-query system the paper uses as
+// its network probe (remos_get_flow, Table 1). It predicts the available
+// bandwidth between two hosts by querying the network simulator, and
+// reproduces the operational artifact reported in §5.3: "The first Remos
+// query for information about bandwidth between two nodes on the network
+// takes several minutes because Remos needs to collect and analyze data.
+// After this initial delay, the query is quite fast." Pre-querying
+// (Prequery/PrequeryAll) is the paper's mitigation.
+package remos
+
+import (
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+type pairKey struct{ src, dst netsim.NodeID }
+
+// Service is a Remos collector running on a host.
+type Service struct {
+	K    *sim.Kernel
+	Net  *netsim.Network
+	Host netsim.NodeID
+
+	// ColdDelay is the collection time for the first query about a host
+	// pair. The paper reports "several minutes"; default 90 s.
+	ColdDelay float64
+	// WarmDelay is the processing time for subsequent queries.
+	WarmDelay float64
+	// QueryBits is the size of the query/response messages.
+	QueryBits float64
+	// Priority of Remos control traffic.
+	Priority netsim.Priority
+
+	warm       map[pairKey]bool
+	pending    map[pairKey][]func(float64)
+	collecting map[pairKey]bool
+
+	queries     uint64
+	coldQueries uint64
+}
+
+// New creates a Remos service on host.
+func New(k *sim.Kernel, net *netsim.Network, host netsim.NodeID) *Service {
+	return &Service{
+		K: k, Net: net, Host: host,
+		ColdDelay: 90, WarmDelay: 0.05, QueryBits: 8192,
+		warm:       map[pairKey]bool{},
+		pending:    map[pairKey][]func(float64){},
+		collecting: map[pairKey]bool{},
+	}
+}
+
+// Queries returns the total number of GetFlow calls served.
+func (s *Service) Queries() uint64 { return s.queries }
+
+// ColdQueries returns how many of them hit the collection path.
+func (s *Service) ColdQueries() uint64 { return s.coldQueries }
+
+// Warm reports whether the pair has been collected.
+func (s *Service) Warm(src, dst netsim.NodeID) bool { return s.warm[pairKey{src, dst}] }
+
+// measure reads the current prediction from the network.
+func (s *Service) measure(src, dst netsim.NodeID) float64 {
+	return s.Net.AvailBandwidth(src, dst)
+}
+
+// GetFlow asynchronously resolves the predicted available bandwidth from src
+// to dst on behalf of a caller host: query message to the service, cold
+// collection if the pair is new, response message back, then cb. This is
+// Table 1's remos_get_flow.
+func (s *Service) GetFlow(caller, src, dst netsim.NodeID, cb func(bw float64)) {
+	s.Net.SendMessage(caller, s.Host, s.QueryBits, s.Priority, func() {
+		s.serve(caller, src, dst, cb)
+	})
+}
+
+func (s *Service) serve(caller, src, dst netsim.NodeID, cb func(float64)) {
+	s.queries++
+	key := pairKey{src, dst}
+	reply := func(bw float64) {
+		s.Net.SendMessage(s.Host, caller, s.QueryBits, s.Priority, func() { cb(bw) })
+	}
+	if s.warm[key] {
+		s.K.After(s.WarmDelay, func() { reply(s.measure(src, dst)) })
+		return
+	}
+	// Cold: start (or join) a collection for this pair.
+	s.pending[key] = append(s.pending[key], reply)
+	if s.collecting[key] {
+		return
+	}
+	s.startCollection(key, src, dst)
+}
+
+// Predict returns the cached-path prediction synchronously when the pair is
+// warm. Cold pairs return ok=false — callers like findServer must either
+// wait for a GetFlow or skip the pair, which is precisely the lag the paper
+// worked around by pre-querying.
+func (s *Service) Predict(src, dst netsim.NodeID) (bw float64, ok bool) {
+	if !s.warm[pairKey{src, dst}] {
+		return 0, false
+	}
+	return s.measure(src, dst), true
+}
+
+// Prequery starts collection for a pair without a caller (the paper:
+// "we pre-queried Remos so that subsequent queries were much faster").
+func (s *Service) Prequery(src, dst netsim.NodeID) {
+	key := pairKey{src, dst}
+	if s.warm[key] {
+		return
+	}
+	if s.collecting[key] {
+		return
+	}
+	s.startCollection(key, src, dst)
+}
+
+// startCollection begins the cold data-collection pass for a pair; when it
+// completes, every pending waiter gets the fresh measurement.
+func (s *Service) startCollection(key pairKey, src, dst netsim.NodeID) {
+	s.collecting[key] = true
+	s.coldQueries++
+	s.K.After(s.ColdDelay, func() {
+		s.warm[key] = true
+		delete(s.collecting, key)
+		bw := s.measure(src, dst)
+		waiters := s.pending[key]
+		delete(s.pending, key)
+		for _, w := range waiters {
+			w(bw)
+		}
+	})
+}
+
+// PrequeryAll warms every (src, dst) pair.
+func (s *Service) PrequeryAll(srcs, dsts []netsim.NodeID) {
+	for _, a := range srcs {
+		for _, b := range dsts {
+			if a != b {
+				s.Prequery(a, b)
+			}
+		}
+	}
+}

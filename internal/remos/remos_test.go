@@ -1,0 +1,152 @@
+package remos
+
+import (
+	"math"
+	"testing"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+func rig() (*sim.Kernel, *netsim.Network, *Service, netsim.NodeID, netsim.NodeID, netsim.LinkID) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddHost("a")
+	r := n.AddRouter("r")
+	b := n.AddHost("b")
+	h := n.AddHost("remos")
+	l1 := n.Connect(a, r, 10e6, 1e-3)
+	n.Connect(b, r, 10e6, 1e-3)
+	n.Connect(h, r, 10e6, 1e-3)
+	return k, n, New(k, n, h), a, b, l1
+}
+
+func TestColdQueryTakesMinutes(t *testing.T) {
+	k, _, s, a, b, _ := rig()
+	var answered float64 = -1
+	s.GetFlow(s.Host, a, b, func(bw float64) { answered = k.Now() })
+	k.RunAll(0)
+	if answered < s.ColdDelay {
+		t.Fatalf("cold query answered at %v, want >= %v", answered, s.ColdDelay)
+	}
+	if s.ColdQueries() != 1 || s.Queries() != 1 {
+		t.Fatalf("stats: %d/%d", s.ColdQueries(), s.Queries())
+	}
+}
+
+func TestWarmQueryIsFast(t *testing.T) {
+	k, _, s, a, b, _ := rig()
+	s.GetFlow(s.Host, a, b, func(float64) {})
+	k.RunAll(0)
+	start := k.Now()
+	var answered float64 = -1
+	s.GetFlow(s.Host, a, b, func(float64) { answered = k.Now() })
+	k.RunAll(0)
+	if d := answered - start; d > 1 {
+		t.Fatalf("warm query took %v, want sub-second", d)
+	}
+	if s.ColdQueries() != 1 {
+		t.Fatalf("warm query should not re-collect: %d", s.ColdQueries())
+	}
+}
+
+func TestConcurrentColdQueriesJoin(t *testing.T) {
+	k, _, s, a, b, _ := rig()
+	answers := 0
+	for i := 0; i < 3; i++ {
+		s.GetFlow(s.Host, a, b, func(float64) { answers++ })
+	}
+	k.RunAll(0)
+	if answers != 3 {
+		t.Fatalf("answers=%d", answers)
+	}
+	if s.ColdQueries() != 1 {
+		t.Fatalf("concurrent queries should share one collection, got %d", s.ColdQueries())
+	}
+}
+
+func TestPredictOnlyWarmPairs(t *testing.T) {
+	k, _, s, a, b, _ := rig()
+	if _, ok := s.Predict(a, b); ok {
+		t.Fatal("cold pair should not predict")
+	}
+	s.Prequery(a, b)
+	if _, ok := s.Predict(a, b); ok {
+		t.Fatal("prequery must take ColdDelay before the pair warms")
+	}
+	k.RunAll(0)
+	bw, ok := s.Predict(a, b)
+	if !ok {
+		t.Fatal("pair should be warm after prequery completes")
+	}
+	if math.Abs(bw-10e6) > 1 {
+		t.Fatalf("bw=%v", bw)
+	}
+}
+
+func TestPredictionTracksNetworkState(t *testing.T) {
+	k, n, s, a, b, l1 := rig()
+	s.Prequery(a, b)
+	k.RunAll(0)
+	n.SetBackgroundBoth(l1, 8e6)
+	bw, _ := s.Predict(a, b)
+	if math.Abs(bw-2e6) > 1 {
+		t.Fatalf("prediction should reflect current competition: %v", bw)
+	}
+}
+
+func TestPrequeryAllWarmsAllPairs(t *testing.T) {
+	k, n, s, a, b, _ := rig()
+	c := n.AddHost("c")
+	r2, _ := n.Lookup("r")
+	n.Connect(c, r2, 10e6, 1e-3)
+	s.PrequeryAll([]netsim.NodeID{a, b}, []netsim.NodeID{b, c})
+	k.RunAll(0)
+	for _, pair := range [][2]netsim.NodeID{{a, b}, {a, c}, {b, c}} {
+		if !s.Warm(pair[0], pair[1]) {
+			t.Fatalf("pair %v not warm", pair)
+		}
+	}
+	if s.Warm(b, a) {
+		t.Fatal("reverse pair should not be warm (directional)")
+	}
+	// Re-prequerying warm pairs is a no-op.
+	cold := s.ColdQueries()
+	s.PrequeryAll([]netsim.NodeID{a}, []netsim.NodeID{b})
+	if s.ColdQueries() != cold {
+		t.Fatal("prequery of a warm pair should not re-collect")
+	}
+}
+
+func TestGetFlowWhilePrequeryPendingJoins(t *testing.T) {
+	k, _, s, a, b, _ := rig()
+	s.Prequery(a, b)
+	got := -1.0
+	s.GetFlow(s.Host, a, b, func(bw float64) { got = bw })
+	k.RunAll(0)
+	if got < 0 {
+		t.Fatal("query joined to pending collection never answered")
+	}
+	if s.ColdQueries() != 1 {
+		t.Fatalf("collections=%d, want 1", s.ColdQueries())
+	}
+}
+
+func TestQueryDelayGrowsUnderCongestion(t *testing.T) {
+	// The Remos round trip itself rides the shared network (§5.3 lag).
+	k, n, s, a, b, l1 := rig()
+	s.Prequery(a, b)
+	k.RunAll(0)
+	t0 := k.Now()
+	var d1 float64
+	s.GetFlow(a, a, b, func(float64) { d1 = k.Now() - t0 })
+	k.RunAll(0)
+	n.SetBackgroundBoth(l1, 10e6)
+	t1 := k.Now()
+	var d2 float64
+	s.GetFlow(a, a, b, func(float64) { d2 = k.Now() - t1 })
+	k.RunAll(0)
+	if d2 < 5*d1 {
+		t.Fatalf("congested query %v vs idle %v", d2, d1)
+	}
+}

@@ -1,0 +1,239 @@
+package repair
+
+import (
+	"fmt"
+
+	"archadapt/internal/constraint"
+	"archadapt/internal/model"
+)
+
+// Translator propagates a committed model-level operation to the running
+// system (Figure 1, arrow 5). Implementations live in internal/translator.
+type Translator interface {
+	Apply(op Op) error
+}
+
+// TranslatorFunc adapts a function to the Translator interface.
+type TranslatorFunc func(op Op) error
+
+// Apply implements Translator.
+func (f TranslatorFunc) Apply(op Op) error { return f(op) }
+
+// Record is one engine-level repair attempt, kept for the repair history
+// (drawn as the interval bars atop Figures 11–13) and for oscillation
+// analysis.
+type Record struct {
+	Time     float64
+	Duration float64 // filled in by the manager once runtime effects land
+	Strategy string
+	Subject  string
+	Applied  []string
+	Ops      []Op
+	Err      error
+	Damped   bool
+}
+
+// Engine matches violations to strategies and executes them with commit /
+// abort semantics, plus the paper's §5.3 "future work" refinements:
+//
+//   - settling: after repairing a subject, further repairs on that subject
+//     are suppressed for SettleTime seconds ("the effects of a repair on a
+//     system will take time ... unnecessary repairs are likely to occur");
+//   - oscillation damping: a client moved OscillationMoves times within
+//     OscillationWindow gets an extended cooldown (the client ping-pong the
+//     paper observed between 600 s and 1200 s);
+//   - escalation: when no tactic applies, AlertFn is invoked instead of
+//     thrashing ("alert a human observer for manual intervention").
+//
+// All three default off (zero values) so the baseline engine behaves exactly
+// like the paper's prototype.
+type Engine struct {
+	Sys        *model.System
+	Translator Translator
+	Funcs      map[string]func([]constraint.Value) (constraint.Value, error)
+
+	SettleTime        float64
+	OscillationWindow float64
+	OscillationMoves  int
+	DampFactor        float64
+	AlertFn           func(v constraint.Violation, reason string)
+
+	strategies map[string]*Strategy
+	order      []string
+	cooldown   map[string]float64   // subject -> earliest next repair time
+	moveTimes  map[string][]float64 // client -> recent move times
+	records    []Record
+	alerts     int
+}
+
+// NewEngine creates an engine over sys that pushes operations through tr.
+func NewEngine(sys *model.System, tr Translator) *Engine {
+	return &Engine{
+		Sys:        sys,
+		Translator: tr,
+		Funcs:      map[string]func([]constraint.Value) (constraint.Value, error){},
+		strategies: map[string]*Strategy{},
+		cooldown:   map[string]float64{},
+		moveTimes:  map[string][]float64{},
+	}
+}
+
+// Bind associates a strategy with an invariant name, the runtime analogue of
+// the paper's `invariant r : ... !→ fixLatency(r)`.
+func (e *Engine) Bind(invariantName string, s *Strategy) {
+	if _, dup := e.strategies[invariantName]; !dup {
+		e.order = append(e.order, invariantName)
+	}
+	e.strategies[invariantName] = s
+}
+
+// StrategyFor returns the strategy bound to an invariant.
+func (e *Engine) StrategyFor(invariantName string) *Strategy { return e.strategies[invariantName] }
+
+// Records returns the repair history.
+func (e *Engine) Records() []Record { return e.records }
+
+// Alerts returns how many times the engine escalated to a human.
+func (e *Engine) Alerts() int { return e.alerts }
+
+// LastRecord returns a pointer to the most recent record (nil if none), so
+// the manager can annotate durations.
+func (e *Engine) LastRecord() *Record {
+	if len(e.records) == 0 {
+		return nil
+	}
+	return &e.records[len(e.records)-1]
+}
+
+func subjectName(v constraint.Violation) string {
+	if v.Subject == nil {
+		return "system"
+	}
+	return v.Subject.Name()
+}
+
+// HandleViolation runs the bound strategy for one violation at time now.
+// It returns the record of the attempt, or nil when the violation was
+// suppressed (cooldown) or had no bound strategy.
+func (e *Engine) HandleViolation(v constraint.Violation, now float64) *Record {
+	if v.Invariant == nil {
+		return nil
+	}
+	s := e.strategies[v.Invariant.Name]
+	if s == nil {
+		return nil
+	}
+	subj := subjectName(v)
+	if until, ok := e.cooldown[subj]; ok && now < until {
+		return nil
+	}
+
+	txn := NewTxn(e.Sys)
+	env := constraint.NewEnv(e.Sys)
+	env.Funcs = e.Funcs
+	if v.Subject != nil {
+		env.Bind("it", constraint.Elem(v.Subject))
+	}
+	ctx := &Context{Sys: e.Sys, Violation: v, Txn: txn, Env: env, Now: now}
+
+	rec := Record{Time: now, Strategy: s.Name, Subject: subj}
+	for _, tac := range s.Tactics {
+		applied, err := tac.Script(ctx)
+		if err != nil {
+			if rbErr := txn.Abort(); rbErr != nil {
+				err = fmt.Errorf("%w (and %v)", err, rbErr)
+			}
+			rec.Err = fmt.Errorf("repair: tactic %s: %w", tac.Name, err)
+			rec.Applied = nil
+			e.records = append(e.records, rec)
+			return e.LastRecord()
+		}
+		if !applied {
+			continue
+		}
+		rec.Applied = append(rec.Applied, tac.Name)
+		if s.Policy == FirstSuccess {
+			break
+		}
+	}
+	if len(rec.Applied) == 0 {
+		_ = txn.Abort()
+		rec.Err = ErrNoTacticApplied
+		e.records = append(e.records, rec)
+		e.alerts++
+		if e.AlertFn != nil {
+			e.AlertFn(v, "no applicable tactic")
+		}
+		return e.LastRecord()
+	}
+
+	// Propagate to the runtime layer; any failure aborts the model change so
+	// model and system stay consistent.
+	if e.Translator != nil {
+		for _, op := range txn.Ops() {
+			if err := e.Translator.Apply(op); err != nil {
+				_ = txn.Abort()
+				rec.Err = fmt.Errorf("repair: translate %s: %w", op, err)
+				rec.Applied = nil
+				e.records = append(e.records, rec)
+				return e.LastRecord()
+			}
+		}
+	}
+	rec.Ops = txn.Ops()
+
+	// Settling & oscillation damping.
+	cool := e.SettleTime
+	for _, op := range rec.Ops {
+		if op.Kind != OpMoveClient || e.OscillationWindow <= 0 || e.OscillationMoves <= 0 {
+			continue
+		}
+		times := append(e.moveTimes[op.Client], now)
+		cutoff := now - e.OscillationWindow
+		kept := times[:0]
+		for _, t := range times {
+			if t >= cutoff {
+				kept = append(kept, t)
+			}
+		}
+		e.moveTimes[op.Client] = kept
+		if len(kept) >= e.OscillationMoves {
+			rec.Damped = true
+			factor := e.DampFactor
+			if factor < 1 {
+				factor = 1
+			}
+			c := e.SettleTime * factor
+			if c <= 0 {
+				c = e.OscillationWindow
+			}
+			if c > cool {
+				cool = c
+			}
+		}
+	}
+	if cool > 0 {
+		e.cooldown[subj] = now + cool
+	}
+	e.records = append(e.records, rec)
+	return e.LastRecord()
+}
+
+// HandleAll processes violations in order, stopping after the first
+// successful repair (the paper's prototype "simply chose to repair the first
+// client that reported an error"). Sorting/prioritizing happens upstream in
+// the manager when the smarter selection extension is enabled.
+func (e *Engine) HandleAll(vs []constraint.Violation, now float64) []*Record {
+	var out []*Record
+	for _, v := range vs {
+		r := e.HandleViolation(v, now)
+		if r == nil {
+			continue
+		}
+		out = append(out, r)
+		if r.Err == nil {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+
+	"archadapt/internal/constraint"
+)
+
+// parser walks the token stream; embedded expressions are sliced out of the
+// raw source by byte offsets and handed to the constraint parser.
+type parser struct {
+	src  string
+	toks []tok
+	i    int
+}
+
+// ParseDefs parses a script source into strategy/tactic definitions.
+func ParseDefs(src string) ([]*Def, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	var defs []*Def
+	for !p.eof() {
+		d, err := p.parseDef()
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, d)
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("script: no definitions")
+	}
+	return defs, nil
+}
+
+func (p *parser) eof() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.i].text
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	if p.peek() != text {
+		return fmt.Errorf("script: expected %q, found %q near offset %d", text, p.peek(), p.pos())
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) pos() int {
+	if p.eof() {
+		return len(p.src)
+	}
+	return p.toks[p.i].pos
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *parser) parseDef() (*Def, error) {
+	kind := p.next()
+	if kind != "strategy" && kind != "tactic" {
+		return nil, fmt.Errorf("script: expected 'strategy' or 'tactic', found %q", kind)
+	}
+	name := p.next()
+	if !isIdent(name) {
+		return nil, fmt.Errorf("script: bad %s name %q", kind, name)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []param
+	for p.peek() != ")" {
+		pn := p.next()
+		if !isIdent(pn) {
+			return nil, fmt.Errorf("script: bad parameter %q in %s", pn, name)
+		}
+		pt := ""
+		if p.peek() == ":" {
+			p.i++
+			pt = p.next()
+		}
+		params = append(params, param{name: pn, typ: pt})
+		if p.peek() == "," {
+			p.i++
+		}
+	}
+	p.i++ // ")"
+	// Optional result-type annotation: `: boolean`.
+	if p.peek() == ":" {
+		p.i++
+		p.i++ // type name, ignored
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, fmt.Errorf("script: in %s %s: %w", kind, name, err)
+	}
+	return &Def{Kind: kind, Name: name, params: params, body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for p.peek() != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.i++ // "}"
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	switch p.peek() {
+	case "let":
+		p.i++
+		name := p.next()
+		if !isIdent(name) {
+			return nil, fmt.Errorf("bad let variable %q", name)
+		}
+		if p.peek() == ":" { // optional type annotation: `: set{...}` or ident
+			p.i++
+			p.next()
+			// allow `set { T }`-style annotations
+			if p.peek() == "{" {
+				for p.peek() != "}" && !p.eof() {
+					p.i++
+				}
+				p.i++
+			}
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.exprUntilSemicolon()
+		if err != nil {
+			return nil, err
+		}
+		return &letStmt{name: name, expr: e}, nil
+	case "if":
+		p.i++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.peek() == "else" {
+			p.i++
+			if p.peek() == "if" {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []stmt{s}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &ifStmt{cond: cond, then: then, els: els}, nil
+	case "foreach":
+		p.i++
+		v := p.next()
+		if !isIdent(v) {
+			return nil, fmt.Errorf("bad foreach variable %q", v)
+		}
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		dom, err := p.exprUntilBrace()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &foreachStmt{varName: v, domain: dom, body: body}, nil
+	case "return":
+		p.i++
+		e, err := p.exprUntilSemicolon()
+		if err != nil {
+			return nil, err
+		}
+		return &returnStmt{expr: e}, nil
+	case "commit":
+		p.i++
+		if p.peek() == "repair" {
+			p.i++
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &commitStmt{}, nil
+	case "abort":
+		p.i++
+		reason := p.next()
+		if !isIdent(reason) {
+			return nil, fmt.Errorf("bad abort reason %q", reason)
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &abortStmt{reason: reason}, nil
+	}
+	// Method or procedure call: recv.method(args); or proc(args);
+	name := p.next()
+	if !isIdent(name) {
+		return nil, fmt.Errorf("unexpected token %q", name)
+	}
+	recv, method := "", name
+	if p.peek() == "." {
+		p.i++
+		recv, method = name, p.next()
+		if !isIdent(method) {
+			return nil, fmt.Errorf("bad method name %q", method)
+		}
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []constraint.Expr
+	for p.peek() != ")" {
+		a, err := p.exprUntil(func(t string, depth int) bool {
+			return depth == 0 && (t == "," || t == ")")
+		})
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.peek() == "," {
+			p.i++
+		}
+	}
+	p.i++ // ")"
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &callStmt{recv: recv, method: method, args: args}, nil
+}
+
+// parenExpr parses "(" expr ")".
+func (p *parser) parenExpr() (constraint.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.exprUntil(func(t string, depth int) bool { return depth == 0 && t == ")" })
+	if err != nil {
+		return nil, err
+	}
+	p.i++ // ")"
+	return e, nil
+}
+
+func (p *parser) exprUntilSemicolon() (constraint.Expr, error) {
+	e, err := p.exprUntil(func(t string, depth int) bool { return depth == 0 && t == ";" })
+	if err != nil {
+		return nil, err
+	}
+	p.i++ // ";"
+	return e, nil
+}
+
+func (p *parser) exprUntilBrace() (constraint.Expr, error) {
+	return p.exprUntil(func(t string, depth int) bool { return depth == 0 && t == "{" })
+}
+
+// exprUntil slices raw source from the current token up to (exclusive) the
+// first token satisfying stop, and hands it to the constraint parser.
+// depth tracks parentheses so stops inside nested calls don't trigger.
+func (p *parser) exprUntil(stop func(t string, depth int) bool) (constraint.Expr, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("expected expression, found end of input")
+	}
+	start := p.toks[p.i].pos
+	depth := 0
+	j := p.i
+	for ; j < len(p.toks); j++ {
+		t := p.toks[j].text
+		if stop(t, depth) {
+			break
+		}
+		switch t {
+		case "(":
+			depth++
+		case ")":
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')' in expression")
+			}
+		}
+	}
+	if j >= len(p.toks) {
+		return nil, fmt.Errorf("unterminated expression near offset %d", start)
+	}
+	raw := strings.TrimSpace(p.src[start:p.toks[j].pos])
+	e, err := constraint.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	p.i = j
+	return e, nil
+}

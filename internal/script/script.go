@@ -1,0 +1,158 @@
+// Package script implements the repair-script language of Figure 5: an
+// imperative layer over the constraint expression language in which repair
+// strategies and tactics are written:
+//
+//	strategy fixLatency(badClient : ClientT) = {
+//	    if (fixServerLoad(badClient)) { commit repair; }
+//	    else { if (fixBandwidth(badClient)) { commit repair; }
+//	           else { abort ModelError; } }
+//	}
+//
+//	tactic fixServerLoad(client : ClientT) : boolean = {
+//	    let loaded : set = select sgrp : ServerGroupT in self.Components |
+//	        connected(sgrp, client) and sgrp.load > maxServerLoad;
+//	    if (size(loaded) == 0) { return false; }
+//	    foreach sGrp in loaded { sGrp.addServer(); }
+//	    return size(loaded) > 0;
+//	}
+//
+// The paper's prototype hand-coded its repairs "using a form that could be
+// generated from the repair strategies in Figure 5"; this package closes
+// that gap: Compile turns the Figure 5 text into repair.Strategy values that
+// run on the same engine as the hand-coded Go tactics.
+//
+// Statements: `let x [: type] = expr;`, `if (expr) {..} [else {..}]`,
+// `foreach v in expr {..}`, `return expr;`, `commit repair;`,
+// `abort Name;`, and method/procedure calls `recv.method(args);`.
+// Expressions are exactly the constraint language (select/exists/forall,
+// connected, attached, size, style functions). Style operators (addServer,
+// move, remove) are supplied by an OperatorSet.
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"archadapt/internal/constraint"
+)
+
+// ---- tokens ----
+
+type tok struct {
+	text string
+	pos  int // byte offset in source
+	end  int
+}
+
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, tok{text: src[i:j], pos: i, end: j})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, tok{text: src[i:j], pos: i, end: j})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("script: unterminated string at %d", i)
+			}
+			toks = append(toks, tok{text: src[i : j+1], pos: i, end: j + 1})
+			i = j + 1
+		case strings.ContainsRune("{}();,.|:", rune(c)):
+			toks = append(toks, tok{text: string(c), pos: i, end: i + 1})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, tok{text: src[i : i+2], pos: i, end: i + 2})
+				i += 2
+			} else {
+				toks = append(toks, tok{text: string(c), pos: i, end: i + 1})
+				i++
+			}
+		case strings.ContainsRune("+-*/", rune(c)):
+			toks = append(toks, tok{text: string(c), pos: i, end: i + 1})
+			i++
+		default:
+			return nil, fmt.Errorf("script: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+// ---- AST ----
+
+type stmt interface{ isStmt() }
+
+type letStmt struct {
+	name string
+	expr constraint.Expr
+}
+
+type ifStmt struct {
+	cond      constraint.Expr
+	then, els []stmt
+}
+
+type foreachStmt struct {
+	varName string
+	domain  constraint.Expr
+	body    []stmt
+}
+
+type returnStmt struct{ expr constraint.Expr }
+
+type commitStmt struct{}
+
+type abortStmt struct{ reason string }
+
+type callStmt struct {
+	recv   string // "" for plain procedure calls
+	method string
+	args   []constraint.Expr
+}
+
+func (*letStmt) isStmt()     {}
+func (*ifStmt) isStmt()      {}
+func (*foreachStmt) isStmt() {}
+func (*returnStmt) isStmt()  {}
+func (*commitStmt) isStmt()  {}
+func (*abortStmt) isStmt()   {}
+func (*callStmt) isStmt()    {}
+
+// param is a declared strategy/tactic parameter.
+type param struct {
+	name string
+	typ  string
+}
+
+// Def is one parsed strategy or tactic definition.
+type Def struct {
+	Kind   string // "strategy" or "tactic"
+	Name   string
+	params []param
+	body   []stmt
+}

@@ -1,0 +1,239 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"archadapt/internal/constraint"
+	"archadapt/internal/model"
+	"archadapt/internal/repair"
+)
+
+// testModel builds a one-client, two-group model with thresholds.
+func testModel() *model.System {
+	s := model.NewSystem("t", "ClientServerFam")
+	s.Props().Set("maxLatency", 2.0)
+	s.Props().Set("maxServerLoad", 6.0)
+	s.Props().Set("minBandwidth", 10e3)
+	g1 := s.AddComponent("G1", "ServerGroupT")
+	g1.AddPort("provide", "ProvideT")
+	g1.Props().Set("load", 1.0)
+	g2 := s.AddComponent("G2", "ServerGroupT")
+	g2.AddPort("provide", "ProvideT")
+	g2.Props().Set("load", 0.0)
+	c := s.AddComponent("C1", "ClientT")
+	c.AddPort("request", "RequestT")
+	c.Props().Set("averageLatency", 5.0)
+	conn := s.AddConnector("G1Conn", "ReqConnT")
+	conn.AddRole("server", "ServerRoleT")
+	r := conn.AddRole("C1Role", "ClientRoleT")
+	r.Props().Set("bandwidth", 5e3)
+	_ = s.Attach(g1.Port("provide"), conn.Role("server"))
+	_ = s.Attach(c.Port("request"), r)
+	return s
+}
+
+func violation(s *model.System) constraint.Violation {
+	inv := constraint.MustInvariant("latencyBound", "ClientT", "averageLatency <= maxLatency")
+	vs := inv.Check(s, nil, true)
+	if len(vs) != 1 {
+		panic("want one violation")
+	}
+	return vs[0]
+}
+
+// run compiles src with ops and executes strategy `name` on the model.
+func run(t *testing.T, src string, ops OperatorSet, s *model.System) repair.Outcome {
+	t.Helper()
+	lib, err := Compile(src, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strat *repair.Strategy
+	for _, st := range lib.Strategies {
+		strat = st
+	}
+	return strat.Execute(s, violation(s), nil, 0)
+}
+
+func TestCommitAndModelMutation(t *testing.T) {
+	s := testModel()
+	called := 0
+	ops := OperatorSet{
+		Methods: map[string]Method{
+			"poke": func(ctx *repair.Context, recv constraint.Value, args []constraint.Value) error {
+				called++
+				ctx.Txn.SetProp(recv.Elem, "poked", true)
+				return nil
+			},
+		},
+	}
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            cli.poke();
+            commit repair;
+        }`, ops, s)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if called != 1 {
+		t.Fatalf("method called %d times", called)
+	}
+	if !s.Component("C1").Props().BoolOr("poked", false) {
+		t.Fatal("mutation missing after commit")
+	}
+}
+
+func TestNoCommitMeansNotApplied(t *testing.T) {
+	s := testModel()
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            let x : float = 1 + 1;
+        }`, OperatorSet{}, s)
+	if !errors.Is(out.Err, repair.ErrNoTacticApplied) {
+		t.Fatalf("err=%v", out.Err)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	s := testModel()
+	snap := s.Clone()
+	ops := OperatorSet{
+		Methods: map[string]Method{
+			"poke": func(ctx *repair.Context, recv constraint.Value, args []constraint.Value) error {
+				ctx.Txn.SetProp(recv.Elem, "poked", true)
+				return nil
+			},
+		},
+	}
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            cli.poke();
+            abort ModelError;
+        }`, ops, s)
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "ModelError") {
+		t.Fatalf("err=%v", out.Err)
+	}
+	if !s.Equal(snap) {
+		t.Fatal("abort did not roll back")
+	}
+}
+
+func TestIfElseAndLet(t *testing.T) {
+	s := testModel()
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            let lat : float = cli.averageLatency;
+            if (lat > maxLatency) { commit repair; }
+            else { abort Unreachable; }
+        }`, OperatorSet{}, s)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+}
+
+func TestForeachIteratesSelect(t *testing.T) {
+	s := testModel()
+	var poked []string
+	ops := OperatorSet{
+		Methods: map[string]Method{
+			"mark": func(ctx *repair.Context, recv constraint.Value, args []constraint.Value) error {
+				poked = append(poked, recv.Elem.Name())
+				return nil
+			},
+		},
+	}
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            foreach g in select x : ServerGroupT in self.Components | x.load >= 0 {
+                g.mark();
+            }
+            commit repair;
+        }`, ops, s)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(poked) != 2 || poked[0] != "G1" || poked[1] != "G2" {
+		t.Fatalf("poked=%v", poked)
+	}
+}
+
+func TestTacticCallAndReturn(t *testing.T) {
+	s := testModel()
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            if (isBad(cli)) { commit repair; }
+            else { abort NotBad; }
+        }
+        tactic isBad(c : ClientT) : boolean = {
+            return c.averageLatency > maxLatency;
+        }`, OperatorSet{}, s)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+}
+
+func TestStyleFuncsAvailable(t *testing.T) {
+	s := testModel()
+	ops := OperatorSet{
+		Funcs: map[string]func([]constraint.Value) (constraint.Value, error){
+			"answer": func([]constraint.Value) (constraint.Value, error) {
+				return constraint.Num(42), nil
+			},
+		},
+	}
+	out := run(t, `
+        strategy fix(cli : ClientT) = {
+            if (answer() == 42) { commit repair; }
+        }`, ops, s)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`strategy = { }`,
+		`strategy f() = { let ; }`,
+		`strategy f() = { if true { } }`, // missing parens
+		`strategy f() = { foreach in x { } }`,
+		`strategy f() = { commit repair }`, // missing semicolon
+		`strategy f() = { abort; }`,
+		`strategy f() = { x.y(; }`,
+		`strategy f() = { 5; }`,
+		`tactic only() : boolean = { return true; }`, // no strategy
+		`strategy f() = { unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src, OperatorSet{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	s := testModel()
+	cases := map[string]string{
+		"unknown method":   `strategy f(c : ClientT) = { c.nosuch(); }`,
+		"unknown receiver": `strategy f(c : ClientT) = { ghost.move(c); }`,
+		"unknown proc":     `strategy f(c : ClientT) = { nosuch(); }`,
+		"foreach non-set":  `strategy f(c : ClientT) = { foreach x in 5 { commit repair; } }`,
+		"bad condition":    `strategy f(c : ClientT) = { if (5) { commit repair; } }`,
+	}
+	for name, src := range cases {
+		out := run(t, src, OperatorSet{}, s)
+		if out.Err == nil {
+			t.Errorf("%s: expected runtime error", name)
+		}
+	}
+}
+
+func TestTwoParamStrategyRejected(t *testing.T) {
+	s := testModel()
+	out := run(t, `strategy f(a : ClientT, b : ClientT) = { commit repair; }`, OperatorSet{}, s)
+	if out.Err == nil {
+		t.Fatal("two-parameter strategy should fail at runtime")
+	}
+}

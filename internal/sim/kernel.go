@@ -1,0 +1,199 @@
+// Package sim provides the discrete-event simulation kernel on which every
+// other subsystem in this repository runs.
+//
+// The paper's evaluation is a pair of 30-minute wall-clock runs on a physical
+// testbed. Here the testbed is simulated, so time is virtual: events are
+// executed in (time, sequence) order by a single goroutine, which makes runs
+// deterministic and lets a 1800-second experiment finish in milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of a run.
+type Time = float64
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO tie-break on a monotonic sequence number).
+type Event struct {
+	At   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running bool
+	stopped bool
+	// Executed counts events that have fired; useful for tests and for
+	// detecting runaway scheduling loops.
+	executed uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events that have fired so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past (t < Now) is a
+// programming error and panics: the kernel cannot rewind its clock.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: at=%.9f now=%.9f", t, k.now))
+	}
+	e := &Event{At: t, seq: k.seq, fn: fn, idx: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn d seconds from now. Negative delays are clamped to zero.
+func (k *Kernel) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in order until the queue is empty or the clock would
+// pass `until`. Events scheduled exactly at `until` are executed. It returns
+// the number of events executed by this call.
+func (k *Kernel) Run(until Time) uint64 {
+	if k.running {
+		panic("sim: Run re-entered")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	var n uint64
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.At > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.dead {
+			continue
+		}
+		k.now = e.At
+		e.fn()
+		k.executed++
+		n++
+	}
+	// Advance the clock to the horizon so that successive Run calls with
+	// increasing horizons behave like one continuous run.
+	if !k.stopped && k.now < until {
+		k.now = until
+	}
+	return n
+}
+
+// RunAll executes every queued event (including events scheduled by events)
+// until the queue drains. It panics after maxEvents to catch runaway loops;
+// pass 0 for the default of 100 million.
+func (k *Kernel) RunAll(maxEvents uint64) uint64 {
+	if maxEvents == 0 {
+		maxEvents = 100_000_000
+	}
+	var n uint64
+	for len(k.queue) > 0 {
+		if n >= maxEvents {
+			panic(fmt.Sprintf("sim: RunAll exceeded %d events at t=%.3f", maxEvents, k.now))
+		}
+		e := heap.Pop(&k.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		k.now = e.At
+		e.fn()
+		k.executed++
+		n++
+	}
+	return n
+}
+
+// Ticker invokes fn every period seconds, starting at start, until the
+// returned stop function is called. fn receives the tick time.
+func (k *Kernel) Ticker(start Time, period float64, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic("sim: Ticker period must be positive")
+	}
+	stopped := false
+	var tick func()
+	at := start
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(k.now)
+		at += period
+		k.At(at, tick)
+	}
+	k.At(start, tick)
+	return func() { stopped = true }
+}

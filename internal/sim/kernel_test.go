@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4, 2.5}
+	for _, at := range times {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run(10)
+	want := append([]float64(nil), times...)
+	sort.Float64s(want)
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v (order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKernelFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(1.0, func() { got = append(got, i) })
+	}
+	k.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestKernelHorizon(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(1, func() { fired++ })
+	k.At(2, func() { fired++ })
+	k.At(3, func() { fired++ })
+	if n := k.Run(2); n != 2 {
+		t.Fatalf("Run(2) executed %d events, want 2", n)
+	}
+	if k.Now() != 2 {
+		t.Fatalf("clock at %v after Run(2), want 2", k.Now())
+	}
+	if n := k.Run(5); n != 1 {
+		t.Fatalf("second Run executed %d, want 1", n)
+	}
+	if fired != 3 {
+		t.Fatalf("fired=%d, want 3", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock should advance to horizon, got %v", k.Now())
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(1, func() { fired = true })
+	e.Cancel()
+	k.Run(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Executed() != 0 {
+		t.Fatalf("executed=%d, want 0", k.Executed())
+	}
+}
+
+func TestKernelEventsScheduleEvents(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			k.After(0.5, recur)
+		}
+	}
+	k.At(0, recur)
+	k.Run(49.5) // exactly the time of the 100th call
+	if depth != 100 {
+		t.Fatalf("depth=%d, want 100", depth)
+	}
+	if k.Executed() != 100 {
+		t.Fatalf("executed=%d, want 100", k.Executed())
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() {})
+	k.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(1, func() {})
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel()
+	var ticks []float64
+	stop := k.Ticker(1, 2, func(now float64) { ticks = append(ticks, now) })
+	k.At(8, func() { stop() })
+	k.Run(20)
+	want := []float64{1, 3, 5, 7}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks=%v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks=%v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestRunAllDrains(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	for i := 0; i < 50; i++ {
+		k.At(float64(i), func() { n++ })
+	}
+	if got := k.RunAll(0); got != 50 {
+		t.Fatalf("RunAll executed %d, want 50", got)
+	}
+	if n != 50 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	r := NewRand(7)
+	a := r.Fork("clients")
+	b := r.Fork("servers")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("forked streams start identically")
+	}
+	// Fork must be a pure function of (seed, label).
+	r2 := NewRand(7)
+	a2 := r2.Fork("clients")
+	aa, aa2 := NewRand(7).Fork("clients").Uint64(), a2.Uint64()
+	if aa != aa2 {
+		t.Fatal("Fork not deterministic")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(123)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Fatalf("Exp mean=%v, want ~2.0", mean)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 1; i < 50; i++ {
+			v := r.Intn(i)
+			if v < 0 || v >= i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: event execution order equals sorted (time, seq) order for random
+// schedules.
+func TestKernelOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		k := NewKernel()
+		type stamp struct {
+			at  float64
+			seq int
+		}
+		var fired []stamp
+		for i, v := range raw {
+			at := float64(v%997) / 10
+			i := i
+			k.At(at, func() { fired = append(fired, stamp{at, i}) })
+		}
+		k.Run(1e9)
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package translator bridges the model layer to the runtime layer (Figure 1,
+// arrow 5): it expands each semantic repair operation into the Table 1
+// environment-manager calls that realize it. The paper notes this component
+// was hand-tailored per platform; here it is hand-tailored to the simulated
+// grid testbed.
+package translator
+
+import (
+	"fmt"
+
+	"archadapt/internal/envmgr"
+	"archadapt/internal/repair"
+)
+
+// Translator applies model-level ops through the environment manager.
+type Translator struct {
+	Env *envmgr.Manager
+	// Applied records the expansion trace for tests and the repair log.
+	Applied []string
+}
+
+// New creates a translator over an environment manager.
+func New(env *envmgr.Manager) *Translator {
+	return &Translator{Env: env}
+}
+
+// Apply implements repair.Translator.
+func (t *Translator) Apply(op repair.Op) error {
+	switch op.Kind {
+	case repair.OpAddServer:
+		// The model chose the spare; realize it as connect (if the server is
+		// parked on another queue) + activate.
+		srv := t.Env.App.Server(op.Server)
+		if srv == nil {
+			return fmt.Errorf("translator: unknown server %q", op.Server)
+		}
+		if srv.Group != op.Group {
+			if err := t.Env.ConnectServer(op.Server, op.Group); err != nil {
+				return err
+			}
+			t.Applied = append(t.Applied, fmt.Sprintf("connectServer(%s,%s)", op.Server, op.Group))
+		}
+		if err := t.Env.ActivateServer(op.Server); err != nil {
+			return err
+		}
+		t.Applied = append(t.Applied, fmt.Sprintf("activateServer(%s)", op.Server))
+		return nil
+	case repair.OpRemoveServer:
+		if err := t.Env.DeactivateServer(op.Server); err != nil {
+			return err
+		}
+		t.Applied = append(t.Applied, fmt.Sprintf("deactivateServer(%s)", op.Server))
+		return nil
+	case repair.OpMoveClient:
+		if err := t.Env.MoveClient(op.Client, op.Group); err != nil {
+			return err
+		}
+		t.Applied = append(t.Applied, fmt.Sprintf("moveClient(%s,%s)", op.Client, op.Group))
+		return nil
+	case repair.OpCreateQueue:
+		if err := t.Env.CreateReqQueue(op.Group); err != nil {
+			return err
+		}
+		t.Applied = append(t.Applied, fmt.Sprintf("createReqQueue(%s)", op.Group))
+		return nil
+	}
+	return fmt.Errorf("translator: unknown op kind %v", op.Kind)
+}
