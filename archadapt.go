@@ -33,6 +33,7 @@ import (
 	"archadapt/internal/core"
 	"archadapt/internal/envmgr"
 	"archadapt/internal/experiment"
+	"archadapt/internal/fleet"
 	"archadapt/internal/metrics"
 	"archadapt/internal/model"
 	"archadapt/internal/netsim"
@@ -248,6 +249,65 @@ type Series = metrics.Series
 // ASCIIPlot renders series as a terminal plot.
 func ASCIIPlot(title string, series []*Series, width, height int, logScale bool, yMin, yMax float64) string {
 	return metrics.ASCIIPlot(title, series, width, height, logScale, yMin, yMax)
+}
+
+// --- grid topology generation & fleet control plane ---
+
+// GridSpec parameterizes a generated grid topology (routers, hosts per
+// router, link capacities) scaling the Figure 6 testbed shape.
+type GridSpec = netsim.GridSpec
+
+// Grid is a generated grid topology with the structure placement needs.
+type Grid = netsim.Grid
+
+// GenerateGrid builds a grid topology on a fresh network bound to k.
+func GenerateGrid(k *Kernel, spec GridSpec) *Grid { return netsim.GenerateGrid(k, spec) }
+
+// Fleet is the grid control plane: it admits, places, runs and retires many
+// managed applications on one shared simulated grid, each with its own
+// architecture manager multiplexed over the shared kernel.
+type Fleet = fleet.Fleet
+
+// FleetConfig tunes the fleet control plane.
+type FleetConfig = fleet.Config
+
+// FleetAppSpec describes one managed application to admit.
+type FleetAppSpec = fleet.AppSpec
+
+// FleetApp is a handle on one admitted application.
+type FleetApp = fleet.App
+
+// FleetAppSummary is one application's aggregate row.
+type FleetAppSummary = fleet.AppSummary
+
+// FleetAssignment maps one application's processes onto grid hosts.
+type FleetAssignment = fleet.Assignment
+
+// FleetScheduler places applications on grid hosts.
+type FleetScheduler = fleet.Scheduler
+
+// FleetScenarioOptions configures a canned fleet run.
+type FleetScenarioOptions = fleet.ScenarioOptions
+
+// FleetScenarioResult bundles a finished fleet run with its summaries.
+type FleetScenarioResult = fleet.ScenarioResult
+
+// NewFleet creates a fleet control plane over a generated grid.
+func NewFleet(k *Kernel, grid *Grid, seed uint64, cfg FleetConfig) (*Fleet, error) {
+	return fleet.New(k, grid, seed, cfg)
+}
+
+// RunFleetScenario executes one canned fleet run to completion.
+func RunFleetScenario(opts FleetScenarioOptions) (*FleetScenarioResult, error) {
+	return fleet.RunScenario(opts)
+}
+
+// FleetTable renders per-app summaries as a fixed-width table.
+func FleetTable(sums []FleetAppSummary) string { return fleet.Table(sums) }
+
+// FleetCompareTable renders a per-app control-vs-adaptive comparison.
+func FleetCompareTable(control, adaptive []FleetAppSummary) string {
+	return fleet.CompareTable(control, adaptive)
 }
 
 // --- design-time analysis ---

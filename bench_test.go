@@ -20,6 +20,7 @@ package archadapt
 // Shape expectations (not absolute numbers) are recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 
 	"archadapt/internal/envmgr"
@@ -375,6 +376,36 @@ func BenchmarkRemosQueries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rm.GetFlow(h, a, c, func(float64) {})
 		k.RunAll(0)
+	}
+}
+
+// BenchmarkFleet measures the fleet control plane as the application count
+// grows: N managed applications, each with its own architecture manager,
+// multiplexed over one shared kernel and grid under staggered contention.
+// ms/app is the per-application wall-clock overhead of a 600-second run —
+// the baseline later sharding/batching PRs must beat.
+func BenchmarkFleet(b *testing.B) {
+	for _, n := range []int{4, 16, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var repairs int
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleetScenario(FleetScenarioOptions{
+					Apps: n, Seed: benchSeed(i), Duration: 600, Adaptive: true,
+					CrushStart: 120, CrushStagger: 5, CrushDuration: 240,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := len(res.Summaries); got != n {
+					b.Fatalf("admitted %d apps, want %d", got, n)
+				}
+				for _, s := range res.Summaries {
+					repairs += s.Repairs
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/1e3/float64(b.N*n), "ms/app")
+			b.ReportMetric(float64(repairs)/float64(b.N*n), "repairs/app")
+		})
 	}
 }
 

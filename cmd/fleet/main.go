@@ -1,0 +1,103 @@
+// Command fleet runs many managed applications concurrently on one shared
+// generated grid and prints a per-app comparison table — the grid-scale
+// version of cmd/archadapt's single-application evaluation.
+//
+// Usage:
+//
+//	fleet [-apps N] [-mode both|control|adaptive] [-seed N] [-duration S]
+//	      [-routers N] [-hosts-per-router N] [-host-capacity N]
+//	      [-admit-stagger S] [-crush-start S] [-crush-stagger S]
+//	      [-crush-duration S] [-caching] [-settle S]
+//
+// With -mode both (the default) it runs the same fleet twice — once as pure
+// observers, once with repairs enabled — and prints the per-app comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archadapt"
+)
+
+func main() {
+	apps := flag.Int("apps", 32, "number of applications to admit")
+	mode := flag.String("mode", "both", "control | adaptive | both")
+	seed := flag.Uint64("seed", 1, "fleet seed (drives every stochastic stream)")
+	duration := flag.Float64("duration", 600, "run duration in simulated seconds")
+	routers := flag.Int("routers", 0, "backbone routers (0 = auto-size for -apps)")
+	hostsPerRouter := flag.Int("hosts-per-router", 0, "hosts per router (0 = auto)")
+	hostCap := flag.Int("host-capacity", 1, "process slots per host")
+	admitStagger := flag.Float64("admit-stagger", 0, "seconds between admissions")
+	crushStart := flag.Float64("crush-start", 120, "first contention onset (<0 disables)")
+	crushStagger := flag.Float64("crush-stagger", 5, "seconds between per-app contention onsets")
+	crushDuration := flag.Float64("crush-duration", 240, "contention duration per app")
+	caching := flag.Bool("caching", false, "enable gauge caching (§5.3 extension)")
+	settle := flag.Float64("settle", 0, "repair settle time in seconds")
+	flag.Parse()
+	switch *mode {
+	case "control", "adaptive", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "fleet: unknown -mode %q (want control|adaptive|both)\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := archadapt.DefaultConfig()
+	cfg.GaugeCaching = *caching
+	cfg.SettleTime = *settle
+	base := archadapt.FleetScenarioOptions{
+		Apps:           *apps,
+		Seed:           *seed,
+		Duration:       *duration,
+		Routers:        *routers,
+		HostsPerRouter: *hostsPerRouter,
+		HostCapacity:   *hostCap,
+		AdmitStagger:   *admitStagger,
+		CrushStart:     *crushStart,
+		CrushStagger:   *crushStagger,
+		CrushDuration:  *crushDuration,
+		Manager:        cfg,
+	}
+
+	run := func(adaptive bool) *archadapt.FleetScenarioResult {
+		kind := "control"
+		if adaptive {
+			kind = "adaptive"
+		}
+		opts := base
+		opts.Adaptive = adaptive
+		res, err := archadapt.RunFleetScenario(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %s run: %v\n", kind, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ran %s fleet: %s, %d apps admitted, %d rejected\n",
+			kind, res.Grid, len(res.Summaries), len(res.Fleet.Rejections()))
+		for _, rej := range res.Fleet.Rejections() {
+			fmt.Fprintf(os.Stderr, "  rejected %s at t=%.0f: %v\n", rej.Name, rej.Time, rej.Err)
+		}
+		return res
+	}
+
+	var control, adaptive *archadapt.FleetScenarioResult
+	if *mode == "control" || *mode == "both" {
+		control = run(false)
+	}
+	if *mode == "adaptive" || *mode == "both" {
+		adaptive = run(true)
+	}
+
+	if control != nil && (*mode == "control" || adaptive == nil) {
+		fmt.Println("=== control fleet ===")
+		fmt.Print(control.Table())
+	}
+	if adaptive != nil {
+		fmt.Println("=== adaptive fleet ===")
+		fmt.Print(adaptive.Table())
+	}
+	if control != nil && adaptive != nil {
+		fmt.Println("=== per-app control vs adaptive ===")
+		fmt.Print(archadapt.FleetCompareTable(control.Summaries, adaptive.Summaries))
+	}
+}

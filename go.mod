@@ -1,0 +1,3 @@
+module archadapt
+
+go 1.24

@@ -89,42 +89,20 @@ func Run(opts Options) *Results {
 		Groups:    tb.App.Groups(),
 	}
 
-	// Ground-truth samplers. Client latency is a sliding-window average of
-	// completed responses, but while a client is wedged (no responses at
-	// all) the window would go silent and hide the outage; the sampler then
-	// reports the age of the oldest outstanding request — what a user would
-	// actually be experiencing.
-	windows := map[string]*metrics.Window{}
-	outstanding := map[string]map[uint64]float64{}
+	// Ground-truth samplers (window average, or age of the oldest
+	// outstanding request while a client is wedged — see app.ObserveLatency).
+	obs := app.ObserveLatency(tb.App, tb.App.Clients(), 30)
 	for _, name := range tb.App.Clients() {
-		name := name
 		res.Latency[name] = metrics.NewSeries("latency:" + name)
 		res.Bandwidth[name] = metrics.NewSeries("bandwidth:" + name)
-		windows[name] = metrics.NewWindow(30)
-		outstanding[name] = map[uint64]float64{}
-		cli := tb.App.Client(name)
-		cli.OnSend = append(cli.OnSend, func(r *app.Request) {
-			outstanding[name][r.ID] = r.SentAt
-		})
-		cli.OnResponse = append(cli.OnResponse, func(r app.Response) {
-			delete(outstanding[name], r.Req.ID)
-			windows[name].Add(r.DoneAt, r.Latency)
-		})
 	}
 	for _, g := range tb.App.Groups() {
 		res.Queue[g] = metrics.NewSeries("queue:" + g)
 	}
-	tb.App.OnDrop = append(tb.App.OnDrop, func(r *app.Request) {
-		delete(outstanding[r.Client], r.ID)
-	})
 
 	tb.K.Ticker(opts.SamplePeriod, opts.SamplePeriod, func(now float64) {
 		for _, name := range tb.App.Clients() {
-			v, ok := windows[name].Avg(now)
-			if oldest, age := oldestOutstanding(outstanding[name], now); oldest && age > v {
-				v, ok = age, true
-			}
-			if ok {
+			if v, ok := obs.Sample(name, now); ok {
 				res.Latency[name].Add(now, v)
 			}
 			cli := tb.App.Client(name)
@@ -159,17 +137,6 @@ func Run(opts Options) *Results {
 	}
 	res.Dropped = tb.App.DroppedRequests()
 	return res
-}
-
-func oldestOutstanding(m map[uint64]float64, now float64) (bool, float64) {
-	oldest := -1.0
-	for _, sentAt := range m {
-		age := now - sentAt
-		if age > oldest {
-			oldest = age
-		}
-	}
-	return oldest >= 0, oldest
 }
 
 // Summary aggregates a run for EXPERIMENTS.md and bench output.

@@ -1,0 +1,555 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"archadapt/internal/app"
+	"archadapt/internal/core"
+	"archadapt/internal/metrics"
+	"archadapt/internal/model"
+	"archadapt/internal/netsim"
+	"archadapt/internal/operators"
+	"archadapt/internal/remos"
+	"archadapt/internal/repair"
+	"archadapt/internal/sim"
+)
+
+// Config tunes the fleet control plane.
+type Config struct {
+	// Manager is the per-application architecture-manager configuration.
+	Manager core.Config
+	// Adaptive enables repairs; false runs every manager as a pure observer
+	// (the fleet-wide control run).
+	Adaptive bool
+	// HostCapacity is the number of process slots per grid host (default 4).
+	HostCapacity int
+	// SamplePeriod of the fleet's ground-truth latency sampler (default 5 s).
+	SamplePeriod float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HostCapacity < 1 {
+		c.HostCapacity = 4
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 5
+	}
+	return c
+}
+
+// AppSpec describes one managed application to admit: a replicated
+// client/server system in the paper's architectural style, scaled by counts
+// rather than named element lists. Element names (SG1, S1, C1, …) are scoped
+// to the application; hosts are assigned by the scheduler.
+type AppSpec struct {
+	Name string
+	// Groups is the number of server groups (default 2: a primary and an
+	// alternative for bandwidth repairs to move clients to).
+	Groups int
+	// ServersPerGroup counts active replicas per group (default 2).
+	ServersPerGroup int
+	// SparesPerGroup counts additional inactive servers per group that load
+	// repairs can recruit (default 0).
+	SparesPerGroup int
+	// Clients counts request generators (default 2).
+	Clients int
+
+	// ClientRate is requests/sec per client (default 1). RespBits is the
+	// median reply size (default 8 KB, jittered per request).
+	ClientRate float64
+	RespBits   float64
+
+	// Task-layer thresholds; zero values default to the paper's 2 s latency
+	// bound, load 6, and 10 Kbps bandwidth floor.
+	MaxLatency    float64
+	MaxServerLoad float64
+	MinBandwidth  float64
+}
+
+func (s AppSpec) withDefaults() AppSpec {
+	if s.Groups < 1 {
+		s.Groups = 2
+	}
+	if s.ServersPerGroup < 1 {
+		s.ServersPerGroup = 2
+	}
+	if s.SparesPerGroup < 0 {
+		s.SparesPerGroup = 0
+	}
+	if s.Clients < 1 {
+		s.Clients = 2
+	}
+	if s.ClientRate <= 0 {
+		s.ClientRate = 1
+	}
+	if s.RespBits <= 0 {
+		s.RespBits = 8 * 8192
+	}
+	if s.MaxLatency <= 0 {
+		s.MaxLatency = 2
+	}
+	if s.MaxServerLoad <= 0 {
+		s.MaxServerLoad = 6
+	}
+	if s.MinBandwidth <= 0 {
+		s.MinBandwidth = 10e3
+	}
+	return s
+}
+
+// Spec expands the counts into the operators.Spec the model builder and
+// deployer consume. Group i is named SGi, its servers Si_j, clients Ci.
+func (s AppSpec) Spec() operators.Spec {
+	spec := operators.Spec{
+		Name:          s.Name,
+		MaxLatency:    s.MaxLatency,
+		MaxServerLoad: s.MaxServerLoad,
+		MinBandwidth:  s.MinBandwidth,
+	}
+	for g := 1; g <= s.Groups; g++ {
+		gs := operators.GroupSpec{
+			Name:        fmt.Sprintf("SG%d", g),
+			ActiveCount: s.ServersPerGroup,
+		}
+		for j := 1; j <= s.ServersPerGroup+s.SparesPerGroup; j++ {
+			gs.Servers = append(gs.Servers, fmt.Sprintf("S%d_%d", g, j))
+		}
+		spec.Groups = append(spec.Groups, gs)
+	}
+	for c := 1; c <= s.Clients; c++ {
+		spec.Clients = append(spec.Clients, operators.ClientSpec{
+			Name:  fmt.Sprintf("C%d", c),
+			Group: "SG1",
+		})
+	}
+	return spec
+}
+
+// App is one managed application running under the fleet: its processes, its
+// private architectural model and manager, and its ground-truth series.
+type App struct {
+	Name   string
+	Spec   AppSpec
+	Opspec operators.Spec
+	Assign *Assignment
+
+	Sys   *app.System
+	Model *model.System
+	Mgr   *core.Manager
+
+	// Latency holds one ground-truth series per client, sampled by the
+	// fleet's sampler (the per-app Figure 8/11 equivalent).
+	Latency map[string]*metrics.Series
+
+	AdmittedAt float64
+	// RetiredAt is -1 while the application is live.
+	RetiredAt float64
+
+	obs     *app.LatencyObserver
+	crushed []netsim.LinkID
+}
+
+// Live reports whether the application is still running.
+func (a *App) Live() bool { return a.RetiredAt < 0 }
+
+// Fleet multiplexes N managed applications over one shared kernel, network
+// and Remos collector. Each admitted application gets its own model, event
+// buses, gauges and repair engine; the fleet owns placement, admission,
+// retirement, and metric aggregation.
+type Fleet struct {
+	K    *sim.Kernel
+	Grid *netsim.Grid
+	Net  *netsim.Network
+	Rm   *remos.Service
+	Sch  *Scheduler
+	Cfg  Config
+
+	rng        *sim.Rand
+	apps       map[string]*App
+	order      []string
+	rejections []Rejection
+	crushes    map[netsim.LinkID]int // contention refcount per link (apps may share hosts)
+	stopSample func()
+}
+
+// Rejection records a failed admission (grid full or placement error).
+type Rejection struct {
+	Name string
+	Time float64
+	Err  error
+}
+
+// New creates a fleet control plane over a generated grid. The shared Remos
+// collector is reserved a slot on the least-loaded host, like the paper's
+// Remos collector living on the testbed.
+func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		K: k, Grid: grid, Net: grid.Net, Cfg: cfg,
+		rng:     sim.NewRand(seed),
+		apps:    map[string]*App{},
+		crushes: map[netsim.LinkID]int{},
+	}
+	f.Sch = NewScheduler(grid, cfg.HostCapacity, nil)
+	rmHost, err := f.Sch.Reserve()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: placing Remos collector: %w", err)
+	}
+	f.Rm = remos.New(k, grid.Net, rmHost)
+	f.Sch.Predict = func(src, dst netsim.NodeID) float64 {
+		if bw, ok := f.Rm.Predict(src, dst); ok {
+			return bw
+		}
+		// Cold pair: fall back to the instantaneous estimate; the admission
+		// path cannot block for a multi-minute collection.
+		return f.Net.AvailBandwidth(src, dst)
+	}
+	f.stopSample = k.Ticker(k.Now()+cfg.SamplePeriod, cfg.SamplePeriod, f.sample)
+	return f, nil
+}
+
+// Apps returns admitted application names in admission order (including
+// retired ones).
+func (f *Fleet) Apps() []string { return f.order }
+
+// App returns an application handle by name.
+func (f *Fleet) App(name string) *App { return f.apps[name] }
+
+// Live returns the number of currently running applications.
+func (f *Fleet) Live() int {
+	n := 0
+	for _, name := range f.order {
+		if f.apps[name].Live() {
+			n++
+		}
+	}
+	return n
+}
+
+// Rejections returns failed admissions.
+func (f *Fleet) Rejections() []Rejection { return f.rejections }
+
+// Admit places and starts one application at the current virtual time. It
+// can be called before the run starts or mid-run (from kernel context): the
+// application's clients, gauges and control loop all schedule from Now.
+func (f *Fleet) Admit(spec AppSpec) (*App, error) {
+	spec = spec.withDefaults()
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("app%02d", len(f.order)+len(f.rejections))
+	}
+	if _, dup := f.apps[spec.Name]; dup {
+		return nil, fmt.Errorf("fleet: duplicate application %q", spec.Name)
+	}
+	opspec := spec.Spec()
+	assign, err := f.Sch.Place(opspec)
+	if err != nil {
+		f.rejections = append(f.rejections, Rejection{Name: spec.Name, Time: f.K.Now(), Err: err})
+		return nil, err
+	}
+
+	a := &App{
+		Name: spec.Name, Spec: spec, Opspec: opspec, Assign: assign,
+		Latency:    map[string]*metrics.Series{},
+		AdmittedAt: f.K.Now(),
+		RetiredAt:  -1,
+	}
+
+	// Application processes on the shared network.
+	sys := app.New(f.K, f.Net, assign.QueueHost)
+	for _, g := range opspec.Groups {
+		if err := sys.CreateQueue(g.Name); err != nil {
+			f.Sch.Release(assign)
+			return nil, err
+		}
+		for i, srv := range g.Servers {
+			sys.AddServer(srv, assign.ServerHosts[srv], g.Name, 0.05, 0.4/(20*8192))
+			if i < g.ActiveCount {
+				if err := sys.Activate(srv); err != nil {
+					f.Sch.Release(assign)
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, c := range opspec.Clients {
+		cli := sys.AddClient(c.Name, assign.ClientHosts[c.Name], c.Group, spec.ClientRate,
+			f.rng.Fork("app:"+spec.Name+":client:"+c.Name))
+		r := f.rng.Fork("app:" + spec.Name + ":resp:" + c.Name)
+		median := spec.RespBits
+		cli.RespBits = func() float64 { return r.LogNormalAround(median, 0.35) }
+	}
+	a.Sys = sys
+
+	// Private architectural model and manager over the shared kernel/Remos.
+	mdl, err := operators.Build(opspec)
+	if err != nil {
+		f.Sch.Release(assign)
+		return nil, err
+	}
+	a.Model = mdl
+	cfg := f.Cfg.Manager
+	cfg.DisableRepairs = !f.Cfg.Adaptive
+	a.Mgr = core.New(cfg, f.K, f.Net, sys, mdl, assign.ManagerHost, f.Rm)
+
+	// Ground-truth latency sampling (window average, or the age of the
+	// oldest outstanding request while a client is wedged).
+	var clientNames []string
+	for _, c := range opspec.Clients {
+		clientNames = append(clientNames, c.Name)
+		a.Latency[c.Name] = metrics.NewSeries(spec.Name + "/latency:" + c.Name)
+	}
+	a.obs = app.ObserveLatency(sys, clientNames, 30)
+
+	a.Mgr.Deploy()
+	sys.Start()
+	f.apps[spec.Name] = a
+	f.order = append(f.order, spec.Name)
+	return a, nil
+}
+
+// Retire stops an application and returns its slots to the scheduler.
+// In-flight transfers drain naturally; the handle (and its series) survive
+// for fleet summaries.
+func (f *Fleet) Retire(name string) error {
+	a := f.apps[name]
+	if a == nil {
+		return fmt.Errorf("fleet: no application %q", name)
+	}
+	if !a.Live() {
+		return fmt.Errorf("fleet: application %q already retired", name)
+	}
+	a.Mgr.Stop()
+	a.Sys.StopClients()
+	f.RestorePrimary(name)
+	f.Sch.Release(a.Assign)
+	a.RetiredAt = f.K.Now()
+	return nil
+}
+
+// Stop halts every live application and the fleet sampler (end of run).
+// Unlike Retire it does not release scheduler slots — the run is over.
+func (f *Fleet) Stop() {
+	if f.stopSample != nil {
+		f.stopSample()
+		f.stopSample = nil
+	}
+	for _, name := range f.order {
+		a := f.apps[name]
+		if a.Live() {
+			a.Mgr.Stop()
+			a.Sys.StopClients()
+		}
+	}
+}
+
+// sample records each live application's per-client ground-truth latency.
+func (f *Fleet) sample(now float64) {
+	for _, name := range f.order {
+		a := f.apps[name]
+		if !a.Live() {
+			continue
+		}
+		for _, c := range a.Opspec.Clients {
+			if v, ok := a.obs.Sample(c.Name, now); ok {
+				a.Latency[c.Name].Add(now, v)
+			}
+		}
+	}
+}
+
+// CrushPrimary starves the access links of an application's primary-group
+// servers that are active right now — including any spares repairs have
+// recruited — (Figure 7-style bandwidth competition, aimed at one
+// application), leaving ≈5 Kbps available — below the 10 Kbps floor, so the
+// bandwidth tactic must move the clients to another group. Links are
+// refcounted across applications: when apps share hosts, one app's restore
+// never lifts another's still-active contention.
+func (f *Fleet) CrushPrimary(name string) error {
+	a := f.apps[name]
+	if a == nil {
+		return fmt.Errorf("fleet: no application %q", name)
+	}
+	if len(a.crushed) > 0 {
+		return nil // already crushed
+	}
+	primary := a.Opspec.Groups[0]
+	for _, srv := range a.Sys.ActiveServersOf(primary.Name) {
+		link := f.Grid.AccessLink(a.Assign.ServerHosts[srv])
+		f.crushes[link]++
+		if f.crushes[link] == 1 {
+			f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
+		}
+		a.crushed = append(a.crushed, link)
+	}
+	return nil
+}
+
+// RestorePrimary lifts the competition installed by CrushPrimary.
+func (f *Fleet) RestorePrimary(name string) {
+	a := f.apps[name]
+	if a == nil {
+		return
+	}
+	for _, link := range a.crushed {
+		f.crushes[link]--
+		if f.crushes[link] <= 0 {
+			delete(f.crushes, link)
+			f.Net.SetBackgroundBoth(link, 0)
+		}
+	}
+	a.crushed = nil
+}
+
+// AppSummary is one application's aggregate row.
+type AppSummary struct {
+	Name       string
+	AdmittedAt float64
+	RetiredAt  float64 // -1 if still live at fleet stop
+
+	Clients, Servers int
+	Responses        uint64
+	Dropped          uint64
+
+	// PeakLatency is the worst sampled client latency; FracAboveBound the
+	// fraction of (client, sample) points above the app's latency bound.
+	PeakLatency    float64
+	FracAboveBound float64
+
+	Repairs, Moves, Alerts int
+	MeanRepairSeconds      float64
+}
+
+// Summarize aggregates one application.
+func (a *App) Summarize() AppSummary {
+	s := AppSummary{
+		Name:       a.Name,
+		AdmittedAt: a.AdmittedAt,
+		RetiredAt:  a.RetiredAt,
+		Clients:    len(a.Opspec.Clients),
+		Servers:    len(a.Sys.Servers()),
+		Dropped:    a.Sys.DroppedRequests(),
+	}
+	for _, c := range a.Opspec.Clients {
+		s.Responses += a.Sys.Client(c.Name).Responses()
+	}
+	var above, total float64
+	for _, c := range a.Opspec.Clients {
+		ser := a.Latency[c.Name]
+		for i := 0; i < ser.Len(); i++ {
+			_, v := ser.At(i)
+			total++
+			if v > a.Spec.MaxLatency {
+				above++
+			}
+			if v > s.PeakLatency {
+				s.PeakLatency = v
+			}
+		}
+	}
+	if total > 0 {
+		s.FracAboveBound = above / total
+	}
+	spans := a.Mgr.Spans()
+	s.Repairs = len(spans)
+	for _, sp := range spans {
+		s.MeanRepairSeconds += sp.Duration()
+		for _, op := range sp.Ops {
+			if op.Kind == repair.OpMoveClient {
+				s.Moves++
+			}
+		}
+	}
+	if s.Repairs > 0 {
+		s.MeanRepairSeconds /= float64(s.Repairs)
+	}
+	s.Alerts = len(a.Mgr.Alerts())
+	return s
+}
+
+// Summaries aggregates every admitted application, in admission order.
+func (f *Fleet) Summaries() []AppSummary {
+	var out []AppSummary
+	for _, name := range f.order {
+		out = append(out, f.apps[name].Summarize())
+	}
+	return out
+}
+
+// Totals is the fleet-level aggregate.
+type Totals struct {
+	Apps, Live, Retired    int
+	Responses, Dropped     uint64
+	Repairs, Moves, Alerts int
+	// WorstFracAboveBound is the worst per-app violation fraction — the
+	// fleet's SLO headline.
+	WorstFracAboveBound float64
+}
+
+// Aggregate folds per-app summaries into fleet totals.
+func Aggregate(sums []AppSummary) Totals {
+	var t Totals
+	t.Apps = len(sums)
+	for _, s := range sums {
+		if s.RetiredAt >= 0 {
+			t.Retired++
+		} else {
+			t.Live++
+		}
+		t.Responses += s.Responses
+		t.Dropped += s.Dropped
+		t.Repairs += s.Repairs
+		t.Moves += s.Moves
+		t.Alerts += s.Alerts
+		if s.FracAboveBound > t.WorstFracAboveBound {
+			t.WorstFracAboveBound = s.FracAboveBound
+		}
+	}
+	return t
+}
+
+// Table renders per-app summaries as a fixed-width table.
+func Table(sums []AppSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %6s %6s %9s %8s %8s %7s %6s %6s %11s\n",
+		"app", "admitted", "retired", "cli", "srv", "responses", "dropped",
+		"peak-lat", ">bound%", "reps", "moves", "mean-repair")
+	for _, s := range sums {
+		retired := "-"
+		if s.RetiredAt >= 0 {
+			retired = fmt.Sprintf("%.0f", s.RetiredAt)
+		}
+		fmt.Fprintf(&b, "%-8s %9.0f %9s %6d %6d %9d %8d %7.2fs %6.1f%% %6d %6d %10.1fs\n",
+			s.Name, s.AdmittedAt, retired, s.Clients, s.Servers, s.Responses, s.Dropped,
+			s.PeakLatency, 100*s.FracAboveBound, s.Repairs, s.Moves, s.MeanRepairSeconds)
+	}
+	t := Aggregate(sums)
+	fmt.Fprintf(&b, "fleet: apps=%d live=%d retired=%d responses=%d dropped=%d repairs=%d moves=%d alerts=%d worst>bound=%.1f%%\n",
+		t.Apps, t.Live, t.Retired, t.Responses, t.Dropped, t.Repairs, t.Moves, t.Alerts,
+		100*t.WorstFracAboveBound)
+	return b.String()
+}
+
+// CompareTable renders a per-app control-vs-adaptive comparison (the fleet
+// version of the paper's Figures 8 vs 11). Rows pair by app name in control
+// order.
+func CompareTable(control, adaptive []AppSummary) string {
+	byName := map[string]AppSummary{}
+	for _, s := range adaptive {
+		byName[s.Name] = s
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %16s %18s %14s %12s\n",
+		"app", ">bound% ctl→adp", "peak-lat ctl→adp", "resp ctl→adp", "reps/moves")
+	for _, c := range control {
+		a, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %6.1f%% → %5.1f%% %7.2fs → %5.2fs %6d → %5d %8d/%d\n",
+			c.Name, 100*c.FracAboveBound, 100*a.FracAboveBound,
+			c.PeakLatency, a.PeakLatency, c.Responses, a.Responses,
+			a.Repairs, a.Moves)
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"testing"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/repair"
+	"archadapt/internal/sim"
+)
+
+// TestFleetAdmissionRetirement exercises the control-plane lifecycle:
+// admission at t=0, mid-run admission, retirement releasing slots, and the
+// retired application going quiet while the rest keep serving.
+func TestFleetAdmissionRetirement(t *testing.T) {
+	k := sim.NewKernel()
+	grid := netsim.GenerateGrid(k, netsim.GridSpec{Routers: 9, HostsPerRouter: 3, Seed: 3})
+	f, err := New(k, grid, 3, Config{HostCapacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AppSpec{Groups: 2, ServersPerGroup: 2, Clients: 2}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		s := spec
+		s.Name = name
+		if _, err := f.Admit(s); err != nil {
+			t.Fatalf("admitting %s: %v", name, err)
+		}
+	}
+	if got := f.Live(); got != 3 {
+		t.Fatalf("live = %d, want 3", got)
+	}
+	// 27 hosts, 1 reserved for Remos, 3 apps x 8 slots = 25 used: delta full.
+	s := spec
+	s.Name = "delta"
+	if _, err := f.Admit(s); err == nil {
+		t.Fatal("expected delta to be rejected on a full grid")
+	}
+	if len(f.Rejections()) != 1 || f.Rejections()[0].Name != "delta" {
+		t.Fatalf("rejections = %+v, want one for delta", f.Rejections())
+	}
+
+	// Retire beta mid-run; its freed slots admit epsilon.
+	var betaAtRetire, epsilonAdmitted uint64
+	k.At(200, func() {
+		if err := f.Retire("beta"); err != nil {
+			t.Errorf("retiring beta: %v", err)
+		}
+		betaAtRetire = f.App("beta").Sys.Client("C1").Responses()
+		s := spec
+		s.Name = "epsilon"
+		if _, err := f.Admit(s); err != nil {
+			t.Errorf("admitting epsilon after retirement: %v", err)
+		} else {
+			epsilonAdmitted = 1
+		}
+	})
+	k.Run(500)
+	f.Stop()
+	k.Run(620)
+
+	if epsilonAdmitted != 1 {
+		t.Fatal("epsilon was not admitted after beta's retirement")
+	}
+	if got := f.Live(); got != 3 {
+		t.Fatalf("live after retirement+admission = %d, want 3", got)
+	}
+	beta := f.App("beta")
+	if beta.RetiredAt != 200 {
+		t.Fatalf("beta.RetiredAt = %v, want 200", beta.RetiredAt)
+	}
+	// A retired app generates no new requests; allow the few in flight at
+	// retirement to drain.
+	if got := beta.Sys.Client("C1").Responses(); got > betaAtRetire+5 {
+		t.Fatalf("beta kept serving after retirement: %d -> %d", betaAtRetire, got)
+	}
+	for _, name := range []string{"alpha", "gamma", "epsilon"} {
+		if got := f.App(name).Sys.Client("C1").Responses(); got == 0 {
+			t.Fatalf("%s served no responses", name)
+		}
+	}
+	sums := f.Summaries()
+	if len(sums) != 4 {
+		t.Fatalf("summaries = %d, want 4", len(sums))
+	}
+	if epsilon := sums[3]; epsilon.AdmittedAt != 200 {
+		t.Fatalf("epsilon.AdmittedAt = %v, want 200", epsilon.AdmittedAt)
+	}
+}
+
+// TestFleetScenarioDeterministic asserts the acceptance criterion: two runs
+// with the same seed produce identical per-app summaries.
+func TestFleetScenarioDeterministic(t *testing.T) {
+	opts := ScenarioOptions{
+		Apps: 8, Seed: 11, Duration: 450, Adaptive: true,
+		CrushStart: 120, CrushStagger: 5, CrushDuration: 180,
+	}
+	r1, err := RunScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1, t2 := r1.Table(), r2.Table(); t1 != t2 {
+		t.Fatalf("summaries differ between identical runs:\n--- run 1\n%s--- run 2\n%s", t1, t2)
+	}
+}
+
+// TestFleetRepairsEachAppIndependently is the end-to-end acceptance test: a
+// fleet of 8 applications under staggered Figure 7-style contention, where
+// each application's manager must detect and repair its own latency
+// violation (by moving its clients to the healthy group) without help from —
+// or interference with — the others.
+func TestFleetRepairsEachAppIndependently(t *testing.T) {
+	opts := ScenarioOptions{
+		Apps: 8, Seed: 5, Duration: 600, Adaptive: true,
+		CrushStart: 120, CrushStagger: 10, CrushDuration: 300,
+	}
+	res, err := RunScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Summaries) != 8 {
+		t.Fatalf("admitted %d apps, want 8 (rejections: %v)", len(res.Summaries), res.Fleet.Rejections())
+	}
+	for _, s := range res.Summaries {
+		if s.Repairs == 0 {
+			t.Errorf("%s: no repairs fired", s.Name)
+		}
+		if s.Moves == 0 {
+			t.Errorf("%s: no client moves (bandwidth tactic never committed)", s.Name)
+		}
+		if s.Responses == 0 {
+			t.Errorf("%s: no responses", s.Name)
+		}
+		// The repair must actually have moved the clients off the crushed
+		// primary group.
+		a := res.Fleet.App(s.Name)
+		for _, c := range a.Opspec.Clients {
+			if grp := a.Sys.Client(c.Name).Group; grp == "SG1" {
+				t.Errorf("%s: client %s still on crushed SG1", s.Name, c.Name)
+			}
+		}
+	}
+
+	// Control comparison: without repairs the same contention leaves every
+	// app violating its bound far more of the time.
+	ctl, err := RunScenario(ScenarioOptions{
+		Apps: 8, Seed: 5, Duration: 600, Adaptive: false,
+		CrushStart: 120, CrushStagger: 10, CrushDuration: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ctl.Summaries {
+		a := res.Summaries[i]
+		if a.FracAboveBound >= c.FracAboveBound {
+			t.Errorf("%s: adaptive >bound %.1f%% not better than control %.1f%%",
+				a.Name, 100*a.FracAboveBound, 100*c.FracAboveBound)
+		}
+	}
+}
+
+// TestFleetCrushIsTargeted verifies the independence premise of the e2e
+// test: crushing one application's primary paths leaves other applications'
+// latency within bound (each process has its own host at capacity 1).
+func TestFleetCrushIsTargeted(t *testing.T) {
+	res, err := RunScenario(ScenarioOptions{
+		Apps: 4, Seed: 9, Duration: 400, Adaptive: false,
+		CrushStart: 120, CrushStagger: 1e9, // only app00 is ever crushed
+		CrushDuration: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crushed := res.Summaries[0]; crushed.FracAboveBound == 0 {
+		t.Error("app00 never violated its bound despite contention")
+	}
+	for _, s := range res.Summaries[1:] {
+		if s.FracAboveBound > 0.02 {
+			t.Errorf("%s: violated bound %.1f%% of samples while only app00 was crushed",
+				s.Name, 100*s.FracAboveBound)
+		}
+	}
+}
+
+// TestFleetNewOnAdvancedKernel: the control plane must stand up on a kernel
+// whose clock is already past the sample period (e.g. after a warm-up
+// phase) without scheduling in the past.
+func TestFleetNewOnAdvancedKernel(t *testing.T) {
+	k := sim.NewKernel()
+	k.Run(50) // advance the clock with an empty queue
+	grid := netsim.GenerateGrid(k, netsim.GridSpec{Routers: 6, HostsPerRouter: 3, Seed: 1})
+	f, err := New(k, grid, 1, Config{HostCapacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.Admit(AppSpec{Name: "late"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(200)
+	f.Stop()
+	k.Run(320)
+	if a.AdmittedAt != 50 {
+		t.Fatalf("AdmittedAt = %v, want 50", a.AdmittedAt)
+	}
+	if a.Latency["C1"].Len() == 0 {
+		t.Fatal("sampler recorded nothing on an advanced kernel")
+	}
+}
+
+// TestCrushSharedLinkRefcount: when two applications' crushed server hosts
+// share an access link, restoring one application must not lift the other's
+// still-active contention.
+func TestCrushSharedLinkRefcount(t *testing.T) {
+	k := sim.NewKernel()
+	// One router, two hosts, generous capacity: apps are forced to share.
+	grid := netsim.GenerateGrid(k, netsim.GridSpec{Routers: 1, HostsPerRouter: 2, Seed: 1})
+	f, err := New(k, grid, 1, Config{HostCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AppSpec{Groups: 1, ServersPerGroup: 1, Clients: 1}
+	for _, name := range []string{"a", "b"} {
+		s := spec
+		s.Name = name
+		if _, err := f.Admit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linkA := f.Grid.AccessLink(f.App("a").Assign.ServerHosts["S1_1"])
+	linkB := f.Grid.AccessLink(f.App("b").Assign.ServerHosts["S1_1"])
+	if linkA != linkB {
+		t.Skip("placement did not co-locate the two apps' servers")
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.CrushPrimary("a"))
+	must(f.CrushPrimary("b"))
+	f.RestorePrimary("a")
+	if got := f.Net.Background(linkA, netsim.Fwd); got == 0 {
+		t.Fatal("restoring app a lifted app b's still-active contention")
+	}
+	f.RestorePrimary("b")
+	if got := f.Net.Background(linkA, netsim.Fwd); got != 0 {
+		t.Fatalf("background = %v after both restores, want 0", got)
+	}
+}
+
+// TestFleetSpareRecruitment checks the other Figure 5 tactic at fleet scale:
+// with spares available and load-driven contention, managers activate spare
+// servers.
+func TestFleetSpareRecruitment(t *testing.T) {
+	k := sim.NewKernel()
+	grid := netsim.GenerateGrid(k, netsim.GridSpec{Routers: 6, HostsPerRouter: 3, Seed: 2})
+	f, err := New(k, grid, 2, Config{Adaptive: true, HostCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One group only: moves are impossible, so the load tactic must fire.
+	a, err := f.Admit(AppSpec{
+		Name: "hot", Groups: 1, ServersPerGroup: 1, SparesPerGroup: 2, Clients: 2,
+		ClientRate: 4, RespBits: 20 * 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(500)
+	f.Stop()
+	k.Run(620)
+	added := 0
+	for _, sp := range a.Mgr.Spans() {
+		for _, op := range sp.Ops {
+			if op.Kind == repair.OpAddServer {
+				added++
+			}
+		}
+	}
+	if added == 0 {
+		t.Fatalf("no spare recruited; spans=%v alerts=%v", a.Mgr.Spans(), a.Mgr.Alerts())
+	}
+	if got := len(a.Sys.ActiveServersOf("SG1")); got < 2 {
+		t.Fatalf("active servers = %d, want >=2 after recruitment", got)
+	}
+}

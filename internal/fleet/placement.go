@@ -1,0 +1,235 @@
+// Package fleet is the grid control plane: it admits independent managed
+// applications onto one shared simulated grid, places their server groups and
+// repair infrastructure on grid hosts, wires a per-application architecture
+// manager (model, buses, gauges, repair engine) over the shared
+// discrete-event kernel, and aggregates fleet-level metrics.
+//
+// The paper manages a single client/server system on the Figure 6 testbed;
+// this package runs N of them concurrently — the grid setting the paper's
+// introduction describes, where "resources are shared by many users" and each
+// application needs its own architecture-based adaptation.
+package fleet
+
+import (
+	"fmt"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/operators"
+)
+
+// Assignment maps one application's processes onto grid hosts.
+type Assignment struct {
+	// QueueHost runs the request-queue machine; ManagerHost runs the repair
+	// infrastructure (architecture manager, gauge manager).
+	QueueHost   netsim.NodeID
+	ManagerHost netsim.NodeID
+	ServerHosts map[string]netsim.NodeID
+	ClientHosts map[string]netsim.NodeID
+}
+
+// slots returns how many host slots the assignment occupies.
+func (a *Assignment) slots() int { return 2 + len(a.ServerHosts) + len(a.ClientHosts) }
+
+// hosts iterates every occupied host (with multiplicity).
+func (a *Assignment) hosts(fn func(netsim.NodeID)) {
+	fn(a.QueueHost)
+	fn(a.ManagerHost)
+	for _, h := range a.ServerHosts {
+		fn(h)
+	}
+	for _, h := range a.ClientHosts {
+		fn(h)
+	}
+}
+
+// Scheduler places applications on grid hosts. Each host has a fixed number
+// of process slots (HostCapacity); the scheduler balances committed load,
+// spreads an application's replicas across routers, and ranks candidate
+// hosts by predicted bandwidth to the application's queue host — the Remos
+// query the paper's findGoodSGroup performs at repair time, applied here at
+// admission time.
+type Scheduler struct {
+	Grid *netsim.Grid
+	// HostCapacity is the number of process slots per host.
+	HostCapacity int
+	// Predict returns the predicted available bandwidth src→dst in bits/sec
+	// (normally the Remos substitute's warm-path measurement).
+	Predict func(src, dst netsim.NodeID) float64
+
+	load map[netsim.NodeID]int
+}
+
+// NewScheduler creates a scheduler over a grid. predict may be nil, in which
+// case the network's own availability estimate is used directly.
+func NewScheduler(grid *netsim.Grid, hostCapacity int, predict func(src, dst netsim.NodeID) float64) *Scheduler {
+	if hostCapacity < 1 {
+		hostCapacity = 1
+	}
+	if predict == nil {
+		predict = grid.Net.AvailBandwidth
+	}
+	return &Scheduler{
+		Grid:         grid,
+		HostCapacity: hostCapacity,
+		Predict:      predict,
+		load:         map[netsim.NodeID]int{},
+	}
+}
+
+// Load returns the committed process count on a host.
+func (s *Scheduler) Load(h netsim.NodeID) int { return s.load[h] }
+
+// FreeSlots returns the number of unoccupied process slots on the grid.
+func (s *Scheduler) FreeSlots() int {
+	free := 0
+	for _, h := range s.Grid.Hosts {
+		free += s.HostCapacity - s.load[h]
+	}
+	return free
+}
+
+// Reserve permanently takes one slot on the least-loaded host, for fleet
+// infrastructure (the shared Remos collector).
+func (s *Scheduler) Reserve() (netsim.NodeID, error) {
+	h, ok := s.pick(func(h netsim.NodeID) (bool, float64) { return true, 0 })
+	if !ok {
+		return 0, fmt.Errorf("fleet: no free slot to reserve")
+	}
+	s.load[h]++
+	return h, nil
+}
+
+// pick returns the admissible host with the lowest (load, -score, index)
+// rank. score lets callers express preferences (bandwidth, spreading);
+// admissible filters hosts out entirely. Ties break on grid host order, so
+// placement is deterministic.
+func (s *Scheduler) pick(rank func(h netsim.NodeID) (admissible bool, score float64)) (netsim.NodeID, bool) {
+	var best netsim.NodeID
+	bestLoad, bestScore, found := 0, 0.0, false
+	for _, h := range s.Grid.Hosts {
+		if s.load[h] >= s.HostCapacity {
+			continue
+		}
+		ok, score := rank(h)
+		if !ok {
+			continue
+		}
+		if !found || s.load[h] < bestLoad || (s.load[h] == bestLoad && score > bestScore) {
+			best, bestLoad, bestScore, found = h, s.load[h], score, true
+		}
+	}
+	return best, found
+}
+
+// Place computes an assignment for a spec and commits it. Placement order —
+// queue, manager, server groups in spec order, clients in spec order — and
+// the deterministic tie-breaks make the assignment a pure function of
+// scheduler state. On any failure nothing is committed.
+func (s *Scheduler) Place(spec operators.Spec) (*Assignment, error) {
+	need := 2
+	for _, g := range spec.Groups {
+		need += len(g.Servers)
+	}
+	need += len(spec.Clients)
+	if free := s.FreeSlots(); free < need {
+		return nil, fmt.Errorf("fleet: grid full: need %d slots, %d free", need, free)
+	}
+
+	a := &Assignment{
+		ServerHosts: map[string]netsim.NodeID{},
+		ClientHosts: map[string]netsim.NodeID{},
+	}
+	taken := map[netsim.NodeID]int{} // this app's own occupancy (for self-spread)
+	var committed []netsim.NodeID
+	take := func(h netsim.NodeID) {
+		s.load[h]++
+		taken[h]++
+		committed = append(committed, h)
+	}
+	release := func() {
+		for _, h := range committed {
+			s.load[h]--
+		}
+	}
+
+	// Queue and manager: least-loaded hosts, avoiding double-stacking the
+	// app's own infrastructure where possible.
+	qh, ok := s.pick(func(h netsim.NodeID) (bool, float64) { return true, 0 })
+	if !ok {
+		return nil, fmt.Errorf("fleet: no host for request queue")
+	}
+	a.QueueHost = qh
+	take(qh)
+	mh, ok := s.pick(func(h netsim.NodeID) (bool, float64) {
+		return true, -float64(taken[h])
+	})
+	if !ok {
+		release()
+		return nil, fmt.Errorf("fleet: no host for manager")
+	}
+	a.ManagerHost = mh
+	take(mh)
+
+	// Server groups: spread each group's replicas across routers, avoid
+	// hosts this app already occupies, and among the remainder prefer the
+	// best predicted bandwidth to the queue host.
+	serverRouters := map[netsim.NodeID]bool{}
+	for _, g := range spec.Groups {
+		groupRouters := map[netsim.NodeID]bool{}
+		for _, srv := range g.Servers {
+			h, ok := s.pick(func(h netsim.NodeID) (bool, float64) {
+				score := s.Predict(h, a.QueueHost) / 1e6
+				if groupRouters[s.Grid.RouterOf(h)] {
+					score -= 1e3 // spread replicas across routers
+				}
+				if taken[h] > 0 {
+					score -= 1e6 // never co-locate with our own processes if avoidable
+				}
+				return true, score
+			})
+			if !ok {
+				release()
+				return nil, fmt.Errorf("fleet: no host for server %s", srv)
+			}
+			a.ServerHosts[srv] = h
+			groupRouters[s.Grid.RouterOf(h)] = true
+			serverRouters[s.Grid.RouterOf(h)] = true
+			take(h)
+		}
+	}
+
+	// Clients: prefer routers that host none of this app's servers, so
+	// client↔server traffic crosses the backbone as in the testbed.
+	for _, c := range spec.Clients {
+		h, ok := s.pick(func(h netsim.NodeID) (bool, float64) {
+			score := 0.0
+			if serverRouters[s.Grid.RouterOf(h)] {
+				score -= 1e3
+			}
+			if taken[h] > 0 {
+				score -= 1e6
+			}
+			return true, score
+		})
+		if !ok {
+			release()
+			return nil, fmt.Errorf("fleet: no host for client %s", c.Name)
+		}
+		a.ClientHosts[c.Name] = h
+		take(h)
+	}
+	return a, nil
+}
+
+// Release returns an assignment's slots to the pool (application
+// retirement).
+func (s *Scheduler) Release(a *Assignment) {
+	if a == nil {
+		return
+	}
+	a.hosts(func(h netsim.NodeID) {
+		if s.load[h] > 0 {
+			s.load[h]--
+		}
+	})
+}

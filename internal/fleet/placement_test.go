@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"testing"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/operators"
+	"archadapt/internal/sim"
+)
+
+func testGrid(routers, hostsPerRouter int) *netsim.Grid {
+	return netsim.GenerateGrid(sim.NewKernel(), netsim.GridSpec{
+		Routers: routers, HostsPerRouter: hostsPerRouter, Seed: 1,
+	})
+}
+
+func testSpec() operators.Spec {
+	return AppSpec{Name: "t", Groups: 2, ServersPerGroup: 2, Clients: 2}.withDefaults().Spec()
+}
+
+func TestPlaceSpreadsReplicasAcrossRouters(t *testing.T) {
+	g := testGrid(6, 3)
+	s := NewScheduler(g, 1, nil)
+	a, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each group's replicas must land on distinct routers when space allows.
+	for _, grp := range []struct{ s1, s2 string }{{"S1_1", "S1_2"}, {"S2_1", "S2_2"}} {
+		r1 := g.RouterOf(a.ServerHosts[grp.s1])
+		r2 := g.RouterOf(a.ServerHosts[grp.s2])
+		if r1 == r2 {
+			t.Errorf("replicas %s,%s co-located on router %v", grp.s1, grp.s2, r1)
+		}
+	}
+	// With capacity 1 and plenty of hosts, every process gets its own host.
+	seen := map[netsim.NodeID]int{}
+	a.hosts(func(h netsim.NodeID) { seen[h]++ })
+	for h, n := range seen {
+		if n > 1 {
+			t.Errorf("host %v assigned %d processes at capacity 1", h, n)
+		}
+	}
+}
+
+func TestPlaceRespectsCapacity(t *testing.T) {
+	g := testGrid(3, 2) // 6 hosts, capacity 1 => 6 slots; an app needs 8
+	s := NewScheduler(g, 1, nil)
+	if _, err := s.Place(testSpec()); err == nil {
+		t.Fatal("expected placement to fail on a full grid")
+	}
+	// The failed placement must not leak slots.
+	for _, h := range g.Hosts {
+		if s.Load(h) != 0 {
+			t.Fatalf("host %v load = %d after failed placement, want 0", h, s.Load(h))
+		}
+	}
+	// Capacity 2 => 12 slots: fits one app but not two.
+	s = NewScheduler(g, 2, nil)
+	a1, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(testSpec()); err == nil {
+		t.Fatal("expected second placement to fail")
+	}
+	// Release frees the slots for a new admission.
+	s.Release(a1)
+	if got := s.FreeSlots(); got != 12 {
+		t.Fatalf("free slots after release = %d, want 12", got)
+	}
+	if _, err := s.Place(testSpec()); err != nil {
+		t.Fatalf("placement after release failed: %v", err)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	for run := 0; run < 2; run++ {
+		g := testGrid(6, 3)
+		s := NewScheduler(g, 1, nil)
+		a, err := s.Place(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewScheduler(testGrid(6, 3), 1, nil).Place(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.QueueHost != b.QueueHost || a.ManagerHost != b.ManagerHost {
+			t.Fatalf("infrastructure placement differs: %+v vs %+v", a, b)
+		}
+		for srv, h := range a.ServerHosts {
+			if b.ServerHosts[srv] != h {
+				t.Fatalf("server %s placed on %v vs %v", srv, h, b.ServerHosts[srv])
+			}
+		}
+		for cli, h := range a.ClientHosts {
+			if b.ClientHosts[cli] != h {
+				t.Fatalf("client %s placed on %v vs %v", cli, h, b.ClientHosts[cli])
+			}
+		}
+	}
+}
+
+func TestPlaceClientsAvoidServerRouters(t *testing.T) {
+	g := testGrid(8, 2)
+	s := NewScheduler(g, 1, nil)
+	a, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverRouters := map[netsim.NodeID]bool{}
+	for _, h := range a.ServerHosts {
+		serverRouters[g.RouterOf(h)] = true
+	}
+	for cli, h := range a.ClientHosts {
+		if serverRouters[g.RouterOf(h)] {
+			t.Errorf("client %s placed on a server router despite free routers", cli)
+		}
+	}
+}

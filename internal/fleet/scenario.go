@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"archadapt/internal/core"
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// ScenarioOptions configures a canned fleet run: generate a grid sized for
+// N applications, admit them (optionally staggered), aim Figure 7-style
+// bandwidth competition at each application's primary group in turn, and run
+// to Duration. It is the fleet equivalent of experiment.Options and drives
+// cmd/fleet, the end-to-end tests, and BenchmarkFleet.
+type ScenarioOptions struct {
+	// Apps is the number of applications to admit (default 8).
+	Apps int
+	// App is the per-application template; Name is overridden per app.
+	App AppSpec
+
+	// Routers and HostsPerRouter size the grid; zero auto-sizes so every
+	// process of every application gets its own host slot.
+	Routers        int
+	HostsPerRouter int
+
+	Seed uint64
+	// Duration of the run in simulated seconds (default 600); the fleet
+	// drains for a further 120 s after clients stop.
+	Duration float64
+	// AdmitStagger spaces admissions (default 0: all admitted at t=0).
+	AdmitStagger float64
+
+	// CrushStart, CrushStagger and CrushDuration schedule the per-app
+	// competition: app i's primary paths are crushed during
+	// [CrushStart+i*CrushStagger, +CrushDuration) — but never sooner than
+	// 100 s after its admission, so Remos has warmed (the paper's
+	// pre-querying) and gauges are reporting. CrushDuration 0 defaults to
+	// 240 s; CrushStart <0 disables contention entirely.
+	CrushStart    float64
+	CrushStagger  float64
+	CrushDuration float64
+
+	// Adaptive enables repairs (default via Config); Manager tunes each
+	// application's architecture manager.
+	Adaptive bool
+	Manager  core.Config
+	// HostCapacity overrides the auto-sized per-host slot count.
+	HostCapacity int
+}
+
+func (o ScenarioOptions) withDefaults() ScenarioOptions {
+	if o.Apps < 1 {
+		o.Apps = 8
+	}
+	o.App = o.App.withDefaults()
+	if o.Duration <= 0 {
+		o.Duration = 600
+	}
+	if o.CrushDuration <= 0 {
+		o.CrushDuration = 240
+	}
+	if o.HostCapacity < 1 {
+		o.HostCapacity = 1
+	}
+	if o.Routers <= 0 || o.HostsPerRouter <= 0 {
+		// Auto-size: one slot per process plus one for the Remos collector.
+		perApp := 2 + o.App.Groups*(o.App.ServersPerGroup+o.App.SparesPerGroup) + o.App.Clients
+		slots := o.Apps*perApp + 1
+		hostsNeeded := (slots + o.HostCapacity - 1) / o.HostCapacity
+		if o.HostsPerRouter <= 0 {
+			o.HostsPerRouter = 4
+		}
+		if o.Routers <= 0 {
+			o.Routers = int(math.Ceil(float64(hostsNeeded) / float64(o.HostsPerRouter)))
+			if o.Routers < 3 {
+				o.Routers = 3
+			}
+		}
+	}
+	return o
+}
+
+// ScenarioResult bundles the finished fleet with its summaries.
+type ScenarioResult struct {
+	Opts      ScenarioOptions
+	Grid      *netsim.Grid
+	Fleet     *Fleet
+	Summaries []AppSummary
+}
+
+// Table renders the result's per-app table.
+func (r *ScenarioResult) Table() string { return Table(r.Summaries) }
+
+// RunScenario executes one fleet run to completion. Runs are deterministic:
+// the same options (including Seed) produce identical summaries.
+func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
+	opts = opts.withDefaults()
+	k := sim.NewKernel()
+	grid := netsim.GenerateGrid(k, netsim.GridSpec{
+		Routers:        opts.Routers,
+		HostsPerRouter: opts.HostsPerRouter,
+		Seed:           opts.Seed,
+	})
+	f, err := New(k, grid, opts.Seed, Config{
+		Manager:      opts.Manager,
+		Adaptive:     opts.Adaptive,
+		HostCapacity: opts.HostCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Apps; i++ {
+		spec := opts.App
+		spec.Name = fmt.Sprintf("app%02d", i)
+		admitAt := float64(i) * opts.AdmitStagger
+		admit := func() {
+			// Rejections are recorded on the fleet; the run continues with
+			// whatever the grid could hold.
+			_, _ = f.Admit(spec)
+		}
+		if admitAt <= 0 {
+			admit()
+		} else {
+			k.At(admitAt, admit)
+		}
+		if opts.CrushStart >= 0 {
+			name := spec.Name
+			crushAt := opts.CrushStart + float64(i)*opts.CrushStagger
+			if min := admitAt + 100; crushAt < min {
+				crushAt = min
+			}
+			k.At(crushAt, func() { _ = f.CrushPrimary(name) })
+			k.At(crushAt+opts.CrushDuration, func() { f.RestorePrimary(name) })
+		}
+	}
+	k.Run(opts.Duration)
+	f.Stop()
+	k.Run(opts.Duration + 120) // drain in-flight transfers and gauge churn
+	return &ScenarioResult{Opts: opts, Grid: grid, Fleet: f, Summaries: f.Summaries()}, nil
+}

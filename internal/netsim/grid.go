@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"fmt"
+
+	"archadapt/internal/sim"
+)
+
+// GridSpec parameterizes a generated grid topology. It scales the paper's
+// Figure 6 testbed — a chain of routers with a cross link and a handful of
+// hosts per router — up to arbitrary sizes: Routers routers in a chain, each
+// with HostsPerRouter hosts hanging off it, plus CrossLinks seeded chords
+// that give the backbone the kind of alternate paths repairs exploit.
+type GridSpec struct {
+	// Routers is the backbone length (Figure 6: 5). Minimum 1.
+	Routers int
+	// HostsPerRouter is the number of hosts attached to each router
+	// (Figure 6 averages ≈2). Minimum 1.
+	HostsPerRouter int
+
+	// BackboneBps and AccessBps are per-direction link capacities; zero
+	// defaults to the testbed's 10 Mbps.
+	BackboneBps float64
+	AccessBps   float64
+	// PropDelay is the per-traversal propagation delay; zero defaults to
+	// 1 ms, matching the testbed wiring.
+	PropDelay float64
+
+	// CrossLinks is the number of extra backbone chords beyond the chain
+	// (Figure 6 has one, R2–R4). Zero defaults to Routers/4; negative means
+	// none. Chord endpoints are drawn from Seed, so a spec is a complete,
+	// reproducible description of the topology.
+	CrossLinks int
+	// Seed drives chord selection.
+	Seed uint64
+}
+
+// withDefaults resolves zero fields to the testbed-scale defaults.
+func (s GridSpec) withDefaults() GridSpec {
+	if s.Routers < 1 {
+		s.Routers = 1
+	}
+	if s.HostsPerRouter < 1 {
+		s.HostsPerRouter = 1
+	}
+	if s.BackboneBps <= 0 {
+		s.BackboneBps = 10e6
+	}
+	if s.AccessBps <= 0 {
+		s.AccessBps = 10e6
+	}
+	if s.PropDelay <= 0 {
+		s.PropDelay = 1e-3
+	}
+	if s.CrossLinks == 0 {
+		s.CrossLinks = s.Routers / 4
+	}
+	if s.CrossLinks < 0 {
+		s.CrossLinks = 0
+	}
+	return s
+}
+
+// Grid is a generated topology: the network plus the structure the fleet
+// scheduler needs (which hosts exist, which router each hangs off, and each
+// host's access link for targeted contention).
+type Grid struct {
+	Net  *Network
+	Spec GridSpec // resolved (defaults filled in)
+
+	Routers []NodeID
+	// Hosts lists every host in creation order: router-major, then host
+	// index. Placement iterates this order, which makes placement
+	// deterministic.
+	Hosts         []NodeID
+	HostsByRouter [][]NodeID
+	// Backbone lists the chain links followed by the chords.
+	Backbone []LinkID
+
+	routerOf map[NodeID]NodeID
+	access   map[NodeID]LinkID
+}
+
+// GenerateGrid builds a grid topology on a fresh network bound to k.
+// Routers are named R1..Rn and hosts RiHj. The same spec always produces
+// the same topology.
+func GenerateGrid(k *sim.Kernel, spec GridSpec) *Grid {
+	spec = spec.withDefaults()
+	g := &Grid{
+		Net:      New(k),
+		Spec:     spec,
+		routerOf: map[NodeID]NodeID{},
+		access:   map[NodeID]LinkID{},
+	}
+	for i := 0; i < spec.Routers; i++ {
+		g.Routers = append(g.Routers, g.Net.AddRouter(fmt.Sprintf("R%d", i+1)))
+	}
+	for i, r := range g.Routers {
+		var hosts []NodeID
+		for j := 0; j < spec.HostsPerRouter; j++ {
+			h := g.Net.AddHost(fmt.Sprintf("R%dH%d", i+1, j+1))
+			g.access[h] = g.Net.Connect(h, r, spec.AccessBps, spec.PropDelay)
+			g.routerOf[h] = r
+			hosts = append(hosts, h)
+			g.Hosts = append(g.Hosts, h)
+		}
+		g.HostsByRouter = append(g.HostsByRouter, hosts)
+	}
+	// Backbone chain R1–R2–…–Rn.
+	for i := 0; i+1 < spec.Routers; i++ {
+		g.Backbone = append(g.Backbone,
+			g.Net.Connect(g.Routers[i], g.Routers[i+1], spec.BackboneBps, spec.PropDelay))
+	}
+	// Seeded chords (skipping chain-adjacent and duplicate pairs).
+	if spec.Routers >= 4 && spec.CrossLinks > 0 {
+		rng := sim.NewRand(spec.Seed ^ 0xc2b2ae3d27d4eb4f)
+		used := map[[2]int]bool{}
+		placed := 0
+		for tries := 0; placed < spec.CrossLinks && tries < 64*spec.CrossLinks; tries++ {
+			i := rng.Intn(spec.Routers - 2)
+			j := i + 2 + rng.Intn(spec.Routers-i-2)
+			if used[[2]int{i, j}] {
+				continue
+			}
+			used[[2]int{i, j}] = true
+			g.Backbone = append(g.Backbone,
+				g.Net.Connect(g.Routers[i], g.Routers[j], spec.BackboneBps, spec.PropDelay))
+			placed++
+		}
+	}
+	return g
+}
+
+// RouterOf returns the router a host hangs off.
+func (g *Grid) RouterOf(h NodeID) NodeID { return g.routerOf[h] }
+
+// AccessLink returns a host's access link (for targeted contention).
+func (g *Grid) AccessLink(h NodeID) LinkID { return g.access[h] }
+
+// NumHosts returns the host count.
+func (g *Grid) NumHosts() int { return len(g.Hosts) }
+
+// String summarizes the topology.
+func (g *Grid) String() string {
+	return fmt.Sprintf("grid{routers=%d hosts=%d links=%d backbone=%d}",
+		len(g.Routers), len(g.Hosts), g.Net.NumLinks(), len(g.Backbone))
+}
