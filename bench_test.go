@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"testing"
 
+	"archadapt/internal/benchfix"
 	"archadapt/internal/envmgr"
 	"archadapt/internal/experiment"
 	"archadapt/internal/netsim"
@@ -318,22 +319,14 @@ func BenchmarkKernelEvents(b *testing.B) {
 }
 
 // BenchmarkMaxMinReflow measures the fluid-flow solver with 100 concurrent
-// flows on the paper topology.
+// flows on the paper topology. The fixture is shared with cmd/benchjson
+// (internal/benchfix) so the committed baseline measures the same workload.
 func BenchmarkMaxMinReflow(b *testing.B) {
-	k := sim.NewKernel()
-	net := netsim.New(k)
-	hosts := make([]netsim.NodeID, 10)
-	r := net.AddRouter("r")
-	for i := range hosts {
-		hosts[i] = net.AddHost(string(rune('a' + i)))
-		net.Connect(hosts[i], r, 10e6, 1e-3)
-	}
-	for i := 0; i < 100; i++ {
-		net.StartTransfer(hosts[i%10], hosts[(i+1)%10], 1e12, "x", nil)
-	}
+	op := benchfix.ReflowStar()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.SetBackgroundBoth(0, float64(i%10)*1e5)
+		op(i)
 	}
 }
 
@@ -385,8 +378,9 @@ func BenchmarkRemosQueries(b *testing.B) {
 // ms/app is the per-application wall-clock overhead of a 600-second run —
 // the baseline later sharding/batching PRs must beat.
 func BenchmarkFleet(b *testing.B) {
-	for _, n := range []int{4, 16, 32} {
+	for _, n := range []int{4, 16, 32, 64} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var repairs int
 			for i := 0; i < b.N; i++ {
 				res, err := RunFleetScenario(FleetScenarioOptions{

@@ -1,0 +1,164 @@
+// Command benchjson runs the substrate and fleet benchmarks and writes a
+// machine-readable perf baseline (BENCH_fleet.json by default), so successive
+// PRs can track ms/app, repairs/app and allocation counts without parsing
+// `go test -bench` text output. scripts/bench.sh wraps it; CI runs it in
+// -quick mode as a smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"archadapt/internal/benchfix"
+	"archadapt/internal/fleet"
+)
+
+// Baseline is the file schema. Fields are stable: future PRs append runs by
+// regenerating the file and comparing against the committed one.
+type Baseline struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	Reflow      ReflowBench `json:"reflow"`
+	Fleet       []FleetRow  `json:"fleet"`
+}
+
+// ReflowBench mirrors BenchmarkMaxMinReflow: one background change against
+// 100 concurrent flows on a 10-host star.
+type ReflowBench struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// FleetRow mirrors one BenchmarkFleet/N=<n> size point.
+type FleetRow struct {
+	Apps          int     `json:"apps"`
+	MsPerApp      float64 `json:"ms_per_app"`
+	RepairsPerApp float64 `json:"repairs_per_app"`
+	AllocsPerApp  float64 `json:"allocs_per_app"`
+	MBPerApp      float64 `json:"mb_per_app"`
+}
+
+func benchReflow() ReflowBench {
+	res := testing.Benchmark(func(b *testing.B) {
+		op := benchfix.ReflowStar()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op(i)
+		}
+	})
+	return ReflowBench{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+func benchFleet(n, iters int) (FleetRow, error) {
+	row := FleetRow{Apps: n}
+	var repairs int
+	var ms runtimeMem
+	ms.start()
+	begin := time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := fleet.RunScenario(fleet.ScenarioOptions{
+			Apps: n, Seed: uint64(i + 1), Duration: 600, Adaptive: true,
+			CrushStart: 120, CrushStagger: 5, CrushDuration: 240,
+		})
+		if err != nil {
+			return row, err
+		}
+		if got := len(res.Summaries); got != n {
+			return row, fmt.Errorf("admitted %d apps, want %d", got, n)
+		}
+		for _, s := range res.Summaries {
+			repairs += s.Repairs
+		}
+	}
+	elapsed := time.Since(begin)
+	allocs, bytes := ms.stop()
+	den := float64(iters * n)
+	row.MsPerApp = float64(elapsed.Microseconds()) / 1e3 / den
+	row.RepairsPerApp = float64(repairs) / den
+	row.AllocsPerApp = float64(allocs) / den
+	row.MBPerApp = float64(bytes) / den / 1e6
+	return row, nil
+}
+
+// runtimeMem snapshots allocation counters around a measured section.
+type runtimeMem struct {
+	before runtime.MemStats
+}
+
+func (m *runtimeMem) start() { runtime.ReadMemStats(&m.before) }
+
+func (m *runtimeMem) stop() (allocs, bytes uint64) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - m.before.Mallocs, after.TotalAlloc - m.before.TotalAlloc
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fleet.json", "output file ('-' for stdout)")
+	quick := flag.Bool("quick", false, "smoke mode: N=4 only, one iteration")
+	iters := flag.Int("iters", 3, "fleet scenario iterations per size point")
+	flag.Parse()
+
+	sizes := []int{4, 16, 32, 64}
+	if *quick {
+		sizes = []int{4}
+		// Unless the user explicitly asked otherwise, drop to one iteration
+		// and write to stdout: a quick run is a truncated (N=4-only) sweep
+		// and must not silently replace the committed full baseline.
+		explicitIters, explicitOut := false, false
+		flag.Visit(func(f *flag.Flag) {
+			explicitIters = explicitIters || f.Name == "iters"
+			explicitOut = explicitOut || f.Name == "out"
+		})
+		if !explicitIters {
+			*iters = 1
+		}
+		if !explicitOut {
+			*out = "-"
+		}
+	}
+
+	base := Baseline{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Reflow:      benchReflow(),
+	}
+	for _, n := range sizes {
+		row, err := benchFleet(n, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: fleet N=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fleet N=%-3d %7.3f ms/app  %5.2f repairs/app  %10.0f allocs/app\n",
+			n, row.MsPerApp, row.RepairsPerApp, row.AllocsPerApp)
+		base.Fleet = append(base.Fleet, row)
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (reflow %d ns/op, %d allocs/op)\n",
+		*out, base.Reflow.NsPerOp, base.Reflow.AllocsPerOp)
+}

@@ -1,0 +1,28 @@
+// Package benchfix provides shared fixtures for the substrate benchmarks, so
+// `go test -bench` (bench_test.go) and cmd/benchjson measure exactly the same
+// workload — if the fixture changes, both change together.
+package benchfix
+
+import (
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// ReflowStar builds the BenchmarkMaxMinReflow fixture — a 10-host star with
+// 100 long-lived crossing flows on 10 Mbps access links — and returns the op
+// the benchmark loop applies: the i-th background-load mutation on the first
+// access link, which re-solves the (single) region those flows share.
+func ReflowStar() (op func(i int)) {
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	hosts := make([]netsim.NodeID, 10)
+	r := net.AddRouter("r")
+	for i := range hosts {
+		hosts[i] = net.AddHost(string(rune('a' + i)))
+		net.Connect(hosts[i], r, 10e6, 1e-3)
+	}
+	for i := 0; i < 100; i++ {
+		net.StartTransfer(hosts[i%10], hosts[(i+1)%10], 1e12, "x", nil)
+	}
+	return func(i int) { net.SetBackgroundBoth(0, float64(i%10)*1e5) }
+}

@@ -374,14 +374,17 @@ func (f *Fleet) CrushPrimary(name string) error {
 		return nil // already crushed
 	}
 	primary := a.Opspec.Groups[0]
-	for _, srv := range a.Sys.ActiveServersOf(primary.Name) {
-		link := f.Grid.AccessLink(a.Assign.ServerHosts[srv])
-		f.crushes[link]++
-		if f.crushes[link] == 1 {
-			f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
+	// Batched: one reflow for the whole group's links, not one per link.
+	f.Net.Batch(func() {
+		for _, srv := range a.Sys.ActiveServersOf(primary.Name) {
+			link := f.Grid.AccessLink(a.Assign.ServerHosts[srv])
+			f.crushes[link]++
+			if f.crushes[link] == 1 {
+				f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
+			}
+			a.crushed = append(a.crushed, link)
 		}
-		a.crushed = append(a.crushed, link)
-	}
+	})
 	return nil
 }
 
@@ -391,13 +394,15 @@ func (f *Fleet) RestorePrimary(name string) {
 	if a == nil {
 		return
 	}
-	for _, link := range a.crushed {
-		f.crushes[link]--
-		if f.crushes[link] <= 0 {
-			delete(f.crushes, link)
-			f.Net.SetBackgroundBoth(link, 0)
+	f.Net.Batch(func() {
+		for _, link := range a.crushed {
+			f.crushes[link]--
+			if f.crushes[link] <= 0 {
+				delete(f.crushes, link)
+				f.Net.SetBackgroundBoth(link, 0)
+			}
 		}
-	}
+	})
 	a.crushed = nil
 }
 

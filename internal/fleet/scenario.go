@@ -48,6 +48,12 @@ type ScenarioOptions struct {
 	Manager  core.Config
 	// HostCapacity overrides the auto-sized per-host slot count.
 	HostCapacity int
+
+	// GlobalReflow forces the network's pre-incremental global solver (every
+	// flow recomputed on every change). Test/bench escape hatch: the solver
+	// equivalence test runs the same scenario both ways and requires
+	// identical summaries.
+	GlobalReflow bool
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -103,6 +109,7 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		HostsPerRouter: opts.HostsPerRouter,
 		Seed:           opts.Seed,
 	})
+	grid.Net.GlobalReflow = opts.GlobalReflow
 	f, err := New(k, grid, opts.Seed, Config{
 		Manager:      opts.Manager,
 		Adaptive:     opts.Adaptive,

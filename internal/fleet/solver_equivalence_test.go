@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSolverEquivalenceFleetSummaries runs the same fleet scenario with the
+// incremental region solver and with the global solve forced (GlobalReflow),
+// and requires byte-identical summaries: region partitioning must not change
+// simulation results, only their cost. (Byte-identity against the actual
+// pre-rewrite PR 1 tree was established by diffing cmd/fleet and
+// cmd/archadapt output during the rewrite; this test is the in-tree
+// regression guard for the partitioning itself.)
+func TestSolverEquivalenceFleetSummaries(t *testing.T) {
+	base := ScenarioOptions{
+		Apps: 4, Seed: 7, Duration: 300, Adaptive: true,
+		CrushStart: 120, CrushStagger: 5, CrushDuration: 120,
+	}
+	incr, err := RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globOpts := base
+	globOpts.GlobalReflow = true
+	glob, err := RunScenario(globOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(incr.Summaries, glob.Summaries) {
+		t.Fatalf("summaries diverged between solvers:\nincremental:\n%s\nglobal:\n%s",
+			Table(incr.Summaries), Table(glob.Summaries))
+	}
+	if it, gt := Table(incr.Summaries), Table(glob.Summaries); it != gt {
+		t.Fatalf("summary tables diverged:\n%s\nvs\n%s", it, gt)
+	}
+	// Same-seed determinism still holds under the incremental solver.
+	again, err := RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(incr.Summaries, again.Summaries) {
+		t.Fatal("incremental solver runs are not deterministic across same-seed runs")
+	}
+}

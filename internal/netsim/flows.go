@@ -5,29 +5,53 @@ import (
 )
 
 // Flow is an elastic bulk transfer in progress. Its rate is recomputed
-// whenever the flow set or background load changes.
+// whenever the flow set or background load changes in its region of the
+// network; progress is settled lazily, when the rate actually changes.
 type Flow struct {
-	id         uint64
-	Src, Dst   NodeID
-	Tag        string
-	path       []hop
-	remaining  float64 // bits still to deliver
-	rate       float64 // bits/sec currently allotted
-	last       sim.Time
+	id        uint64
+	Src, Dst  NodeID
+	Tag       string
+	path      []hop
+	hopIdx    []int32 // position in each path resource's crossing list
+	index     int     // position in net.flows; -1 once removed
+	remaining float64 // bits still to deliver as of `last`
+	rate      float64 // bits/sec currently allotted
+	prevRate  float64 // solver scratch: rate before the current solve
+	last      sim.Time
+	// completion is the pending arrival event; complete is its callback,
+	// created once per flow and reused across reschedules.
 	completion *sim.Event
+	complete   func()
 	done       func(*Flow)
 	net        *Network
 	started    sim.Time
 	size       float64
 	cancelled  bool
+	seen       uint64 // region-visit epoch
+	frozen     uint64 // progressive-filling freeze epoch
 }
+
+// ID returns the flow's unique id (creation order).
+func (f *Flow) ID() uint64 { return f.id }
 
 // Rate returns the flow's current max–min allocation in bits/sec.
 func (f *Flow) Rate() float64 { return f.rate }
 
-// Remaining returns unsent bits (settled to the current instant only at
-// reflow boundaries; callers inside the kernel see a consistent snapshot).
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns unsent bits at the current instant. Progress is settled
+// lazily inside the solver, so the accessor folds in time elapsed at the
+// current rate.
+func (f *Flow) Remaining() float64 {
+	rem := f.remaining
+	if f.net != nil {
+		if dt := f.net.K.Now() - f.last; dt > 0 {
+			rem -= f.rate * dt
+		}
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
 
 // Size returns the flow's total size in bits.
 func (f *Flow) Size() float64 { return f.size }
@@ -49,6 +73,7 @@ func (n *Network) StartTransfer(src, dst NodeID, bits float64, tag string, done 
 		Dst:       dst,
 		Tag:       tag,
 		path:      n.route(src, dst),
+		index:     -1,
 		remaining: bits,
 		size:      bits,
 		last:      n.K.Now(),
@@ -62,8 +87,10 @@ func (n *Network) StartTransfer(src, dst NodeID, bits float64, tag string, done 
 		n.K.After(1e-5, func() { n.finish(f) })
 		return f
 	}
+	f.index = len(n.flows)
 	n.flows = append(n.flows, f)
-	n.reflow()
+	n.linkFlow(f)
+	n.solve()
 	return f
 }
 
@@ -74,11 +101,23 @@ func (f *Flow) Cancel() {
 		return
 	}
 	f.cancelled = true
+	// Freeze the handle's progress at the cancellation instant: once the
+	// flow leaves the network, Remaining() must stop extrapolating.
+	now := f.net.K.Now()
+	if dt := now - f.last; dt > 0 {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.last = now
+	f.rate = 0
 	if f.completion != nil {
 		f.completion.Cancel()
+		f.completion = nil
 	}
 	f.net.removeFlow(f)
-	f.net.reflow()
+	f.net.solve()
 }
 
 // ActiveFlows returns the number of elastic flows currently in the network.
@@ -90,13 +129,14 @@ func (n *Network) CompletedFlows() uint64 { return n.completedFlows }
 // BitsDelivered returns total bits delivered by completed transfers.
 func (n *Network) BitsDelivered() float64 { return n.bitsDelivered }
 
-func (n *Network) removeFlow(f *Flow) {
-	for i, g := range n.flows {
-		if g == f {
-			n.flows = append(n.flows[:i], n.flows[i+1:]...)
-			return
-		}
-	}
+// completeFlow fires when a flow's last bit arrives: unlink it (dirtying its
+// region), run the done callback, then re-solve — the callback commonly
+// starts follow-on transfers whose solve already covers the removal dirt.
+func (n *Network) completeFlow(f *Flow) {
+	f.completion = nil
+	n.removeFlow(f)
+	n.finish(f)
+	n.solve()
 }
 
 func (n *Network) finish(f *Flow) {
@@ -104,132 +144,10 @@ func (n *Network) finish(f *Flow) {
 		return
 	}
 	f.remaining = 0
+	f.last = n.K.Now()
 	n.completedFlows++
 	n.bitsDelivered += f.size
 	if f.done != nil {
 		f.done(f)
-	}
-}
-
-// reflow settles every flow's progress to the current instant, recomputes
-// max–min fair rates, and reschedules completion events.
-func (n *Network) reflow() {
-	now := n.K.Now()
-	// Settle progress under the old rates.
-	for _, f := range n.flows {
-		if dt := now - f.last; dt > 0 {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-		f.last = now
-	}
-	n.computeRates()
-	// Reschedule completions under the new rates.
-	for _, f := range n.flows {
-		if f.completion != nil {
-			f.completion.Cancel()
-			f.completion = nil
-		}
-		rate := f.rate
-		if rate <= 0 {
-			continue // fully stalled; will be rescheduled on the next reflow
-		}
-		eta := f.remaining / rate
-		f := f
-		f.completion = n.K.After(eta, func() {
-			n.removeFlow(f)
-			n.finish(f)
-			n.reflow()
-		})
-	}
-}
-
-// computeRates assigns each elastic flow its max–min fair rate via
-// progressive filling: repeatedly find the most constrained (link,dir),
-// freeze the flows crossing it at the equal share, remove that capacity, and
-// continue. Flows whose links are saturated by background traffic receive
-// MinFlowRate so that transfers always trickle (the paper's control run shows
-// available bandwidth bottoming out near 1e-4 Mbps rather than zero).
-func (n *Network) computeRates() {
-	type res struct {
-		avail float64
-		count int
-	}
-	// resources indexed by link*2+dir
-	resources := make([]res, len(n.links)*2)
-	for i, l := range n.links {
-		resources[i*2+int(Fwd)] = res{avail: l.availCap(Fwd)}
-		resources[i*2+int(Rev)] = res{avail: l.availCap(Rev)}
-	}
-	active := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		f.rate = 0
-		if len(f.path) == 0 {
-			continue
-		}
-		active = append(active, f)
-		for _, h := range f.path {
-			resources[int(h.link)*2+int(h.dir)].count++
-		}
-	}
-	frozen := make(map[*Flow]bool, len(active))
-	for len(frozen) < len(active) {
-		// Find the minimum fair share among resources with unfrozen flows.
-		minShare := -1.0
-		for _, r := range resources {
-			if r.count == 0 {
-				continue
-			}
-			share := r.avail / float64(r.count)
-			if minShare < 0 || share < minShare {
-				minShare = share
-			}
-		}
-		if minShare < 0 {
-			break // no constrained resources left
-		}
-		if minShare < n.MinFlowRate {
-			minShare = n.MinFlowRate
-		}
-		progressed := false
-		for _, f := range active {
-			if frozen[f] {
-				continue
-			}
-			// Freeze f if any of its resources is at the bottleneck share.
-			bottled := false
-			for _, h := range f.path {
-				r := resources[int(h.link)*2+int(h.dir)]
-				if r.count > 0 && r.avail/float64(r.count) <= minShare+1e-12 {
-					bottled = true
-					break
-				}
-			}
-			if !bottled {
-				continue
-			}
-			f.rate = minShare
-			frozen[f] = true
-			progressed = true
-			for _, h := range f.path {
-				idx := int(h.link)*2 + int(h.dir)
-				resources[idx].avail -= minShare
-				if resources[idx].avail < 0 {
-					resources[idx].avail = 0
-				}
-				resources[idx].count--
-			}
-		}
-		if !progressed {
-			// Numerical corner: give every remaining flow the floor rate.
-			for _, f := range active {
-				if !frozen[f] {
-					f.rate = n.MinFlowRate
-					frozen[f] = true
-				}
-			}
-		}
 	}
 }

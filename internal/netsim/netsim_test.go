@@ -372,3 +372,18 @@ func TestBottleneckShareProbe(t *testing.T) {
 		t.Fatalf("probe flow leaked: %d active", n.ActiveFlows())
 	}
 }
+
+func TestCancelFreezesRemaining(t *testing.T) {
+	k, n, a, b, _, _ := line(t)
+	f := n.StartTransfer(a, b, 10e6, "x", nil)
+	k.At(0.5, func() { f.Cancel() })
+	k.RunAll(0)
+	// 5 Mbit were sent by t=0.5 at 10 Mbps; after Cancel the handle must
+	// freeze there instead of extrapolating phantom progress.
+	if got := f.Remaining(); math.Abs(got-5e6) > 1 {
+		t.Fatalf("remaining after cancel=%v, want 5e6", got)
+	}
+	if f.Rate() != 0 {
+		t.Fatalf("rate after cancel=%v, want 0", f.Rate())
+	}
+}

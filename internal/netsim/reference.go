@@ -1,0 +1,90 @@
+package netsim
+
+// ReferenceRates computes every active flow's max–min fair rate with the
+// original global progressive-filling algorithm — maps, fresh slices, all
+// flows and links considered on every call. It mutates nothing: rates are
+// returned keyed by flow. Retained purely as the oracle for the incremental
+// solver's equivalence tests; production code uses solveDirty (regions.go).
+func (n *Network) ReferenceRates() map[*Flow]float64 {
+	type res struct {
+		avail float64
+		count int
+	}
+	// resources indexed by link*2+dir
+	resources := make([]res, len(n.links)*2)
+	for i, l := range n.links {
+		resources[i*2+int(Fwd)] = res{avail: l.availCap(Fwd)}
+		resources[i*2+int(Rev)] = res{avail: l.availCap(Rev)}
+	}
+	rates := make(map[*Flow]float64, len(n.flows))
+	active := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		rates[f] = 0
+		if len(f.path) == 0 {
+			continue
+		}
+		active = append(active, f)
+		for _, h := range f.path {
+			resources[int(h.link)*2+int(h.dir)].count++
+		}
+	}
+	frozen := make(map[*Flow]bool, len(active))
+	for len(frozen) < len(active) {
+		// Find the minimum fair share among resources with unfrozen flows.
+		minShare := -1.0
+		for _, r := range resources {
+			if r.count == 0 {
+				continue
+			}
+			share := r.avail / float64(r.count)
+			if minShare < 0 || share < minShare {
+				minShare = share
+			}
+		}
+		if minShare < 0 {
+			break // no constrained resources left
+		}
+		if minShare < n.MinFlowRate {
+			minShare = n.MinFlowRate
+		}
+		progressed := false
+		for _, f := range active {
+			if frozen[f] {
+				continue
+			}
+			// Freeze f if any of its resources is at the bottleneck share.
+			bottled := false
+			for _, h := range f.path {
+				r := resources[int(h.link)*2+int(h.dir)]
+				if r.count > 0 && r.avail/float64(r.count) <= minShare+1e-12 {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				continue
+			}
+			rates[f] = minShare
+			frozen[f] = true
+			progressed = true
+			for _, h := range f.path {
+				idx := int(h.link)*2 + int(h.dir)
+				resources[idx].avail -= minShare
+				if resources[idx].avail < 0 {
+					resources[idx].avail = 0
+				}
+				resources[idx].count--
+			}
+		}
+		if !progressed {
+			// Numerical corner: give every remaining flow the floor rate.
+			for _, f := range active {
+				if !frozen[f] {
+					rates[f] = n.MinFlowRate
+					frozen[f] = true
+				}
+			}
+		}
+	}
+	return rates
+}

@@ -1,0 +1,346 @@
+package netsim
+
+import "slices"
+
+// Incremental, region-partitioned max–min reflow.
+//
+// The original solver recomputed every flow's rate on every flow start,
+// finish, cancellation and background change — O(flows × links) work plus a
+// cancel+reallocate of every completion event, per event. Once a fleet of
+// applications shares one grid this is the hottest path in the repository.
+//
+// The solver below keeps the same progressive-filling algorithm but runs it
+// only where an event can matter:
+//
+//   - Every (link, direction) is a resource carrying the list of elastic
+//     flows that cross it. Events mark resources dirty: a changed background
+//     load marks the link's directions, an added or removed flow marks its
+//     path.
+//   - At solve time the dirty set is expanded to its connected component in
+//     the flow/resource bipartite graph (a flow ties together all resources
+//     on its path). Max–min allocations decompose over connected components,
+//     so flows outside the dirtied components provably keep their rates;
+//     their progress and completion events are left untouched.
+//   - Inside a component, filling runs over reusable scratch fields on the
+//     resources themselves — no maps and no per-solve allocation. Flows
+//     settle lazily: accumulated progress is folded into `remaining` only
+//     when a flow's rate actually changes, and a flow whose recomputed rate
+//     is unchanged keeps its completion event as-is. Changed completions
+//     move via Kernel.Reschedule instead of cancel+reallocate.
+//
+// Region members are sorted into global (index) order before filling so that
+// the arithmetic inside a component is bit-identical to a global recompute
+// restricted to that component. GlobalReflow forces that global recompute on
+// every solve (over the same lazy-settlement machinery) and anchors the
+// equivalence tests; ReferenceRates retains the original algorithm itself.
+
+// resource is the per-(link, direction) solver state. flows is maintained
+// incrementally as transfers start and finish; avail/count are scratch for
+// progressive filling, valid only during a solve.
+type resource struct {
+	flows []flowRef
+	dirty bool
+	seen  uint64 // region-visit epoch
+	avail float64
+	count int32
+}
+
+// flowRef locates a flow inside a resource's crossing list together with the
+// index of this resource in the flow's path, so removal can fix the moved
+// entry's back-pointer in O(1).
+type flowRef struct {
+	f   *Flow
+	hop int32
+}
+
+func resIndex(h hop) int32 { return int32(h.link)*2 + int32(h.dir) }
+
+// markDirty queues a resource for the next solve.
+func (n *Network) markDirty(ri int32) {
+	r := &n.res[ri]
+	if !r.dirty {
+		r.dirty = true
+		n.dirtyRes = append(n.dirtyRes, ri)
+	}
+}
+
+// linkFlow inserts f into the crossing list of every resource on its path
+// and marks the path dirty.
+func (n *Network) linkFlow(f *Flow) {
+	f.hopIdx = make([]int32, len(f.path))
+	for i, h := range f.path {
+		ri := resIndex(h)
+		r := &n.res[ri]
+		f.hopIdx[i] = int32(len(r.flows))
+		r.flows = append(r.flows, flowRef{f: f, hop: int32(i)})
+		n.markDirty(ri)
+	}
+}
+
+// removeFlow unlinks f from the active set: swap-remove from n.flows via the
+// stored index (previously an O(flows) linear scan on every completion) and
+// swap-remove from each crossing list, marking the path dirty. Removing a
+// flow that is already gone is a no-op.
+func (n *Network) removeFlow(f *Flow) {
+	i := f.index
+	if i < 0 || i >= len(n.flows) || n.flows[i] != f {
+		return
+	}
+	last := len(n.flows) - 1
+	n.flows[i] = n.flows[last]
+	n.flows[i].index = i
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	f.index = -1
+	for hi, h := range f.path {
+		ri := resIndex(h)
+		r := &n.res[ri]
+		j := int(f.hopIdx[hi])
+		lastj := len(r.flows) - 1
+		moved := r.flows[lastj]
+		r.flows[j] = moved
+		moved.f.hopIdx[moved.hop] = int32(j)
+		r.flows[lastj] = flowRef{}
+		r.flows = r.flows[:lastj]
+		n.markDirty(ri)
+	}
+}
+
+// Batch defers rate recomputation while fn runs, so a scenario step that
+// touches several links (e.g. the fleet crushing every access link of a
+// server group) triggers one reflow instead of one per link. fn should only
+// mutate background loads or start/cancel transfers; rates and completion
+// events are settled once when the outermost batch ends.
+func (n *Network) Batch(fn func()) {
+	n.batching++
+	defer func() {
+		n.batching--
+		if n.batching == 0 {
+			n.solve()
+		}
+	}()
+	fn()
+}
+
+// solve recomputes rates for the dirtied regions (unless batched or clean).
+func (n *Network) solve() {
+	if n.batching > 0 || len(n.dirtyRes) == 0 {
+		return
+	}
+	n.solveDirty(solveNormal)
+}
+
+// flushDirty forces pending dirt to settle even inside a batch; used before
+// probe solves so they cannot swallow real pending work.
+func (n *Network) flushDirty() {
+	if len(n.dirtyRes) > 0 {
+		n.solveDirty(solveNormal)
+	}
+}
+
+// collectRegion expands the dirty set to its connected components, filling
+// n.regionFlows / n.regionRes (sorted into global order). With GlobalReflow
+// set, every flow and resource is collected regardless of dirt.
+func (n *Network) collectRegion() {
+	n.epoch++
+	n.regionFlows = n.regionFlows[:0]
+	n.regionRes = n.regionRes[:0]
+	if n.GlobalReflow {
+		for _, ri := range n.dirtyRes {
+			n.res[ri].dirty = false
+		}
+		n.dirtyRes = n.dirtyRes[:0]
+		for ri := range n.res {
+			if len(n.res[ri].flows) > 0 {
+				n.regionRes = append(n.regionRes, int32(ri))
+			}
+		}
+		n.regionFlows = append(n.regionFlows, n.flows...)
+		return
+	}
+	n.stack = n.stack[:0]
+	for _, ri := range n.dirtyRes {
+		r := &n.res[ri]
+		r.dirty = false
+		if r.seen != n.epoch {
+			r.seen = n.epoch
+			n.regionRes = append(n.regionRes, ri)
+			n.stack = append(n.stack, ri)
+		}
+	}
+	n.dirtyRes = n.dirtyRes[:0]
+	for len(n.stack) > 0 {
+		ri := n.stack[len(n.stack)-1]
+		n.stack = n.stack[:len(n.stack)-1]
+		for _, fr := range n.res[ri].flows {
+			f := fr.f
+			if f.seen == n.epoch {
+				continue
+			}
+			f.seen = n.epoch
+			n.regionFlows = append(n.regionFlows, f)
+			for _, h := range f.path {
+				rj := resIndex(h)
+				r := &n.res[rj]
+				if r.seen != n.epoch {
+					r.seen = n.epoch
+					n.regionRes = append(n.regionRes, rj)
+					n.stack = append(n.stack, rj)
+				}
+			}
+		}
+	}
+	slices.Sort(n.regionRes)
+	slices.SortFunc(n.regionFlows, func(a, b *Flow) int { return a.index - b.index })
+}
+
+// solveMode selects how solveDirty treats flow state around the recompute.
+type solveMode int
+
+const (
+	// solveNormal saves each region flow's previous rate, recomputes, then
+	// settles progress and moves completions for flows whose rate changed.
+	solveNormal solveMode = iota
+	// solveProbe saves previous rates and recomputes rates only — no
+	// settlement, no completion maintenance. Used while a BottleneckShare
+	// probe is inserted; time does not advance, so the perturbed rates are
+	// transient.
+	solveProbe
+	// solveRestore recomputes after the probe is removed, comparing against
+	// the rates saved by the preceding solveProbe (not the transient ones).
+	// When restoration is exact — the overwhelmingly common case — nothing
+	// is settled or rescheduled; if floating-point tie-breaking across
+	// briefly-bridged regions restores a rate inexactly, the flow settles
+	// and its completion moves, keeping rate and event consistent.
+	solveRestore
+)
+
+// solveDirty collects the dirtied regions and re-runs progressive filling
+// inside them.
+func (n *Network) solveDirty(mode solveMode) {
+	if len(n.dirtyRes) == 0 {
+		return
+	}
+	n.collectRegion()
+	for _, ri := range n.regionRes {
+		r := &n.res[ri]
+		l := n.links[ri>>1]
+		r.avail = l.availCap(Dir(ri & 1))
+		r.count = int32(len(r.flows))
+	}
+	epoch := n.epoch
+	for _, f := range n.regionFlows {
+		if mode != solveRestore {
+			f.prevRate = f.rate
+		}
+		f.rate = 0
+	}
+	// Progressive filling, restricted to the region: repeatedly find the most
+	// constrained resource, freeze the flows bottlenecked there at the equal
+	// share, remove that capacity, and continue. Saturated links still grant
+	// MinFlowRate so transfers always trickle (the paper's control run bottoms
+	// out near 1e-4 Mbps rather than zero).
+	unfrozen := len(n.regionFlows)
+	for unfrozen > 0 {
+		minShare := -1.0
+		for _, ri := range n.regionRes {
+			r := &n.res[ri]
+			if r.count == 0 {
+				continue
+			}
+			share := r.avail / float64(r.count)
+			if minShare < 0 || share < minShare {
+				minShare = share
+			}
+		}
+		if minShare < 0 {
+			break // no constrained resources left
+		}
+		if minShare < n.MinFlowRate {
+			minShare = n.MinFlowRate
+		}
+		progressed := false
+		for _, f := range n.regionFlows {
+			if f.frozen == epoch {
+				continue
+			}
+			// Freeze f if any of its resources is at the bottleneck share.
+			bottled := false
+			for _, h := range f.path {
+				r := &n.res[resIndex(h)]
+				if r.count > 0 && r.avail/float64(r.count) <= minShare+1e-12 {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				continue
+			}
+			f.rate = minShare
+			f.frozen = epoch
+			unfrozen--
+			progressed = true
+			for _, h := range f.path {
+				r := &n.res[resIndex(h)]
+				r.avail -= minShare
+				if r.avail < 0 {
+					r.avail = 0
+				}
+				r.count--
+			}
+		}
+		if !progressed {
+			// Numerical corner: give every remaining flow the floor rate.
+			for _, f := range n.regionFlows {
+				if f.frozen != epoch {
+					f.rate = n.MinFlowRate
+					f.frozen = epoch
+					unfrozen--
+				}
+			}
+		}
+	}
+	if mode == solveProbe {
+		return
+	}
+	// Settle progress and move completions only for flows whose rate actually
+	// changed; stable flows keep their event and their lazily-settled state.
+	// (In solveRestore, prevRate is the pre-probe rate, which was also the
+	// rate in effect since `last` — the probe's transient rates existed for
+	// zero simulated time.)
+	now := n.K.Now()
+	for _, f := range n.regionFlows {
+		if f.rate == f.prevRate {
+			continue
+		}
+		if dt := now - f.last; dt > 0 {
+			f.remaining -= f.prevRate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+		n.rescheduleCompletion(f)
+	}
+}
+
+// rescheduleCompletion re-aims f's completion event at the ETA under its new
+// rate, reusing the queued event (and its closure) when possible.
+func (n *Network) rescheduleCompletion(f *Flow) {
+	if f.rate <= 0 {
+		// Fully stalled; rescheduled when a later solve restores a rate.
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		return
+	}
+	at := n.K.Now() + f.remaining/f.rate
+	if n.K.Reschedule(f.completion, at) {
+		return
+	}
+	if f.complete == nil {
+		f.complete = func() { f.net.completeFlow(f) }
+	}
+	f.completion = n.K.At(at, f.complete)
+}

@@ -72,6 +72,22 @@ type Network struct {
 	flows    []*Flow
 	nextFlow uint64
 
+	// Incremental-solver state (see regions.go): per-(link,dir) resources
+	// with their crossing-flow lists, the pending dirty set, batching depth,
+	// the region-visit epoch, and reusable scratch buffers.
+	res         []resource
+	dirtyRes    []int32
+	batching    int
+	epoch       uint64
+	regionFlows []*Flow
+	regionRes   []int32
+	stack       []int32
+
+	// GlobalReflow disables region partitioning and recomputes every flow on
+	// every solve — the pre-incremental behaviour. Retained as an escape
+	// hatch for the solver-equivalence tests and benchmarks.
+	GlobalReflow bool
+
 	// MinFlowRate is the floor rate for an elastic flow when competition has
 	// consumed a link entirely; the paper's Figure 10 bottoms out around
 	// 1e-4 Mbps (100 bps), which is the default here.
@@ -162,6 +178,7 @@ func (n *Network) Connect(a, b NodeID, capacity, propDelay float64) LinkID {
 	}
 	id := LinkID(len(n.links))
 	n.links = append(n.links, &Link{ID: id, A: a, B: b, Capacity: capacity, PropDelay: propDelay})
+	n.res = append(n.res, resource{}, resource{})
 	n.adj[a] = append(n.adj[a], hopTo{to: b, h: hop{link: id, dir: Fwd}})
 	n.adj[b] = append(n.adj[b], hopTo{to: a, h: hop{link: id, dir: Rev}})
 	n.paths = map[pathKey][]hop{} // routes may change
@@ -235,8 +252,9 @@ func (n *Network) route(src, dst NodeID) []hop {
 func (n *Network) PathHops(src, dst NodeID) int { return len(n.route(src, dst)) }
 
 // SetBackground sets the background (competition) load on one direction of a
-// link, in bits/sec, and reflows all elastic traffic. Loads above capacity
-// are clamped to capacity.
+// link, in bits/sec, and reflows the elastic traffic in the link's region.
+// Loads above capacity are clamped to capacity; setting the load it already
+// has is a no-op.
 func (n *Network) SetBackground(id LinkID, d Dir, load float64) {
 	l := n.links[int(id)]
 	if load < 0 {
@@ -245,8 +263,12 @@ func (n *Network) SetBackground(id LinkID, d Dir, load float64) {
 	if load > l.Capacity {
 		load = l.Capacity
 	}
+	if l.bg[d] == load {
+		return
+	}
 	l.bg[d] = load
-	n.reflow()
+	n.markDirty(int32(id)*2 + int32(d))
+	n.solve()
 }
 
 // SetBackgroundBoth sets the same background load on both directions.
@@ -258,9 +280,14 @@ func (n *Network) SetBackgroundBoth(id LinkID, load float64) {
 	if load > l.Capacity {
 		load = l.Capacity
 	}
+	if l.bg[Fwd] == load && l.bg[Rev] == load {
+		return
+	}
 	l.bg[Fwd] = load
 	l.bg[Rev] = load
-	n.reflow()
+	n.markDirty(int32(id) * 2)
+	n.markDirty(int32(id)*2 + 1)
+	n.solve()
 }
 
 // Background returns the background load on a direction of a link.
@@ -299,13 +326,21 @@ func (n *Network) AvailBandwidth(src, dst NodeID) float64 {
 
 // BottleneckShare returns the bandwidth a new elastic flow would currently
 // obtain on src→dst: the max–min fair share given present flows and
-// background load.
+// background load. The probe is solved in rates-only mode: real flows'
+// rates are perturbed and then restored exactly, without touching their
+// progress or completion events.
 func (n *Network) BottleneckShare(src, dst NodeID) float64 {
-	probe := &Flow{path: n.route(src, dst), remaining: 1}
+	path := n.route(src, dst)
+	if len(path) == 0 {
+		return 0
+	}
+	n.flushDirty() // pending real dirt must settle normally, not via the probe
+	probe := &Flow{path: path, remaining: 1, size: 1, net: n, index: len(n.flows)}
 	n.flows = append(n.flows, probe)
-	n.computeRates()
+	n.linkFlow(probe)
+	n.solveDirty(solveProbe)
 	share := probe.rate
-	n.flows = n.flows[:len(n.flows)-1]
-	n.computeRates()
+	n.removeFlow(probe)
+	n.solveDirty(solveRestore)
 	return share
 }

@@ -116,6 +116,30 @@ func (k *Kernel) After(d float64, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// Reschedule moves a pending event to absolute time t, reusing its queue slot
+// and callback — the fast path for completion-event churn in the fluid-flow
+// solver, which previously cancelled and reallocated an event on every rate
+// change. The event is re-sequenced as if newly scheduled, so FIFO
+// tie-breaking at equal times matches a Cancel+At pair. It returns false when
+// the event is nil, cancelled, or no longer queued (it already fired); the
+// caller must then schedule a fresh event.
+func (k *Kernel) Reschedule(e *Event, t Time) bool {
+	if e == nil || e.dead || e.idx < 0 {
+		return false
+	}
+	if math.IsNaN(t) {
+		panic("sim: rescheduling at NaN time")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: rescheduling in the past: at=%.9f now=%.9f", t, k.now))
+	}
+	e.At = t
+	e.seq = k.seq
+	k.seq++
+	heap.Fix(&k.queue, e.idx)
+	return true
+}
+
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 

@@ -263,3 +263,61 @@ func TestKernelOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	e := k.At(1, func() { order = append(order, "moved") })
+	k.At(2, func() { order = append(order, "fixed") })
+	if !k.Reschedule(e, 3) {
+		t.Fatal("Reschedule refused a pending event")
+	}
+	k.RunAll(0)
+	if len(order) != 2 || order[0] != "fixed" || order[1] != "moved" {
+		t.Fatalf("order=%v, want [fixed moved]", order)
+	}
+}
+
+func TestRescheduleTieBreaksLikeFreshSchedule(t *testing.T) {
+	// A rescheduled event lands at the same time as a previously scheduled
+	// one: it must fire after it, exactly as a Cancel+At pair would.
+	k := NewKernel()
+	var order []string
+	e := k.At(1, func() { order = append(order, "rescheduled") })
+	k.At(5, func() { order = append(order, "existing") })
+	k.Reschedule(e, 5)
+	k.RunAll(0)
+	if len(order) != 2 || order[0] != "existing" || order[1] != "rescheduled" {
+		t.Fatalf("order=%v, want [existing rescheduled]", order)
+	}
+}
+
+func TestRescheduleRejectsDeadOrFired(t *testing.T) {
+	k := NewKernel()
+	if k.Reschedule(nil, 1) {
+		t.Fatal("rescheduled nil event")
+	}
+	e := k.At(1, func() {})
+	e.Cancel()
+	if k.Reschedule(e, 2) {
+		t.Fatal("rescheduled a cancelled event")
+	}
+	fired := k.At(0.5, func() {})
+	k.RunAll(0)
+	if k.Reschedule(fired, 1) {
+		t.Fatal("rescheduled an event that already fired")
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(1, func() {})
+	e := k.At(2, func() {})
+	k.Run(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic rescheduling into the past")
+		}
+	}()
+	k.Reschedule(e, 0.5)
+}

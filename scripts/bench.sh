@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Runs the substrate + fleet benchmarks and writes the machine-readable perf
+# baseline (BENCH_fleet.json). Thin wrapper over cmd/benchjson so future PRs
+# have one entry point:
+#
+#   scripts/bench.sh                 # full sweep: N=4,16,32,64, 3 iters each
+#   scripts/bench.sh -quick          # CI smoke: N=4, 1 iter
+#   scripts/bench.sh -out - | jq .   # print to stdout
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchjson "$@"
