@@ -104,11 +104,58 @@ func (m *runtimeMem) stop() (allocs, bytes uint64) {
 	return after.Mallocs - m.before.Mallocs, after.TotalAlloc - m.before.TotalAlloc
 }
 
+// check compares a fresh N=32 run against the committed baseline and fails
+// when allocs/app regressed beyond tolerance — the CI regression gate, with
+// allocs/app as the canary (it is deterministic where ms/app is machine-
+// dependent).
+func check(baselinePath string, tolerance float64) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var committed *FleetRow
+	for i := range base.Fleet {
+		if base.Fleet[i].Apps == 32 {
+			committed = &base.Fleet[i]
+		}
+	}
+	if committed == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline has no N=32 row\n")
+		os.Exit(1)
+	}
+	row, err := benchFleet(32, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: fleet N=32: %v\n", err)
+		os.Exit(1)
+	}
+	limit := committed.AllocsPerApp * (1 + tolerance)
+	fmt.Fprintf(os.Stderr, "check N=32: allocs/app %.0f (committed %.0f, limit %.0f), ms/app %.3f (committed %.3f)\n",
+		row.AllocsPerApp, committed.AllocsPerApp, limit, row.MsPerApp, committed.MsPerApp)
+	if row.AllocsPerApp > limit {
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/app regressed >%.0f%% vs %s — rerun scripts/bench.sh and justify the regression\n",
+			100*tolerance, baselinePath)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "check passed")
+}
+
 func main() {
 	out := flag.String("out", "BENCH_fleet.json", "output file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "smoke mode: N=4 only, one iteration")
 	iters := flag.Int("iters", 3, "fleet scenario iterations per size point")
+	checkPath := flag.String("check", "", "compare a fresh N=32 run against this committed baseline; exit non-zero if allocs/app regressed >20%")
 	flag.Parse()
+
+	if *checkPath != "" {
+		check(*checkPath, 0.20)
+		return
+	}
 
 	sizes := []int{4, 16, 32, 64}
 	if *quick {

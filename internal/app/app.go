@@ -27,6 +27,11 @@ type Request struct {
 	SentAt   sim.Time
 	QueuedAt sim.Time
 	PulledAt sim.Time
+
+	// sys and srv thread the request through its static pipeline callbacks
+	// (send → enqueue → pull → serve → reply) without per-step closures.
+	sys *System
+	srv *Server
 }
 
 // Response records a completed request at the client.
@@ -79,6 +84,7 @@ type Client struct {
 	rng     *sim.Rand
 	nextID  uint64
 	stopped bool
+	respTag string
 
 	// Listeners receive completed responses (probes attach here; this is
 	// the AIDE-style instrumentation point: "probes report when particular
@@ -95,13 +101,20 @@ type Client struct {
 // Responses returns the number of replies received.
 func (c *Client) Responses() uint64 { return c.responses }
 
-// queue is one FIFO request queue on the queue machine.
+// queue is one FIFO request queue on the queue machine. reqs[head:] are the
+// waiting requests: dispatch advances head and the array is reset when the
+// queue drains (or compacted when the dead prefix dominates), so the backing
+// array is reused instead of re-allocated as the slice walks forward.
 type queue struct {
 	group    string
 	reqs     []*Request
+	head     int
 	maxSeen  int
 	enqueued uint64
 }
+
+// waiting returns the number of queued requests.
+func (q *queue) waiting() int { return len(q.reqs) - q.head }
 
 // System is the running application.
 type System struct {
@@ -150,7 +163,7 @@ func (s *System) AddClient(name string, host netsim.NodeID, group string, rate f
 		Name: name, Host: host, Group: group, Rate: rate,
 		ReqBits:  func() float64 { return 0.5 * 8192 }, // 0.5 KB
 		RespBits: func() float64 { return 20 * 8192 },  // 20 KB
-		rng:      rng, sys: s,
+		rng:      rng, sys: s, respTag: "resp:" + name,
 	}
 	s.clients[name] = c
 	s.order.clients = append(s.order.clients, name)
@@ -205,7 +218,7 @@ func (s *System) QueueLen(group string) int {
 	if q == nil {
 		return 0
 	}
-	return len(q.reqs)
+	return q.waiting()
 }
 
 // MaxQueueLen returns the high-water mark of a group's queue.
@@ -248,13 +261,17 @@ func (s *System) scheduleNext(c *Client) {
 		return
 	}
 	gap := c.rng.Exp(1 / c.Rate)
-	s.K.After(gap, func() {
-		if c.stopped {
-			return
-		}
-		s.sendRequest(c)
-		s.scheduleNext(c)
-	})
+	s.K.AfterAnonArg(gap, clientTickFn, c)
+}
+
+// clientTickFn fires one client arrival and schedules the next.
+func clientTickFn(arg any) {
+	c := arg.(*Client)
+	if c.stopped {
+		return
+	}
+	c.sys.sendRequest(c)
+	c.sys.scheduleNext(c)
 }
 
 // sendRequest emits one request: a small message to the queue machine that
@@ -267,14 +284,19 @@ func (s *System) sendRequest(c *Client) {
 		Group:    c.Group,
 		RespBits: c.RespBits(),
 		SentAt:   s.K.Now(),
+		sys:      s,
 	}
 	for _, fn := range c.OnSend {
 		fn(req)
 	}
 	bits := c.ReqBits()
-	s.Net.SendMessage(c.Host, s.QueueHost, bits, netsim.BestEffort, func() {
-		s.enqueue(req)
-	})
+	s.Net.SendMessageTo(c.Host, s.QueueHost, bits, netsim.BestEffort, enqueueFn, req)
+}
+
+// enqueueFn fires when a request message reaches the queue machine.
+func enqueueFn(arg any) {
+	req := arg.(*Request)
+	req.sys.enqueue(req)
 }
 
 func (s *System) enqueue(req *Request) {
@@ -291,22 +313,38 @@ func (s *System) enqueue(req *Request) {
 	req.QueuedAt = s.K.Now()
 	q.reqs = append(q.reqs, req)
 	q.enqueued++
-	if len(q.reqs) > q.maxSeen {
-		q.maxSeen = len(q.reqs)
+	if q.waiting() > q.maxSeen {
+		q.maxSeen = q.waiting()
 	}
 	s.dispatch(q)
 }
 
 // dispatch hands queued requests to idle active servers of the group.
 func (s *System) dispatch(q *queue) {
-	for len(q.reqs) > 0 {
+	for q.head < len(q.reqs) {
 		srv := s.idleServer(q.group)
 		if srv == nil {
+			q.compact()
 			return
 		}
-		req := q.reqs[0]
-		q.reqs = q.reqs[1:]
+		req := q.reqs[q.head]
+		q.reqs[q.head] = nil
+		q.head++
 		s.serve(srv, req)
+	}
+	q.reqs = q.reqs[:0]
+	q.head = 0
+}
+
+// compact reclaims the dispatched prefix once it dominates the array.
+func (q *queue) compact() {
+	if q.head >= 64 && q.head*2 >= len(q.reqs) {
+		n := copy(q.reqs, q.reqs[q.head:])
+		for i := n; i < len(q.reqs); i++ {
+			q.reqs[i] = nil
+		}
+		q.reqs = q.reqs[:n]
+		q.head = 0
 	}
 }
 
@@ -328,26 +366,45 @@ func (s *System) idleServer(group string) *Server {
 // the control "never recovers" until the competing traffic relents).
 func (s *System) serve(srv *Server, req *Request) {
 	srv.busy = true
+	req.srv = srv
 	req.PulledAt = s.K.Now()
 	pullBits := 0.5 * 8192 // the request payload forwarded to the server
-	s.Net.SendMessage(s.QueueHost, srv.Host, pullBits, netsim.BestEffort, func() {
-		service := srv.ServiceBase + srv.ServicePerBit*req.RespBits
-		s.K.After(service, func() {
-			cli := s.clients[req.Client]
-			if cli == nil {
-				s.finishServing(srv)
-				return
-			}
-			s.Net.StartTransfer(srv.Host, cli.Host, req.RespBits, "resp:"+req.Client, func(*netsim.Flow) {
-				done := Response{Req: req, DoneAt: s.K.Now(), Latency: s.K.Now() - req.SentAt}
-				cli.responses++
-				for _, fn := range cli.OnResponse {
-					fn(done)
-				}
-				s.finishServing(srv)
-			})
-		})
-	})
+	s.Net.SendMessageTo(s.QueueHost, srv.Host, pullBits, netsim.BestEffort, pulledFn, req)
+}
+
+// pulledFn fires when the server has pulled the request off the queue
+// machine; the server then processes it for its service time.
+func pulledFn(arg any) {
+	req := arg.(*Request)
+	s, srv := req.sys, req.srv
+	service := srv.ServiceBase + srv.ServicePerBit*req.RespBits
+	s.K.AfterAnonArg(service, servedFn, req)
+}
+
+// servedFn fires when processing completes and streams the reply to the
+// client as an elastic transfer.
+func servedFn(arg any) {
+	req := arg.(*Request)
+	s, srv := req.sys, req.srv
+	cli := s.clients[req.Client]
+	if cli == nil {
+		s.finishServing(srv)
+		return
+	}
+	s.Net.StartTransferArg(srv.Host, cli.Host, req.RespBits, cli.respTag, replyDoneFn, req)
+}
+
+// replyDoneFn fires when the last reply bit lands at the client.
+func replyDoneFn(arg any) {
+	req := arg.(*Request)
+	s, srv := req.sys, req.srv
+	cli := s.clients[req.Client]
+	done := Response{Req: req, DoneAt: s.K.Now(), Latency: s.K.Now() - req.SentAt}
+	cli.responses++
+	for _, fn := range cli.OnResponse {
+		fn(done)
+	}
+	s.finishServing(srv)
 }
 
 func (s *System) finishServing(srv *Server) {
@@ -434,7 +491,7 @@ func (s *System) MoveClient(client, group string) error {
 	}
 	if old := s.queues[c.Group]; old != nil && c.Group != group {
 		kept := old.reqs[:0]
-		for _, r := range old.reqs {
+		for _, r := range old.reqs[old.head:] {
 			if r.Client == client {
 				s.droppedReqs++
 				for _, fn := range s.OnDrop {
@@ -444,7 +501,11 @@ func (s *System) MoveClient(client, group string) error {
 			}
 			kept = append(kept, r)
 		}
+		for i := len(kept); i < len(old.reqs); i++ {
+			old.reqs[i] = nil
+		}
 		old.reqs = kept
+		old.head = 0
 	}
 	c.Group = group
 	return nil

@@ -7,6 +7,19 @@
 // configuration the paper deployed and then identified as a problem ("the
 // same network is being used to monitor the system as to run it");
 // Prioritized delivery models the QoS mitigation of §5.3.
+//
+// # Sharding
+//
+// One Bus carries the monitoring traffic of an entire fleet. Tenants —
+// managed applications — attach through Shard handles: a shard is an
+// isolated routing domain (publishes on a shard reach only that shard's
+// subscribers), so N applications share one bus's dispatch machinery,
+// subscription pool and delivery-record pool instead of owning N private
+// buses. Shards released at retirement are recycled for the next admission;
+// steady-state publish→deliver cycles allocate nothing. A Bus used directly
+// (Publish/Subscribe on the Bus itself) operates on its default shard, which
+// is the single-tenant configuration the per-application reference oracle
+// runs.
 package bus
 
 import (
@@ -14,24 +27,53 @@ import (
 	"archadapt/internal/sim"
 )
 
-// Message is one event notification.
+// Message is one event notification. The payload is a fixed set of typed
+// slots rather than a map, so constructing and copying a message never
+// allocates. Topics use the slots as follows:
+//
+//	probe.response  Name=client  Group=group            V1=latency
+//	probe.queue     Group=group                         V1=len
+//	probe.server    Name=server                         V1=busy  V2=served
+//	gauge.report    Name=gauge   Target, Kind, Prop     V1=value
 type Message struct {
-	Topic  string
-	Fields map[string]any
-	Src    netsim.NodeID
-	Time   sim.Time
+	Topic string
+	Src   netsim.NodeID
+	Time  sim.Time
+
+	Name   string // client / server / gauge name
+	Target string
+	Kind   string
+	Prop   string
+	Group  string
+	V1, V2 float64
 }
 
-// Str reads a string field.
+// Str reads a string field by its wire name (see the slot table above).
 func (m Message) Str(name string) string {
-	v, _ := m.Fields[name].(string)
-	return v
+	switch name {
+	case "client", "server", "gauge", "name":
+		return m.Name
+	case "group":
+		return m.Group
+	case "target":
+		return m.Target
+	case "kind":
+		return m.Kind
+	case "prop":
+		return m.Prop
+	}
+	return ""
 }
 
-// Num reads a numeric field.
+// Num reads a numeric field by its wire name.
 func (m Message) Num(name string) float64 {
-	v, _ := m.Fields[name].(float64)
-	return v
+	switch name {
+	case "latency", "len", "busy", "value":
+		return m.V1
+	case "served":
+		return m.V2
+	}
+	return 0
 }
 
 // Filter decides whether a subscription matches a message (content-based
@@ -48,16 +90,21 @@ func TopicAndField(topic, field, value string) Filter {
 	return func(m Message) bool { return m.Topic == topic && m.Str(field) == value }
 }
 
-// Subscription is a registered consumer.
+// Subscription is a registered consumer. Subscription structs are pooled
+// bus-wide: gen is bumped when a subscription is recycled so that in-flight
+// deliveries addressed to a previous tenant are discarded rather than handed
+// to the new one.
 type Subscription struct {
-	id      uint64
 	Host    netsim.NodeID
 	filter  Filter
 	handler func(Message)
 	dead    bool
+	gen     uint64
 }
 
 // Bus routes published messages to matching subscribers over the network.
+// It owns the shared infrastructure — pools and dispatch — while Shards own
+// the per-tenant routing state.
 type Bus struct {
 	K   *sim.Kernel
 	Net *netsim.Network
@@ -67,13 +114,12 @@ type Bus struct {
 	// paper's monitoring lag, Prioritized is the QoS ablation.
 	Priority netsim.Priority
 
-	subs      []*Subscription
-	nextID    uint64
-	published uint64
-	delivered uint64
-	dropped   uint64
-	dropRate  float64
-	dropRNG   *sim.Rand
+	def      *Shard
+	free     []*Shard
+	subPool  []*Subscription
+	dlvPool  []*delivery
+	tenants  int
+	acquired uint64
 }
 
 // New creates a bus on the network.
@@ -81,65 +127,270 @@ func New(k *sim.Kernel, net *netsim.Network) *Bus {
 	return &Bus{K: k, Net: net, MsgBits: 2 * 8192}
 }
 
-// Published returns the number of Publish calls.
-func (b *Bus) Published() uint64 { return b.published }
+// Shard is one tenant's isolated routing domain on a shared Bus. The zero
+// value is not usable; obtain shards from Bus.Acquire (or use the Bus
+// directly for its default shard).
+type Shard struct {
+	b    *Bus
+	subs []*Subscription
 
-// Delivered returns the number of notifications handed to subscribers.
-func (b *Bus) Delivered() uint64 { return b.delivered }
-
-// Dropped returns the number of notifications lost to injected faults.
-func (b *Bus) Dropped() uint64 { return b.dropped }
-
-// SetDrop makes the bus lose the given fraction of notifications,
-// deterministically via rng — failure injection for the monitoring plane.
-func (b *Bus) SetDrop(rate float64, rng *sim.Rand) {
-	b.dropRate = rate
-	b.dropRNG = rng
+	published uint64
+	delivered uint64
+	dropped   uint64
+	dropRate  float64
+	dropRNG   *sim.Rand
+	closed    bool
 }
 
+// Acquire leases a shard — fresh, or recycled from a retired tenant with its
+// subscriber list's capacity intact.
+func (b *Bus) Acquire() *Shard {
+	b.tenants++
+	b.acquired++
+	if n := len(b.free); n > 0 {
+		sh := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		sh.closed = false
+		sh.published, sh.delivered, sh.dropped = 0, 0, 0
+		sh.dropRate, sh.dropRNG = 0, nil
+		return sh
+	}
+	return &Shard{b: b}
+}
+
+// Release detaches every remaining subscription and returns the shard to the
+// bus's free list. In-flight deliveries addressed to the released tenant are
+// discarded (generation check), never delivered to a later tenant.
+func (sh *Shard) Release() {
+	if sh.closed {
+		return
+	}
+	sh.closed = true
+	sh.b.tenants--
+	for _, s := range sh.subs {
+		sh.b.recycleSub(s)
+	}
+	sh.subs = sh.subs[:0]
+	sh.b.free = append(sh.b.free, sh)
+}
+
+// Tenants returns the number of live shards (excluding the default shard).
+func (b *Bus) Tenants() int { return b.tenants }
+
+// ShardsAcquired returns the cumulative Acquire count — with Tenants, the
+// shard-reuse observability for admission/retirement tests.
+func (b *Bus) ShardsAcquired() uint64 { return b.acquired }
+
+// defShard lazily creates the default (single-tenant) shard.
+func (b *Bus) defShard() *Shard {
+	if b.def == nil {
+		b.def = &Shard{b: b}
+	}
+	return b.def
+}
+
+// Published returns the number of Publish calls on this shard.
+func (sh *Shard) Published() uint64 { return sh.published }
+
+// Delivered returns the number of notifications handed to subscribers.
+func (sh *Shard) Delivered() uint64 { return sh.delivered }
+
+// Dropped returns the number of notifications lost to injected faults.
+func (sh *Shard) Dropped() uint64 { return sh.dropped }
+
+// SetDrop makes the shard lose the given fraction of notifications,
+// deterministically via rng — failure injection for the monitoring plane.
+func (sh *Shard) SetDrop(rate float64, rng *sim.Rand) {
+	sh.dropRate = rate
+	sh.dropRNG = rng
+}
+
+// Subscribers returns the number of live subscriptions on the shard.
+func (sh *Shard) Subscribers() int { return len(sh.subs) }
+
 // Subscribe registers a handler running on host for messages matching f.
-func (b *Bus) Subscribe(host netsim.NodeID, f Filter, handler func(Message)) *Subscription {
-	s := &Subscription{id: b.nextID, Host: host, filter: f, handler: handler}
-	b.nextID++
-	b.subs = append(b.subs, s)
+func (sh *Shard) Subscribe(host netsim.NodeID, f Filter, handler func(Message)) *Subscription {
+	s := sh.b.getSub()
+	s.Host, s.filter, s.handler = host, f, handler
+	sh.subs = append(sh.subs, s)
 	return s
 }
 
-// Unsubscribe removes a subscription; queued deliveries are dropped.
-func (b *Bus) Unsubscribe(s *Subscription) {
+// Unsubscribe removes a subscription; queued deliveries are dropped. A
+// handle not (or no longer) registered on the shard is a no-op: the struct
+// may already be pooled and re-issued to another tenant, so a stale handle
+// must never be able to touch it.
+func (sh *Shard) Unsubscribe(s *Subscription) {
 	if s == nil {
 		return
 	}
-	s.dead = true
-	for i, x := range b.subs {
+	for i, x := range sh.subs {
 		if x == s {
-			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			sh.subs = append(sh.subs[:i], sh.subs[i+1:]...)
+			sh.b.recycleSub(s)
 			return
 		}
 	}
 }
 
-// Publish routes msg to every matching subscriber. Delivery to a subscriber
-// on the same host is immediate (next event); remote deliveries traverse the
-// network with the bus priority.
-func (b *Bus) Publish(msg Message) {
-	msg.Time = b.K.Now()
-	b.published++
-	for _, s := range b.subs {
+// delivery is one notification in flight to one subscriber. Records are
+// pooled on the Bus; gen pins the subscriber identity at send time.
+type delivery struct {
+	sh  *Shard
+	sub *Subscription
+	gen uint64
+	msg Message
+}
+
+// deliverFn is the static delivery callback — no per-send closures.
+func deliverFn(arg any) {
+	d := arg.(*delivery)
+	sub, sh, msg := d.sub, d.sh, d.msg
+	stale := d.gen != sub.gen || sub.dead
+	d.sh, d.sub = nil, nil
+	sh.b.dlvPool = append(sh.b.dlvPool, d)
+	if stale {
+		return
+	}
+	sh.delivered++
+	sub.handler(msg)
+}
+
+func (b *Bus) getDelivery() *delivery {
+	if n := len(b.dlvPool); n > 0 {
+		d := b.dlvPool[n-1]
+		b.dlvPool[n-1] = nil
+		b.dlvPool = b.dlvPool[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (b *Bus) getSub() *Subscription {
+	if n := len(b.subPool); n > 0 {
+		s := b.subPool[n-1]
+		b.subPool[n-1] = nil
+		b.subPool = b.subPool[:n-1]
+		s.dead = false
+		return s
+	}
+	return &Subscription{}
+}
+
+// recycleSub invalidates in-flight deliveries and pools the subscription.
+func (b *Bus) recycleSub(s *Subscription) {
+	s.dead = true
+	s.gen++
+	s.filter, s.handler = nil, nil
+	b.subPool = append(b.subPool, s)
+}
+
+// Publish routes msg to every matching subscriber on the shard. Delivery to
+// a subscriber on the same host is immediate (next event); remote deliveries
+// traverse the network with the bus priority. One publish is one dispatch
+// pass: matching, drop sampling and scheduling reuse pooled records, so the
+// steady state allocates nothing.
+func (sh *Shard) Publish(msg Message) {
+	msg.Time = sh.b.K.Now()
+	sh.dispatch(msg)
+}
+
+// PublishBatch routes a slice of same-tick, same-source messages in one
+// dispatch pass, equivalent to calling Publish on each in order. Because no
+// other event can run mid-pass, the network state is frozen: the pass reuses
+// one delay computation per destination host instead of re-walking the route
+// for every message (the queue probe publishes one sample per server group
+// per tick — the fleet's highest-rate same-tick burst).
+func (sh *Shard) PublishBatch(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	b := sh.b
+	now := b.K.Now()
+	src := msgs[0].Src
+	type hostDelay struct {
+		host  netsim.NodeID
+		delay float64
+	}
+	var memo [8]hostDelay
+	nmemo := 0
+	for _, msg := range msgs {
+		msg.Time = now
+		sh.published++
+		for _, s := range sh.subs {
+			if s.dead || !s.filter(msg) {
+				continue
+			}
+			if sh.dropRate > 0 && sh.dropRNG != nil && sh.dropRNG.Float64() < sh.dropRate {
+				sh.dropped++
+				continue
+			}
+			delay, found := 0.0, false
+			if msg.Src == src {
+				for i := 0; i < nmemo; i++ {
+					if memo[i].host == s.Host {
+						delay, found = memo[i].delay, true
+						break
+					}
+				}
+			}
+			if !found {
+				delay = b.Net.MessageDelay(msg.Src, s.Host, b.MsgBits, b.Priority)
+				if msg.Src == src && nmemo < len(memo) {
+					memo[nmemo] = hostDelay{s.Host, delay}
+					nmemo++
+				}
+			}
+			d := b.getDelivery()
+			d.sh, d.sub, d.gen, d.msg = sh, s, s.gen, msg
+			b.Net.SendPrecomputed(delay, b.MsgBits, b.Priority, deliverFn, d)
+		}
+	}
+}
+
+// dispatch fans one stamped message out to the shard's subscribers.
+func (sh *Shard) dispatch(msg Message) {
+	b := sh.b
+	sh.published++
+	for _, s := range sh.subs {
 		if s.dead || !s.filter(msg) {
 			continue
 		}
-		if b.dropRate > 0 && b.dropRNG != nil && b.dropRNG.Float64() < b.dropRate {
-			b.dropped++
+		if sh.dropRate > 0 && sh.dropRNG != nil && sh.dropRNG.Float64() < sh.dropRate {
+			sh.dropped++
 			continue
 		}
-		s := s
-		b.Net.SendMessage(msg.Src, s.Host, b.MsgBits, b.Priority, func() {
-			if s.dead {
-				return
-			}
-			b.delivered++
-			s.handler(msg)
-		})
+		d := b.getDelivery()
+		d.sh, d.sub, d.gen, d.msg = sh, s, s.gen, msg
+		b.Net.SendMessageTo(msg.Src, s.Host, b.MsgBits, b.Priority, deliverFn, d)
 	}
 }
+
+// --- default-shard convenience: a Bus used directly is a single tenant ---
+
+// Default returns the bus's default shard (the single-tenant endpoint).
+func (b *Bus) Default() *Shard { return b.defShard() }
+
+// Published returns the default shard's Publish count.
+func (b *Bus) Published() uint64 { return b.defShard().published }
+
+// Delivered returns the default shard's delivery count.
+func (b *Bus) Delivered() uint64 { return b.defShard().delivered }
+
+// Dropped returns the default shard's injected-fault loss count.
+func (b *Bus) Dropped() uint64 { return b.defShard().dropped }
+
+// SetDrop configures fault injection on the default shard.
+func (b *Bus) SetDrop(rate float64, rng *sim.Rand) { b.defShard().SetDrop(rate, rng) }
+
+// Subscribe registers a subscription on the default shard.
+func (b *Bus) Subscribe(host netsim.NodeID, f Filter, handler func(Message)) *Subscription {
+	return b.defShard().Subscribe(host, f, handler)
+}
+
+// Unsubscribe removes a default-shard subscription.
+func (b *Bus) Unsubscribe(s *Subscription) { b.defShard().Unsubscribe(s) }
+
+// Publish routes msg on the default shard.
+func (b *Bus) Publish(msg Message) { b.defShard().Publish(msg) }

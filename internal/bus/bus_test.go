@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"reflect"
 	"testing"
 
 	"archadapt/internal/netsim"
@@ -23,13 +24,13 @@ func TestPublishDelivers(t *testing.T) {
 	b := New(k, n)
 	var got []Message
 	b.Subscribe(bHost, TopicIs("x"), func(m Message) { got = append(got, m) })
-	b.Publish(Message{Topic: "x", Src: a, Fields: map[string]any{"v": 1.5, "s": "hi"}})
+	b.Publish(Message{Topic: "x", Src: a, V1: 1.5, Name: "hi"})
 	b.Publish(Message{Topic: "y", Src: a})
 	k.RunAll(0)
 	if len(got) != 1 {
 		t.Fatalf("delivered=%d, want 1 (topic filter)", len(got))
 	}
-	if got[0].Num("v") != 1.5 || got[0].Str("s") != "hi" {
+	if got[0].V1 != 1.5 || got[0].Name != "hi" {
 		t.Fatalf("fields corrupted: %+v", got[0])
 	}
 	if b.Published() != 2 || b.Delivered() != 1 {
@@ -42,8 +43,8 @@ func TestContentFilter(t *testing.T) {
 	b := New(k, n)
 	cnt := 0
 	b.Subscribe(bHost, TopicAndField("probe", "client", "C3"), func(Message) { cnt++ })
-	b.Publish(Message{Topic: "probe", Src: a, Fields: map[string]any{"client": "C3"}})
-	b.Publish(Message{Topic: "probe", Src: a, Fields: map[string]any{"client": "C4"}})
+	b.Publish(Message{Topic: "probe", Src: a, Name: "C3"})
+	b.Publish(Message{Topic: "probe", Src: a, Name: "C4"})
 	k.RunAll(0)
 	if cnt != 1 {
 		t.Fatalf("content filter matched %d, want 1", cnt)
@@ -145,5 +146,104 @@ func TestMessageTimeStamped(t *testing.T) {
 	k.RunAll(0)
 	if stamp != 5 {
 		t.Fatalf("publish time %v, want 5", stamp)
+	}
+}
+
+func TestShardIsolation(t *testing.T) {
+	// Two tenants on one bus: publishes on one shard never reach the other's
+	// subscribers — the per-app-bus semantics, on shared infrastructure.
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	s1 := b.Acquire()
+	s2 := b.Acquire()
+	var got1, got2 int
+	s1.Subscribe(bHost, TopicIs("x"), func(Message) { got1++ })
+	s2.Subscribe(bHost, TopicIs("x"), func(Message) { got2++ })
+	s1.Publish(Message{Topic: "x", Src: a})
+	s1.Publish(Message{Topic: "x", Src: a})
+	s2.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	if got1 != 2 || got2 != 1 {
+		t.Fatalf("cross-shard leak: got1=%d got2=%d", got1, got2)
+	}
+	if b.Tenants() != 2 {
+		t.Fatalf("tenants=%d", b.Tenants())
+	}
+}
+
+func TestShardReleaseDropsInFlightAndRecycles(t *testing.T) {
+	// A released shard's in-flight deliveries are discarded, and the next
+	// Acquire reuses the shard and its subscription structs without the new
+	// tenant seeing the old tenant's traffic.
+	k, n, a, bHost, _ := rig()
+	b := New(k, n)
+	s1 := b.Acquire()
+	old := 0
+	s1.Subscribe(bHost, TopicIs("x"), func(Message) { old++ })
+	s1.Publish(Message{Topic: "x", Src: a}) // in flight at release
+	s1.Release()
+
+	s2 := b.Acquire()
+	if s2 != s1 {
+		t.Fatal("released shard was not recycled")
+	}
+	fresh := 0
+	s2.Subscribe(bHost, TopicIs("x"), func(Message) { fresh++ })
+	k.RunAll(0)
+	if old != 0 {
+		t.Fatalf("released tenant received %d deliveries", old)
+	}
+	if fresh != 0 {
+		t.Fatalf("new tenant received the old tenant's in-flight delivery %d times", fresh)
+	}
+	s2.Publish(Message{Topic: "x", Src: a})
+	k.RunAll(0)
+	if fresh != 1 {
+		t.Fatalf("new tenant deliveries=%d, want 1", fresh)
+	}
+	if b.Tenants() != 1 {
+		t.Fatalf("tenants=%d", b.Tenants())
+	}
+}
+
+func TestPublishBatchMatchesSequentialPublish(t *testing.T) {
+	// PublishBatch must be observationally identical to publishing each
+	// message in order: same matches, same delivery order, same timing.
+	run := func(batch bool) (order []string, times []float64) {
+		k, n, a, bHost, _ := rig()
+		b := New(k, n)
+		sh := b.Acquire()
+		sh.Subscribe(bHost, TopicAndField("q", "group", "G1"), func(m Message) {
+			order = append(order, "G1")
+			times = append(times, k.Now())
+		})
+		sh.Subscribe(bHost, TopicIs("q"), func(m Message) {
+			order = append(order, "any:"+m.Group)
+			times = append(times, k.Now())
+		})
+		msgs := []Message{
+			{Topic: "q", Src: a, Group: "G1", V1: 3},
+			{Topic: "q", Src: a, Group: "G2", V1: 5},
+		}
+		if batch {
+			sh.PublishBatch(msgs)
+		} else {
+			for _, m := range msgs {
+				sh.Publish(m)
+			}
+		}
+		k.RunAll(0)
+		return
+	}
+	seqOrder, seqTimes := run(false)
+	batchOrder, batchTimes := run(true)
+	if !reflect.DeepEqual(seqOrder, batchOrder) {
+		t.Fatalf("order diverged: %v vs %v", seqOrder, batchOrder)
+	}
+	if !reflect.DeepEqual(seqTimes, batchTimes) {
+		t.Fatalf("timing diverged: %v vs %v", seqTimes, batchTimes)
+	}
+	if len(seqOrder) != 3 {
+		t.Fatalf("deliveries=%d, want 3", len(seqOrder))
 	}
 }

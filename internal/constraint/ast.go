@@ -19,7 +19,14 @@ type Lit struct{ Val Value }
 
 // Ref is a (possibly dotted) reference: `averageLatency`,
 // `self.Components`, `role.bandwidth`.
-type Ref struct{ Parts []string }
+type Ref struct {
+	Parts []string
+	// errUnbound caches the unbound-identifier error for this node: its text
+	// depends only on Parts[0], and the warm-up phase (gauges not yet
+	// reporting) hits it on every check tick, so allocating it per
+	// evaluation is measurable fleet-wide.
+	errUnbound error
+}
 
 // Unary is !x or -x.
 type Unary struct {

@@ -82,7 +82,10 @@ func evalRef(r *Ref, env *Env) (Value, error) {
 			// element's context.
 			return v, nil
 		} else {
-			return Nil(), fmt.Errorf("constraint: unbound identifier %q", head)
+			if r.errUnbound == nil {
+				r.errUnbound = fmt.Errorf("constraint: unbound identifier %q", head)
+			}
+			return Nil(), r.errUnbound
 		}
 	}
 	for _, part := range r.Parts[1:] {

@@ -65,7 +65,13 @@ func (v Violation) String() string {
 
 // scopeElements enumerates the elements an invariant quantifies over.
 func scopeElements(sys *model.System, scope string) []model.Element {
-	var out []model.Element
+	return scopeElementsInto(nil, sys, scope)
+}
+
+// scopeElementsInto appends the scope's elements to dst — the reusable-
+// scratch form for per-tick checking.
+func scopeElementsInto(dst []model.Element, sys *model.System, scope string) []model.Element {
+	out := dst
 	for _, c := range sys.Components() {
 		if c.Type() == scope {
 			out = append(out, c)
@@ -135,6 +141,15 @@ type Registry struct {
 	// SkipIncomplete suppresses violations caused by missing properties —
 	// the normal mode while monitoring is still warming up.
 	SkipIncomplete bool
+
+	// Reusable evaluation scratch: CheckAll runs on every control-loop tick
+	// of every managed application, so the environments and the scope slice
+	// are kept across calls instead of being rebuilt. env/itEnv are bound to
+	// envSys and rebuilt only if CheckAll sees a different system.
+	envSys  *model.System
+	env     *Env
+	itEnv   *Env
+	scratch []model.Element
 }
 
 // NewRegistry returns an empty registry with SkipIncomplete set.
@@ -152,11 +167,45 @@ func (r *Registry) Add(inv *Invariant) *Registry {
 func (r *Registry) Invariants() []*Invariant { return r.invs }
 
 // CheckAll evaluates every invariant and concatenates violations in
-// registration order.
+// registration order. It is equivalent to calling Check per invariant but
+// reuses the registry's evaluation scratch, so a clean pass (no violations)
+// allocates nothing.
 func (r *Registry) CheckAll(sys *model.System) []Violation {
+	if r.envSys != sys {
+		r.envSys = sys
+		r.env = NewEnv(sys)
+		r.env.Funcs = r.Funcs
+		r.itEnv = r.env.child("it", Nil())
+	}
 	var out []Violation
 	for _, inv := range r.invs {
-		out = append(out, inv.Check(sys, r.Funcs, r.SkipIncomplete)...)
+		if inv.Scope == "" {
+			ok, err := EvalBool(inv.Expr, r.env)
+			if err != nil {
+				if !r.SkipIncomplete {
+					out = append(out, Violation{Invariant: inv, Err: err})
+				}
+				continue
+			}
+			if !ok {
+				out = append(out, Violation{Invariant: inv})
+			}
+			continue
+		}
+		r.scratch = scopeElementsInto(r.scratch[:0], sys, inv.Scope)
+		for _, el := range r.scratch {
+			r.itEnv.vars["it"] = Elem(el)
+			ok, err := EvalBool(inv.Expr, r.itEnv)
+			if err != nil {
+				if !r.SkipIncomplete {
+					out = append(out, Violation{Invariant: inv, Subject: el, Err: err})
+				}
+				continue
+			}
+			if !ok {
+				out = append(out, Violation{Invariant: inv, Subject: el})
+			}
+		}
 	}
 	return out
 }

@@ -56,12 +56,19 @@ type Manager struct {
 	Engine   *repair.Engine
 	Trans    *translator.Translator
 
-	ProbeBus  *bus.Bus
-	ReportBus *bus.Bus
-	GaugeMgr  *gauges.Manager
+	// ProbeBus and ReportBus are this application's routing domains on the
+	// monitoring plane; GaugeMgr is its lease on the gauge manager. In the
+	// fleet configuration all three are views onto fleet-shared
+	// infrastructure; in the per-application reference configuration they
+	// are backed by private, single-tenant instances.
+	ProbeBus  *bus.Shard
+	ReportBus *bus.Shard
+	GaugeMgr  *gauges.Lease
 
-	queueProbe *probes.QueueProbe
-	stopCheck  func()
+	queueProbe  *probes.QueueProbe
+	stopCheck   func()
+	probeDetach []func()
+	reportSub   *bus.Subscription
 
 	busy        bool
 	spans       []RepairSpan
@@ -71,22 +78,48 @@ type Manager struct {
 	violationsN uint64
 }
 
-// New wires a manager over an already-built model and application. Hosts:
-// the manager (and gauge manager) run on host — in the paper's testbed, the
-// machine running Server 4.
+// Plane bundles the monitoring endpoints a Manager attaches to: the
+// application's probe and report shards and its gauge lease. The fleet
+// builds planes from its shared bus and gauge-manager infrastructure; a
+// zero Plane makes the manager build private single-tenant infrastructure
+// (the per-application reference configuration).
+type Plane struct {
+	Probe  *bus.Shard
+	Report *bus.Shard
+	Gauges *gauges.Lease
+}
+
+// New wires a manager over an already-built model and application, with
+// private monitoring infrastructure. Hosts: the manager (and gauge manager)
+// run on host — in the paper's testbed, the machine running Server 4.
 func New(cfg Config, k *sim.Kernel, net *netsim.Network, a *app.System, mdl *model.System, host netsim.NodeID, rm *remos.Service) *Manager {
+	return NewAttached(cfg, k, net, a, mdl, host, rm, Plane{})
+}
+
+// NewAttached wires a manager onto an existing monitoring plane — the fleet
+// configuration, where one sharded bus and one gauge manager serve every
+// application. A zero plane falls back to private per-application
+// infrastructure configured from cfg (buses and gauge manager of its own),
+// which is the reference oracle the fleet equivalence tests compare
+// against.
+func NewAttached(cfg Config, k *sim.Kernel, net *netsim.Network, a *app.System, mdl *model.System, host netsim.NodeID, rm *remos.Service, plane Plane) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		Cfg: cfg, K: k, Net: net, App: a, Model: mdl, Host: host, Rm: rm,
 	}
-	m.ProbeBus = bus.New(k, net)
-	m.ProbeBus.Priority = cfg.MonitoringPriority
-	m.ReportBus = bus.New(k, net)
-	m.ReportBus.Priority = cfg.MonitoringPriority
-
-	m.GaugeMgr = gauges.NewManager(k, net, host)
-	m.GaugeMgr.Caching = cfg.GaugeCaching
-	m.GaugeMgr.Priority = cfg.MonitoringPriority
+	if plane.Probe == nil {
+		probeBus := bus.New(k, net)
+		probeBus.Priority = cfg.MonitoringPriority
+		reportBus := bus.New(k, net)
+		reportBus.Priority = cfg.MonitoringPriority
+		gm := gauges.NewManager(k, net, host)
+		gm.Caching = cfg.GaugeCaching
+		gm.Priority = cfg.MonitoringPriority
+		plane = Plane{Probe: probeBus.Default(), Report: reportBus.Default(), Gauges: gm.DefaultLease()}
+	}
+	m.ProbeBus = plane.Probe
+	m.ReportBus = plane.Report
+	m.GaugeMgr = plane.Gauges
 
 	m.Env = envmgr.New(k, net, a, host, rm)
 	m.Trans = translator.New(m.Env)
@@ -197,7 +230,7 @@ func (m *Manager) FindGoodSGrp(sys *model.System, cli *model.Component, minBW fl
 func (m *Manager) Deploy() {
 	// Probes.
 	for _, name := range m.App.Clients() {
-		probes.AttachResponseProbe(m.ProbeBus, m.App.Client(name))
+		m.probeDetach = append(m.probeDetach, probes.AttachResponseProbe(m.ProbeBus, m.App.Client(name)))
 	}
 	m.queueProbe = probes.StartQueueProbe(m.K, m.ProbeBus, m.App, m.Cfg.GaugePeriod)
 
@@ -228,7 +261,7 @@ func (m *Manager) Deploy() {
 	}
 
 	// Gauge consumer: reports update the model.
-	m.ReportBus.Subscribe(m.Host, bus.TopicIs(gauges.TopicReport), m.consumeReport)
+	m.reportSub = m.ReportBus.Subscribe(m.Host, bus.TopicIs(gauges.TopicReport), m.consumeReport)
 
 	// Control loop.
 	m.stopCheck = m.K.Ticker(m.K.Now()+m.Cfg.CheckPeriod, m.Cfg.CheckPeriod, func(now sim.Time) {
@@ -246,6 +279,25 @@ func (m *Manager) Stop() {
 	}
 }
 
+// Shutdown is Stop plus a full detach from the monitoring plane: response
+// probes are silenced, the report subscription removed, and the gauge lease
+// closed (every gauge stops measuring now; teardown handshakes drain in the
+// background). The fleet calls this when retiring an application in the
+// shared-plane configuration, so the application's shards can be released
+// and reused with nothing left attached.
+func (m *Manager) Shutdown() {
+	m.Stop()
+	for _, detach := range m.probeDetach {
+		detach()
+	}
+	m.probeDetach = nil
+	if m.reportSub != nil {
+		m.ReportBus.Unsubscribe(m.reportSub)
+		m.reportSub = nil
+	}
+	m.GaugeMgr.Close(nil)
+}
+
 func (m *Manager) createBandwidthGauge(client string) {
 	cli := m.App.Client(client)
 	bg := gauges.NewBandwidthGauge(m.K, m.ReportBus, m.Rm, cli.Host, client, cli.Host,
@@ -258,10 +310,10 @@ func (m *Manager) createBandwidthGauge(client string) {
 // "gauge consumers ... update an abstraction/model").
 func (m *Manager) consumeReport(msg bus.Message) {
 	m.reports++
-	target := msg.Str("target")
-	prop := msg.Str("prop")
-	value := msg.Num("value")
-	switch msg.Str("kind") {
+	target := msg.Target
+	prop := msg.Prop
+	value := msg.V1
+	switch msg.Kind {
 	case "client":
 		if c := m.Model.Component(target); c != nil {
 			c.Props().Set(prop, value)

@@ -1,3 +1,29 @@
+// Package fleet is the grid control plane: it runs N managed applications
+// on one shared simulated grid, where the paper ran one.
+//
+// The fleet owns everything that is per-grid rather than per-application:
+//
+//   - Placement: a slot-capacity scheduler (Scheduler) that admits an
+//     application's processes onto grid hosts, spreading replicas across
+//     routers and ranking candidates by Remos bandwidth predictions.
+//   - Lifecycle: mid-run admission (Admit) and retirement (Retire), with
+//     freed slots and monitoring resources recycled for later admissions.
+//   - The shared monitoring plane: one sharded probe bus, one sharded
+//     gauge-report bus (bus.Bus) and one gauge manager (gauges.Manager)
+//     serve the whole fleet. Admission leases an application its isolated
+//     shards and gauge lease (core.Plane); retirement detaches them
+//     completely — probes silenced, subscriptions removed, gauges torn
+//     down — and returns the shards to the bus pools. The pre-sharding
+//     one-plane-per-app design is retained behind Config.PerAppMonitoring
+//     as the byte-identical reference oracle.
+//   - Workload and measurement: targeted bandwidth contention
+//     (CrushPrimary/RestorePrimary, refcounted across apps), ground-truth
+//     latency sampling, and per-app summaries/fleet aggregates.
+//
+// Each admitted application keeps its own architectural model, constraint
+// registry and repair engine (core.Manager); the fleet multiplexes them
+// over the shared kernel. Runs are deterministic: the same ScenarioOptions
+// (including Seed) produce identical summaries.
 package fleet
 
 import (
@@ -5,7 +31,9 @@ import (
 	"strings"
 
 	"archadapt/internal/app"
+	"archadapt/internal/bus"
 	"archadapt/internal/core"
+	"archadapt/internal/gauges"
 	"archadapt/internal/metrics"
 	"archadapt/internal/model"
 	"archadapt/internal/netsim"
@@ -26,6 +54,12 @@ type Config struct {
 	HostCapacity int
 	// SamplePeriod of the fleet's ground-truth latency sampler (default 5 s).
 	SamplePeriod float64
+	// PerAppMonitoring gives every application its own private event buses
+	// and gauge manager, the pre-sharding design. It is the reference oracle
+	// for the fleet-shared monitoring plane (the default), mirroring
+	// ScenarioOptions.GlobalReflow: equivalence tests run the same scenario
+	// both ways and require byte-identical summaries.
+	PerAppMonitoring bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,15 +182,22 @@ type App struct {
 
 	obs     *app.LatencyObserver
 	crushed []netsim.LinkID
+	// probe/report are the app's leased shards on the fleet monitoring
+	// plane (nil under PerAppMonitoring); released back to the bus pools at
+	// retirement.
+	probe, report *bus.Shard
 }
 
 // Live reports whether the application is still running.
 func (a *App) Live() bool { return a.RetiredAt < 0 }
 
 // Fleet multiplexes N managed applications over one shared kernel, network
-// and Remos collector. Each admitted application gets its own model, event
-// buses, gauges and repair engine; the fleet owns placement, admission,
-// retirement, and metric aggregation.
+// and Remos collector. The fleet owns the monitoring plane — one sharded
+// probe bus, one sharded gauge-report bus and one gauge manager serve every
+// application; apps lease shards and gauge leases at admission and return
+// them at retirement. Each admitted application still gets its own model
+// and repair engine; the fleet owns placement, admission, retirement, and
+// metric aggregation.
 type Fleet struct {
 	K    *sim.Kernel
 	Grid *netsim.Grid
@@ -164,6 +205,12 @@ type Fleet struct {
 	Rm   *remos.Service
 	Sch  *Scheduler
 	Cfg  Config
+
+	// ProbeBus, ReportBus and Gauges are the fleet-shared monitoring plane
+	// (nil under Config.PerAppMonitoring, where every app builds its own).
+	ProbeBus  *bus.Bus
+	ReportBus *bus.Bus
+	Gauges    *gauges.Manager
 
 	rng        *sim.Rand
 	apps       map[string]*App
@@ -197,6 +244,15 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 		return nil, fmt.Errorf("fleet: placing Remos collector: %w", err)
 	}
 	f.Rm = remos.New(k, grid.Net, rmHost)
+	if !cfg.PerAppMonitoring {
+		f.ProbeBus = bus.New(k, grid.Net)
+		f.ProbeBus.Priority = cfg.Manager.MonitoringPriority
+		f.ReportBus = bus.New(k, grid.Net)
+		f.ReportBus.Priority = cfg.Manager.MonitoringPriority
+		f.Gauges = gauges.NewManager(k, grid.Net, rmHost)
+		f.Gauges.Caching = cfg.Manager.GaugeCaching
+		f.Gauges.Priority = cfg.Manager.MonitoringPriority
+	}
 	f.Sch.Predict = func(src, dst netsim.NodeID) float64 {
 		if bw, ok := f.Rm.Predict(src, dst); ok {
 			return bw
@@ -290,7 +346,20 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 	a.Model = mdl
 	cfg := f.Cfg.Manager
 	cfg.DisableRepairs = !f.Cfg.Adaptive
-	a.Mgr = core.New(cfg, f.K, f.Net, sys, mdl, assign.ManagerHost, f.Rm)
+	if f.Cfg.PerAppMonitoring {
+		a.Mgr = core.New(cfg, f.K, f.Net, sys, mdl, assign.ManagerHost, f.Rm)
+	} else {
+		// Lease the app a slice of the fleet-shared monitoring plane.
+		lease, err := f.Gauges.Lease(spec.Name, assign.ManagerHost)
+		if err != nil {
+			f.Sch.Release(assign)
+			return nil, err
+		}
+		a.probe = f.ProbeBus.Acquire()
+		a.report = f.ReportBus.Acquire()
+		a.Mgr = core.NewAttached(cfg, f.K, f.Net, sys, mdl, assign.ManagerHost, f.Rm,
+			core.Plane{Probe: a.probe, Report: a.report, Gauges: lease})
+	}
 
 	// Ground-truth latency sampling (window average, or the age of the
 	// oldest outstanding request while a client is wedged).
@@ -319,7 +388,17 @@ func (f *Fleet) Retire(name string) error {
 	if !a.Live() {
 		return fmt.Errorf("fleet: application %q already retired", name)
 	}
-	a.Mgr.Stop()
+	if f.Cfg.PerAppMonitoring {
+		a.Mgr.Stop()
+	} else {
+		// Full detach from the shared plane: probes silenced, report
+		// subscription removed, gauges torn down — then the app's shards go
+		// back to the bus pools for the next admission.
+		a.Mgr.Shutdown()
+		a.probe.Release()
+		a.report.Release()
+		a.probe, a.report = nil, nil
+	}
 	a.Sys.StopClients()
 	f.RestorePrimary(name)
 	f.Sch.Release(a.Assign)

@@ -54,6 +54,11 @@ type ScenarioOptions struct {
 	// equivalence test runs the same scenario both ways and requires
 	// identical summaries.
 	GlobalReflow bool
+	// PerAppMonitoring forces the pre-sharding monitoring design (a private
+	// bus pair and gauge manager per application) instead of the fleet-shared
+	// plane. Same contract as GlobalReflow: the monitoring equivalence test
+	// runs both ways and requires identical summaries.
+	PerAppMonitoring bool
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -111,9 +116,10 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 	})
 	grid.Net.GlobalReflow = opts.GlobalReflow
 	f, err := New(k, grid, opts.Seed, Config{
-		Manager:      opts.Manager,
-		Adaptive:     opts.Adaptive,
-		HostCapacity: opts.HostCapacity,
+		Manager:          opts.Manager,
+		Adaptive:         opts.Adaptive,
+		HostCapacity:     opts.HostCapacity,
+		PerAppMonitoring: opts.PerAppMonitoring,
 	})
 	if err != nil {
 		return nil, err

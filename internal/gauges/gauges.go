@@ -11,6 +11,14 @@
 // ("averages 30 seconds") was dominated by "communicating to create and
 // delete gauges", and proposed caching/relocating gauges as the fix. Manager
 // implements both the destroy/recreate protocol and the caching extension.
+//
+// One Manager serves a whole fleet: applications attach through Leases that
+// scope gauge names and anchor protocol exchanges at the leasing app's
+// manager host, and gauges read probe observations from (and report onto)
+// their application's bus.Shard. Lease.Close tears down an application's
+// remaining gauges in one batched lifecycle pass at retirement, so a shared
+// manager never leaks a retired tenant's gauges (asserted via
+// Manager.Counts and Deployed).
 package gauges
 
 import (
@@ -21,9 +29,9 @@ import (
 	"archadapt/internal/sim"
 )
 
-// TopicReport is the gauge-reporting-bus topic. Fields: gauge (string),
-// target (string: client or group name), kind ("client" | "group" |
-// "clientRole"), prop (string) and value (float64).
+// TopicReport is the gauge-reporting-bus topic. Slots: Name=gauge,
+// Target (client or group name), Kind ("client" | "group" | "clientRole"),
+// Prop and V1=value.
 const TopicReport = "gauge.report"
 
 // Gauge is a deployed gauge instance.
@@ -38,18 +46,16 @@ type Gauge interface {
 	stop()
 }
 
-// report publishes one gauge report.
-func report(b *bus.Bus, src netsim.NodeID, gauge, target, kind, prop string, value float64) {
-	b.Publish(bus.Message{
-		Topic: TopicReport,
-		Src:   src,
-		Fields: map[string]any{
-			"gauge":  gauge,
-			"target": target,
-			"kind":   kind,
-			"prop":   prop,
-			"value":  value,
-		},
+// report publishes one gauge report on the app's reporting shard.
+func report(sh *bus.Shard, src netsim.NodeID, gauge, target, kind, prop string, value float64) {
+	sh.Publish(bus.Message{
+		Topic:  TopicReport,
+		Src:    src,
+		Name:   gauge,
+		Target: target,
+		Kind:   kind,
+		Prop:   prop,
+		V1:     value,
 	})
 }
 
@@ -64,8 +70,8 @@ type LatencyGauge struct {
 	client string
 
 	K      *sim.Kernel
-	Probe  *bus.Bus // probe bus (input)
-	Report *bus.Bus // gauge reporting bus (output)
+	Probe  *bus.Shard // probe shard (input)
+	Report *bus.Shard // gauge reporting shard (output)
 
 	// Window is the sliding-window width in seconds; Period the reporting
 	// interval.
@@ -84,7 +90,7 @@ type latSample struct {
 
 // NewLatencyGauge creates (but does not start) a latency gauge for client,
 // running on host (typically the client's machine).
-func NewLatencyGauge(k *sim.Kernel, probeBus, reportBus *bus.Bus, host netsim.NodeID, client string, window, period float64) *LatencyGauge {
+func NewLatencyGauge(k *sim.Kernel, probeBus, reportBus *bus.Shard, host netsim.NodeID, client string, window, period float64) *LatencyGauge {
 	return &LatencyGauge{
 		name: "latency:" + client, host: host, client: client,
 		K: k, Probe: probeBus, Report: reportBus,
@@ -114,7 +120,7 @@ func (g *LatencyGauge) start() {
 	g.sub = g.Probe.Subscribe(g.host,
 		bus.TopicAndField(probes.TopicResponse, "client", g.client),
 		func(m bus.Message) {
-			g.samples = append(g.samples, latSample{t: g.K.Now(), lat: m.Num("latency")})
+			g.samples = append(g.samples, latSample{t: g.K.Now(), lat: m.V1})
 		})
 	g.stopTick = g.K.Ticker(g.K.Now()+g.Period, g.Period, func(now sim.Time) {
 		cutoff := now - g.Window
@@ -157,8 +163,8 @@ type LoadGauge struct {
 	group string
 
 	K      *sim.Kernel
-	Probe  *bus.Bus
-	Report *bus.Bus
+	Probe  *bus.Shard
+	Report *bus.Shard
 	Period float64
 	// Smooth is the EWMA coefficient in (0,1]; 1 reports raw samples.
 	Smooth float64
@@ -171,7 +177,7 @@ type LoadGauge struct {
 
 // NewLoadGauge creates a load gauge for a group, running on host (the queue
 // machine).
-func NewLoadGauge(k *sim.Kernel, probeBus, reportBus *bus.Bus, host netsim.NodeID, group string, period float64) *LoadGauge {
+func NewLoadGauge(k *sim.Kernel, probeBus, reportBus *bus.Shard, host netsim.NodeID, group string, period float64) *LoadGauge {
 	return &LoadGauge{
 		name: "load:" + group, host: host, group: group,
 		K: k, Probe: probeBus, Report: reportBus, Period: period, Smooth: 1.0,
@@ -191,7 +197,7 @@ func (g *LoadGauge) start() {
 	g.sub = g.Probe.Subscribe(g.host,
 		bus.TopicAndField(probes.TopicQueue, "group", g.group),
 		func(m bus.Message) {
-			v := m.Num("len")
+			v := m.V1
 			if !g.seen || g.Smooth >= 1 {
 				g.value = v
 				g.seen = true
@@ -230,7 +236,7 @@ type BandwidthGauge struct {
 	client string
 
 	K      *sim.Kernel
-	Report *bus.Bus
+	Report *bus.Shard
 	Rm     *remos.Service
 	Period float64
 
@@ -240,6 +246,7 @@ type BandwidthGauge struct {
 	ClientHost netsim.NodeID
 
 	stopTick func()
+	stopped  bool
 	inFlight bool
 	sentAt   sim.Time
 	last     float64
@@ -247,7 +254,7 @@ type BandwidthGauge struct {
 }
 
 // NewBandwidthGauge creates a bandwidth gauge for client, running on host.
-func NewBandwidthGauge(k *sim.Kernel, reportBus *bus.Bus, rm *remos.Service, host netsim.NodeID, client string, clientHost netsim.NodeID, serverHost func() (netsim.NodeID, bool), period float64) *BandwidthGauge {
+func NewBandwidthGauge(k *sim.Kernel, reportBus *bus.Shard, rm *remos.Service, host netsim.NodeID, client string, clientHost netsim.NodeID, serverHost func() (netsim.NodeID, bool), period float64) *BandwidthGauge {
 	return &BandwidthGauge{
 		name: "bandwidth:" + client, host: host, client: client,
 		K: k, Report: reportBus, Rm: rm, Period: period,
@@ -265,6 +272,7 @@ func (g *BandwidthGauge) Host() netsim.NodeID { return g.host }
 func (g *BandwidthGauge) Last() (float64, bool) { return g.last, g.seen }
 
 func (g *BandwidthGauge) start() {
+	g.stopped = false
 	g.stopTick = g.K.Ticker(g.K.Now()+g.Period, g.Period, func(now sim.Time) {
 		if g.inFlight {
 			// A lost query or reply must not wedge the gauge: give a cold
@@ -282,6 +290,13 @@ func (g *BandwidthGauge) start() {
 		g.sentAt = now
 		sent := now
 		g.Rm.GetFlow(g.host, sh, g.ClientHost, func(bw float64) {
+			if g.stopped {
+				// The gauge was torn down while the query was in flight
+				// (e.g. its app retired): the report shard may already be
+				// leased to another tenant, so the late reply must not
+				// publish.
+				return
+			}
 			if g.sentAt != sent {
 				return // a retry superseded this query
 			}
@@ -293,6 +308,7 @@ func (g *BandwidthGauge) start() {
 }
 
 func (g *BandwidthGauge) stop() {
+	g.stopped = true
 	if g.stopTick != nil {
 		g.stopTick()
 		g.stopTick = nil

@@ -14,8 +14,8 @@ import (
 type rig struct {
 	k       *sim.Kernel
 	net     *netsim.Network
-	probe   *bus.Bus
-	report  *bus.Bus
+	probe   *bus.Shard
+	report  *bus.Shard
 	mgr     *Manager
 	gHost   netsim.NodeID
 	mHost   netsim.NodeID
@@ -34,8 +34,8 @@ func newRig(t *testing.T) *rig {
 	net.Connect(mHost, r, 10e6, 1e-3)
 	rg := &rig{
 		k: k, net: net,
-		probe:  bus.New(k, net),
-		report: bus.New(k, net),
+		probe:  bus.New(k, net).Default(),
+		report: bus.New(k, net).Default(),
 		mgr:    NewManager(k, net, mHost),
 		gHost:  gHost, mHost: mHost,
 		rm: remos.New(k, net, mHost),
@@ -50,9 +50,9 @@ func (r *rig) pubResponse(client string, latency float64) {
 	r.probe.Publish(bus.Message{
 		Topic: probes.TopicResponse,
 		Src:   r.gHost,
-		Fields: map[string]any{
-			"client": client, "latency": latency, "group": "G",
-		},
+		Name:  client,
+		V1:    latency,
+		Group: "G",
 	})
 }
 
@@ -72,7 +72,7 @@ func TestLatencyGaugeWindowedAverage(t *testing.T) {
 	}
 	last := r.reports[len(r.reports)-1]
 	if last.Str("target") != "C1" || last.Str("prop") != "averageLatency" || last.Str("kind") != "client" {
-		t.Fatalf("report fields %+v", last.Fields)
+		t.Fatalf("report fields %+v", last)
 	}
 	if v := last.Num("value"); math.Abs(v-2.0) > 1e-9 {
 		t.Fatalf("avg=%v, want 2.0", v)
@@ -97,7 +97,7 @@ func TestLoadGaugeSmoothing(t *testing.T) {
 		r.k.At(at, func() {
 			r.probe.Publish(bus.Message{
 				Topic: probes.TopicQueue, Src: r.gHost,
-				Fields: map[string]any{"group": "G", "len": v},
+				Group: "G", V1: v,
 			})
 		})
 	}
@@ -125,7 +125,7 @@ func TestBandwidthGaugeQueriesRemos(t *testing.T) {
 	}
 	last := r.reports[len(r.reports)-1]
 	if last.Str("kind") != "clientRole" || last.Str("prop") != "bandwidth" {
-		t.Fatalf("fields %+v", last.Fields)
+		t.Fatalf("fields %+v", last)
 	}
 	if v := last.Num("value"); math.Abs(v-10e6) > 1 {
 		t.Fatalf("bw=%v", v)

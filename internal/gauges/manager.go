@@ -2,6 +2,7 @@ package gauges
 
 import (
 	"fmt"
+	"sort"
 
 	"archadapt/internal/netsim"
 	"archadapt/internal/sim"
@@ -11,13 +12,21 @@ import (
 // defines "for gauge creation, communication, and deletion".
 //
 // Creating a gauge costs CreateMsgs sequential control-message round trips
-// between the manager host and the gauge host, each padded by ProtocolDelay
-// (deployment, class loading, subscription setup — the costs that made the
-// paper's repairs average 30 seconds). Deletion costs DeleteMsgs round
-// trips. With Caching enabled, a re-target after a repair is a single
-// reconfiguration round trip instead of delete+create — the paper's §5.3
-// proposal ("caching gauges or relocating them ... should see our repair
-// speed improve dramatically").
+// between the owning application's manager host and the gauge host, each
+// padded by ProtocolDelay (deployment, class loading, subscription setup —
+// the costs that made the paper's repairs average 30 seconds). Deletion
+// costs DeleteMsgs round trips. With Caching enabled, a re-target after a
+// repair is a single reconfiguration round trip instead of delete+create —
+// the paper's §5.3 proposal ("caching gauges or relocating them ... should
+// see our repair speed improve dramatically").
+//
+// One Manager serves a whole fleet: applications attach through Leases,
+// which scope gauge names and anchor the protocol exchanges at the leasing
+// application's manager host. The Manager's protocol parameters and
+// lifecycle counters are fleet-wide; per-application counters live on the
+// Lease. A Manager used directly (Create/Delete/Recreate on the Manager)
+// operates through a default lease anchored at Host — the single-tenant
+// configuration of the per-application reference oracle.
 type Manager struct {
 	K    *sim.Kernel
 	Net  *netsim.Network
@@ -34,13 +43,32 @@ type Manager struct {
 	Priority     netsim.Priority
 	Caching      bool
 
-	gauges map[string]Gauge
+	gauges map[gaugeKey]Gauge
+	leases map[string]*Lease
+	def    *Lease
 
 	creates, deletes, retargets uint64
 	protocolBusy                float64 // cumulative protocol time
 }
 
-// NewManager creates a gauge manager anchored at host.
+// gaugeKey scopes a gauge name to its leasing application.
+type gaugeKey struct{ app, name string }
+
+// Lease is one application's handle on the shared gauge manager: it scopes
+// gauge names to the application and anchors lifecycle handshakes at the
+// application's manager host.
+type Lease struct {
+	m    *Manager
+	app  string
+	host netsim.NodeID
+
+	deployed                    int
+	creates, deletes, retargets uint64
+	closed                      bool
+}
+
+// NewManager creates a gauge manager. host anchors the default lease (the
+// single-tenant configuration); fleet tenants anchor their own leases.
 func NewManager(k *sim.Kernel, net *netsim.Network, host netsim.NodeID) *Manager {
 	return &Manager{
 		K: k, Net: net, Host: host,
@@ -48,24 +76,65 @@ func NewManager(k *sim.Kernel, net *netsim.Network, host netsim.NodeID) *Manager
 		MsgBits:       8192,
 		ProtocolDelay: 2.5,
 		RetryTimeout:  15,
-		gauges:        map[string]Gauge{},
+		gauges:        map[gaugeKey]Gauge{},
+		leases:        map[string]*Lease{},
 	}
 }
 
-// Counts returns lifecycle statistics (creates, deletes, retargets).
+// Lease attaches an application to the manager. Gauge names are scoped to
+// app; protocol exchanges for this lease run between host (the application's
+// manager machine) and each gauge's host.
+func (m *Manager) Lease(app string, host netsim.NodeID) (*Lease, error) {
+	if _, dup := m.leases[app]; dup {
+		return nil, fmt.Errorf("gauges: application %q already holds a lease", app)
+	}
+	l := &Lease{m: m, app: app, host: host}
+	m.leases[app] = l
+	return l, nil
+}
+
+// Leases returns the number of live (non-default) leases.
+func (m *Manager) Leases() int { return len(m.leases) }
+
+// Counts returns fleet-wide lifecycle statistics (creates, deletes,
+// retargets) across every lease.
 func (m *Manager) Counts() (creates, deletes, retargets uint64) {
 	return m.creates, m.deletes, m.retargets
 }
 
 // ProtocolTime returns cumulative time spent in lifecycle protocol
-// exchanges.
+// exchanges, fleet-wide.
 func (m *Manager) ProtocolTime() float64 { return m.protocolBusy }
 
-// Gauge returns a deployed gauge by name.
-func (m *Manager) Gauge(name string) Gauge { return m.gauges[name] }
-
-// Deployed returns the number of live gauges.
+// Deployed returns the number of live gauges across every lease.
 func (m *Manager) Deployed() int { return len(m.gauges) }
+
+// defLease lazily creates the default single-tenant lease.
+func (m *Manager) defLease() *Lease {
+	if m.def == nil {
+		m.def = &Lease{m: m, app: "", host: m.Host}
+	}
+	return m.def
+}
+
+// DefaultLease returns the manager's default lease, anchored at Host — the
+// handle single-tenant owners (the per-application reference configuration)
+// operate through.
+func (m *Manager) DefaultLease() *Lease { return m.defLease() }
+
+// Create deploys a gauge under the default lease.
+func (m *Manager) Create(g Gauge, done func()) error { return m.defLease().Create(g, done) }
+
+// Delete tears down a default-lease gauge.
+func (m *Manager) Delete(name string, done func()) error { return m.defLease().Delete(name, done) }
+
+// Recreate churns a default-lease gauge.
+func (m *Manager) Recreate(old string, replacement Gauge, done func()) error {
+	return m.defLease().Recreate(old, replacement, done)
+}
+
+// Gauge returns a default-lease gauge by name.
+func (m *Manager) Gauge(name string) Gauge { return m.defLease().Gauge(name) }
 
 // sendReliable delivers one protocol message with retransmission: if the
 // network drops it (lossy monitoring plane), it is resent after
@@ -84,7 +153,7 @@ func (m *Manager) sendReliable(from, to netsim.NodeID, cb func()) {
 			}
 		})
 		if m.RetryTimeout > 0 {
-			m.K.After(m.RetryTimeout, func() {
+			m.K.AfterAnon(m.RetryTimeout, func() {
 				if !delivered {
 					attempt()
 				}
@@ -94,10 +163,11 @@ func (m *Manager) sendReliable(from, to netsim.NodeID, cb func()) {
 	attempt()
 }
 
-// handshake runs n sequential round trips to host and calls done.
-func (m *Manager) handshake(host netsim.NodeID, n int, done func()) {
+// handshake runs n sequential round trips between anchor and host and calls
+// done.
+func (m *Manager) handshake(anchor, host netsim.NodeID, n int, done func()) {
 	if n <= 0 {
-		m.K.After(0, done)
+		m.K.AfterAnon(0, done)
 		return
 	}
 	start := m.K.Now()
@@ -109,9 +179,9 @@ func (m *Manager) handshake(host netsim.NodeID, n int, done func()) {
 			return
 		}
 		// Request leg, then protocol work, then ack leg.
-		m.sendReliable(m.Host, host, func() {
-			m.K.After(m.ProtocolDelay, func() {
-				m.sendReliable(host, m.Host, func() {
+		m.sendReliable(anchor, host, func() {
+			m.K.AfterAnon(m.ProtocolDelay, func() {
+				m.sendReliable(host, anchor, func() {
 					step(remaining - 1)
 				})
 			})
@@ -120,17 +190,37 @@ func (m *Manager) handshake(host netsim.NodeID, n int, done func()) {
 	step(n)
 }
 
+// App returns the lease's application name.
+func (l *Lease) App() string { return l.app }
+
+// Deployed returns the number of live gauges under this lease.
+func (l *Lease) Deployed() int { return l.deployed }
+
+// Counts returns this lease's lifecycle statistics.
+func (l *Lease) Counts() (creates, deletes, retargets uint64) {
+	return l.creates, l.deletes, l.retargets
+}
+
+// Gauge returns a deployed gauge by (lease-scoped) name.
+func (l *Lease) Gauge(name string) Gauge { return l.m.gauges[gaugeKey{l.app, name}] }
+
 // Create deploys a gauge: after the creation handshake completes the gauge
 // starts measuring and reporting. done (optional) fires when the gauge is
 // live.
-func (m *Manager) Create(g Gauge, done func()) error {
-	if _, dup := m.gauges[g.Name()]; dup {
+func (l *Lease) Create(g Gauge, done func()) error {
+	if l.closed {
+		return fmt.Errorf("gauges: lease %q is closed", l.app)
+	}
+	key := gaugeKey{l.app, g.Name()}
+	if _, dup := l.m.gauges[key]; dup {
 		return fmt.Errorf("gauges: %s already deployed", g.Name())
 	}
-	m.creates++
-	m.gauges[g.Name()] = g
-	m.handshake(g.Host(), m.CreateMsgs, func() {
-		if m.gauges[g.Name()] == g { // not deleted meanwhile
+	l.creates++
+	l.m.creates++
+	l.m.gauges[key] = g
+	l.deployed++
+	l.m.handshake(l.host, g.Host(), l.m.CreateMsgs, func() {
+		if l.m.gauges[key] == g { // not deleted meanwhile
 			g.start()
 		}
 		if done != nil {
@@ -142,15 +232,18 @@ func (m *Manager) Create(g Gauge, done func()) error {
 
 // Delete tears a gauge down; done fires when the teardown handshake
 // completes.
-func (m *Manager) Delete(name string, done func()) error {
-	g, ok := m.gauges[name]
+func (l *Lease) Delete(name string, done func()) error {
+	key := gaugeKey{l.app, name}
+	g, ok := l.m.gauges[key]
 	if !ok {
 		return fmt.Errorf("gauges: no gauge %s", name)
 	}
-	m.deletes++
-	delete(m.gauges, name)
+	l.deletes++
+	l.m.deletes++
+	delete(l.m.gauges, key)
+	l.deployed--
 	g.stop()
-	m.handshake(g.Host(), m.DeleteMsgs, func() {
+	l.m.handshake(l.host, g.Host(), l.m.DeleteMsgs, func() {
 		if done != nil {
 			done()
 		}
@@ -162,18 +255,21 @@ func (m *Manager) Delete(name string, done func()) error {
 // caching it is Delete followed by Create of the replacement; with caching
 // it is a single reconfiguration round trip (the replacement gauge reuses
 // the deployed instance's slot). done fires when the gauge is live again.
-func (m *Manager) Recreate(old string, replacement Gauge, done func()) error {
-	g, ok := m.gauges[old]
+func (l *Lease) Recreate(old string, replacement Gauge, done func()) error {
+	oldKey := gaugeKey{l.app, old}
+	g, ok := l.m.gauges[oldKey]
 	if !ok {
 		return fmt.Errorf("gauges: no gauge %s", old)
 	}
-	if m.Caching {
-		m.retargets++
+	if l.m.Caching {
+		l.retargets++
+		l.m.retargets++
 		g.stop()
-		delete(m.gauges, old)
-		m.gauges[replacement.Name()] = replacement
-		m.handshake(replacement.Host(), 1, func() {
-			if m.gauges[replacement.Name()] == replacement {
+		delete(l.m.gauges, oldKey)
+		newKey := gaugeKey{l.app, replacement.Name()}
+		l.m.gauges[newKey] = replacement
+		l.m.handshake(l.host, replacement.Host(), 1, func() {
+			if l.m.gauges[newKey] == replacement {
 				replacement.start()
 			}
 			if done != nil {
@@ -182,7 +278,53 @@ func (m *Manager) Recreate(old string, replacement Gauge, done func()) error {
 		})
 		return nil
 	}
-	return m.Delete(old, func() {
-		_ = m.Create(replacement, done)
+	return l.Delete(old, func() {
+		_ = l.Create(replacement, done)
 	})
+}
+
+// Close retires the lease: every remaining gauge stops measuring
+// immediately, then the teardown handshakes for all of them run as one
+// batched lifecycle pass (sequentially, in gauge-name order, like repair
+// churn). done (optional) fires when the last teardown completes. After
+// Close the lease's name is free for a future admission.
+func (l *Lease) Close(done func()) {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.m.leases, l.app)
+
+	// Collect and stop this lease's gauges in deterministic order.
+	var names []string
+	for key := range l.m.gauges {
+		if key.app == l.app {
+			names = append(names, key.name)
+		}
+	}
+	sort.Strings(names)
+	hosts := make([]netsim.NodeID, len(names))
+	for i, name := range names {
+		key := gaugeKey{l.app, name}
+		g := l.m.gauges[key]
+		hosts[i] = g.Host()
+		l.deletes++
+		l.m.deletes++
+		delete(l.m.gauges, key)
+		l.deployed--
+		g.stop()
+	}
+
+	// One dispatch pass over the teardown handshakes.
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(hosts) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		l.m.handshake(l.host, hosts[i], l.m.DeleteMsgs, func() { step(i + 1) })
+	}
+	step(0)
 }

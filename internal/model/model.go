@@ -377,6 +377,23 @@ func (s *System) AttachmentsOfPort(p *Port) []Attachment {
 	return out
 }
 
+// PortAttachment returns the first attachment involving p and how many
+// there are — the allocation-free form for per-report model lookups, where
+// the style guarantees exactly one attachment per client request port.
+func (s *System) PortAttachment(p *Port) (Attachment, int) {
+	var first Attachment
+	n := 0
+	for _, a := range s.atts {
+		if a.Port == p {
+			if n == 0 {
+				first = a
+			}
+			n++
+		}
+	}
+	return first, n
+}
+
 // AttachmentsOfRole returns attachments involving r.
 func (s *System) AttachmentsOfRole(r *Role) []Attachment {
 	var out []Attachment

@@ -23,6 +23,8 @@ type Flow struct {
 	completion *sim.Event
 	complete   func()
 	done       func(*Flow)
+	doneArg    func(any)
+	arg        any
 	net        *Network
 	started    sim.Time
 	size       float64
@@ -84,13 +86,28 @@ func (n *Network) StartTransfer(src, dst NodeID, bits float64, tag string, done 
 	n.nextFlow++
 	if len(f.path) == 0 {
 		// Same host: model as a fast local copy.
-		n.K.After(1e-5, func() { n.finish(f) })
+		n.K.AfterAnonArg(1e-5, finishFn, f)
 		return f
 	}
 	f.index = len(n.flows)
 	n.flows = append(n.flows, f)
 	n.linkFlow(f)
 	n.solve()
+	return f
+}
+
+// finishFn is the static local-copy completion callback.
+func finishFn(arg any) {
+	f := arg.(*Flow)
+	f.net.finish(f)
+}
+
+// StartTransferArg is StartTransfer with a closure-free completion callback:
+// fn is a static function and arg its pre-bound receiver — the per-request
+// fast path of the application's reply streaming.
+func (n *Network) StartTransferArg(src, dst NodeID, bits float64, tag string, fn func(any), arg any) *Flow {
+	f := n.StartTransfer(src, dst, bits, tag, nil)
+	f.doneArg, f.arg = fn, arg
 	return f
 }
 
@@ -149,5 +166,8 @@ func (n *Network) finish(f *Flow) {
 	n.bitsDelivered += f.size
 	if f.done != nil {
 		f.done(f)
+	}
+	if f.doneArg != nil {
+		f.doneArg(f.arg)
 	}
 }

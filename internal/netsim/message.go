@@ -62,9 +62,40 @@ func (n *Network) SendMessage(src, dst NodeID, bits float64, prio Priority, fn f
 		n.msgStats.MaxLag = delay
 	}
 	if fn != nil {
-		n.K.After(delay, fn)
+		n.K.AfterAnon(delay, fn)
 	}
 	return delay
+}
+
+// SendMessageTo is SendMessage with a closure-free callback: fn is a static
+// function and arg its pre-bound receiver, so high-rate senders (the event
+// bus's batched dispatch) schedule deliveries without allocating. Semantics
+// are otherwise identical to SendMessage.
+func (n *Network) SendMessageTo(src, dst NodeID, bits float64, prio Priority, fn func(any), arg any) float64 {
+	delay := n.MessageDelay(src, dst, bits, prio)
+	n.SendPrecomputed(delay, bits, prio, fn, arg)
+	return delay
+}
+
+// SendPrecomputed records and schedules a control message whose delay the
+// caller already computed via MessageDelay — the batched-dispatch fast path,
+// which lets one dispatch pass reuse a delay across same-destination sends at
+// the same instant. It is semantically identical to SendMessageTo with that
+// delay.
+func (n *Network) SendPrecomputed(delay, bits float64, prio Priority, fn func(any), arg any) {
+	if n.dropRate > 0 && prio == BestEffort && n.dropRNG != nil && n.dropRNG.Float64() < n.dropRate {
+		n.msgStats.Dropped++
+		return
+	}
+	n.msgStats.Sent++
+	n.msgStats.Bits += bits
+	n.msgStats.TotalLag += delay
+	if delay > n.msgStats.MaxLag {
+		n.msgStats.MaxLag = delay
+	}
+	if fn != nil {
+		n.K.AfterAnonArg(delay, fn, arg)
+	}
 }
 
 // MessageDelay computes the current delivery delay for a control message

@@ -328,11 +328,10 @@ func (n *Network) solveDirty(mode solveMode) {
 // rate, reusing the queued event (and its closure) when possible.
 func (n *Network) rescheduleCompletion(f *Flow) {
 	if f.rate <= 0 {
-		// Fully stalled; rescheduled when a later solve restores a rate.
-		if f.completion != nil {
-			f.completion.Cancel()
-			f.completion = nil
-		}
+		// Fully stalled; rescheduled when a later solve restores a rate. The
+		// cancelled event struct stays on the flow so the resume can re-arm
+		// it instead of allocating (kernel Reuse).
+		f.completion.Cancel()
 		return
 	}
 	at := n.K.Now() + f.remaining/f.rate
@@ -342,5 +341,5 @@ func (n *Network) rescheduleCompletion(f *Flow) {
 	if f.complete == nil {
 		f.complete = func() { f.net.completeFlow(f) }
 	}
-	f.completion = n.K.At(at, f.complete)
+	f.completion = n.K.Reuse(f.completion, at, f.complete)
 }

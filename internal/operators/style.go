@@ -129,15 +129,17 @@ func GroupOf(sys *model.System, cli *model.Component) (*model.Component, *model.
 	if port == nil {
 		return nil, nil, nil, fmt.Errorf("operators: client %s has no request port", cli.Name())
 	}
-	atts := sys.AttachmentsOfPort(port)
-	if len(atts) != 1 {
-		return nil, nil, nil, fmt.Errorf("operators: client %s has %d attachments, want 1", cli.Name(), len(atts))
+	att, natts := sys.PortAttachment(port)
+	if natts != 1 {
+		return nil, nil, nil, fmt.Errorf("operators: client %s has %d attachments, want 1", cli.Name(), natts)
 	}
-	role := atts[0].Role
+	role := att.Role
 	conn := role.Owner
-	for _, comp := range sys.ComponentsOn(conn) {
-		if comp.Type() == TServerGroup {
-			return comp, conn, role, nil
+	// First server group attached to conn, scanning attachments directly —
+	// this runs once per gauge report, so it must not build component lists.
+	for _, a := range sys.Attachments() {
+		if a.Role.Owner == conn && a.Port.Owner.Type() == TServerGroup {
+			return a.Port.Owner, conn, role, nil
 		}
 	}
 	return nil, nil, nil, fmt.Errorf("operators: connector %s has no server group", conn.Name())

@@ -6,6 +6,11 @@
 // probes ("the probes report when particular methods have been called, so
 // that bandwidth, latency, and server load can be calculated by the
 // gauges"); the flow probe wraps Remos.
+//
+// Probes publish onto a bus.Shard — an application's routing domain on the
+// fleet-shared monitoring bus (or on a private per-application bus in the
+// reference configuration). Attach functions return detach handles so the
+// fleet can fully unhook a retired application's instrumentation.
 package probes
 
 import (
@@ -17,30 +22,35 @@ import (
 // Probe-bus topics.
 const (
 	// TopicResponse carries one observation per client response:
-	// fields client (string), latency (float64), group (string).
+	// Name=client, V1=latency, Group=group.
 	TopicResponse = "probe.response"
 	// TopicQueue carries periodic queue-length samples:
-	// fields group (string), len (float64).
+	// Group=group, V1=len.
 	TopicQueue = "probe.queue"
 	// TopicServer carries server activity samples:
-	// fields server (string), busy (float64 0/1), served (float64).
+	// Name=server, V1=busy (0/1), V2=served.
 	TopicServer = "probe.server"
 )
 
 // AttachResponseProbe instruments a client so every completed response is
-// announced on the probe bus from the client's host.
-func AttachResponseProbe(b *bus.Bus, c *app.Client) {
+// announced on the probe shard from the client's host. The returned detach
+// function silences the probe (used when the application retires and its
+// shard is released for reuse).
+func AttachResponseProbe(sh *bus.Shard, c *app.Client) (detach func()) {
+	attached := true
 	c.OnResponse = append(c.OnResponse, func(r app.Response) {
-		b.Publish(bus.Message{
+		if !attached {
+			return
+		}
+		sh.Publish(bus.Message{
 			Topic: TopicResponse,
 			Src:   c.Host,
-			Fields: map[string]any{
-				"client":  c.Name,
-				"latency": r.Latency,
-				"group":   r.Req.Group,
-			},
+			Name:  c.Name,
+			V1:    r.Latency,
+			Group: r.Req.Group,
 		})
 	})
+	return func() { attached = false }
 }
 
 // QueueProbe samples every group's queue length on a period and announces
@@ -48,25 +58,27 @@ func AttachResponseProbe(b *bus.Bus, c *app.Client) {
 // measure ("we measure server load by measuring the size of the queue of
 // waiting client requests").
 type QueueProbe struct {
-	stop func()
+	stop    func()
+	scratch []bus.Message
 }
 
 // StartQueueProbe begins sampling. Samples start after one period (probes
 // need deployment time; the paper's first two minutes are quiescent for
-// exactly this reason).
-func StartQueueProbe(k *sim.Kernel, b *bus.Bus, sys *app.System, period float64) *QueueProbe {
+// exactly this reason). All of a tick's per-group samples go out in one
+// batched dispatch pass.
+func StartQueueProbe(k *sim.Kernel, sh *bus.Shard, sys *app.System, period float64) *QueueProbe {
 	p := &QueueProbe{}
 	p.stop = k.Ticker(k.Now()+period, period, func(now sim.Time) {
+		p.scratch = p.scratch[:0]
 		for _, g := range sys.Groups() {
-			b.Publish(bus.Message{
+			p.scratch = append(p.scratch, bus.Message{
 				Topic: TopicQueue,
 				Src:   sys.QueueHost,
-				Fields: map[string]any{
-					"group": g,
-					"len":   float64(sys.QueueLen(g)),
-				},
+				Group: g,
+				V1:    float64(sys.QueueLen(g)),
 			})
 		}
+		sh.PublishBatch(p.scratch)
 	})
 	return p
 }
@@ -85,7 +97,7 @@ type ServerProbe struct {
 }
 
 // StartServerProbe begins sampling all servers on a period.
-func StartServerProbe(k *sim.Kernel, b *bus.Bus, sys *app.System, period float64) *ServerProbe {
+func StartServerProbe(k *sim.Kernel, sh *bus.Shard, sys *app.System, period float64) *ServerProbe {
 	p := &ServerProbe{}
 	p.stop = k.Ticker(k.Now()+period, period, func(now sim.Time) {
 		for _, name := range sys.Servers() {
@@ -94,14 +106,12 @@ func StartServerProbe(k *sim.Kernel, b *bus.Bus, sys *app.System, period float64
 			if srv.Busy() {
 				busy = 1.0
 			}
-			b.Publish(bus.Message{
+			sh.Publish(bus.Message{
 				Topic: TopicServer,
 				Src:   srv.Host,
-				Fields: map[string]any{
-					"server": name,
-					"busy":   busy,
-					"served": float64(srv.Served()),
-				},
+				Name:  name,
+				V1:    busy,
+				V2:    float64(srv.Served()),
 			})
 		}
 	})

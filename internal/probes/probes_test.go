@@ -9,7 +9,7 @@ import (
 	"archadapt/internal/sim"
 )
 
-func rig(t *testing.T) (*sim.Kernel, *app.System, *bus.Bus, netsim.NodeID) {
+func rig(t *testing.T) (*sim.Kernel, *app.System, *bus.Shard, netsim.NodeID) {
 	t.Helper()
 	k := sim.NewKernel()
 	net := netsim.New(k)
@@ -25,7 +25,7 @@ func rig(t *testing.T) (*sim.Kernel, *app.System, *bus.Bus, netsim.NodeID) {
 	a.AddServer("S", sh, "G", 0.05, 0)
 	_ = a.Activate("S")
 	a.AddClient("C", ch, "G", 2.0, sim.NewRand(1))
-	return k, a, bus.New(k, net), qh
+	return k, a, bus.New(k, net).Default(), qh
 }
 
 func TestResponseProbePublishes(t *testing.T) {
@@ -42,7 +42,7 @@ func TestResponseProbePublishes(t *testing.T) {
 	}
 	m := msgs[0]
 	if m.Str("client") != "C" || m.Str("group") != "G" {
-		t.Fatalf("fields %+v", m.Fields)
+		t.Fatalf("fields %+v", m)
 	}
 	if m.Num("latency") <= 0 {
 		t.Fatal("latency missing")

@@ -37,6 +37,52 @@ type Service struct {
 
 	queries     uint64
 	coldQueries uint64
+
+	queryPool []*query
+}
+
+// query is one in-flight remos_get_flow exchange. Records are pooled: the
+// warm path (every bandwidth gauge tick, fleet-wide) runs query → serve →
+// reply → callback without allocating.
+type query struct {
+	s                *Service
+	caller, src, dst netsim.NodeID
+	cb               func(float64)
+	bw               float64
+}
+
+func (s *Service) getQuery() *query {
+	if n := len(s.queryPool); n > 0 {
+		q := s.queryPool[n-1]
+		s.queryPool[n-1] = nil
+		s.queryPool = s.queryPool[:n-1]
+		return q
+	}
+	return &query{s: s}
+}
+
+func (s *Service) putQuery(q *query) {
+	q.cb = nil
+	s.queryPool = append(s.queryPool, q)
+}
+
+// Static callbacks for the pooled query path (no per-query closures).
+func serveFn(arg any) {
+	q := arg.(*query)
+	q.s.serve(q)
+}
+
+func warmReplyFn(arg any) {
+	q := arg.(*query)
+	q.bw = q.s.measure(q.src, q.dst)
+	q.s.Net.SendMessageTo(q.s.Host, q.caller, q.s.QueryBits, q.s.Priority, callbackFn, q)
+}
+
+func callbackFn(arg any) {
+	q := arg.(*query)
+	cb, bw := q.cb, q.bw
+	q.s.putQuery(q)
+	cb(bw)
 }
 
 // New creates a Remos service on host.
@@ -69,22 +115,25 @@ func (s *Service) measure(src, dst netsim.NodeID) float64 {
 // collection if the pair is new, response message back, then cb. This is
 // Table 1's remos_get_flow.
 func (s *Service) GetFlow(caller, src, dst netsim.NodeID, cb func(bw float64)) {
-	s.Net.SendMessage(caller, s.Host, s.QueryBits, s.Priority, func() {
-		s.serve(caller, src, dst, cb)
-	})
+	q := s.getQuery()
+	q.caller, q.src, q.dst, q.cb = caller, src, dst, cb
+	s.Net.SendMessageTo(caller, s.Host, s.QueryBits, s.Priority, serveFn, q)
 }
 
-func (s *Service) serve(caller, src, dst netsim.NodeID, cb func(float64)) {
+func (s *Service) serve(q *query) {
 	s.queries++
-	key := pairKey{src, dst}
+	key := pairKey{q.src, q.dst}
+	if s.warm[key] {
+		s.K.AfterAnonArg(s.WarmDelay, warmReplyFn, q)
+		return
+	}
+	// Cold: start (or join) a collection for this pair. The cold path is
+	// rare (once per pair), so it trades the pooled record for a closure.
+	caller, src, dst, cb := q.caller, q.src, q.dst, q.cb
+	s.putQuery(q)
 	reply := func(bw float64) {
 		s.Net.SendMessage(s.Host, caller, s.QueryBits, s.Priority, func() { cb(bw) })
 	}
-	if s.warm[key] {
-		s.K.After(s.WarmDelay, func() { reply(s.measure(src, dst)) })
-		return
-	}
-	// Cold: start (or join) a collection for this pair.
 	s.pending[key] = append(s.pending[key], reply)
 	if s.collecting[key] {
 		return
@@ -121,7 +170,7 @@ func (s *Service) Prequery(src, dst netsim.NodeID) {
 func (s *Service) startCollection(key pairKey, src, dst netsim.NodeID) {
 	s.collecting[key] = true
 	s.coldQueries++
-	s.K.After(s.ColdDelay, func() {
+	s.K.AfterAnon(s.ColdDelay, func() {
 		s.warm[key] = true
 		delete(s.collecting, key)
 		bw := s.measure(src, dst)

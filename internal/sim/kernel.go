@@ -24,6 +24,15 @@ type Event struct {
 	fn   func()
 	dead bool
 	idx  int // heap index, -1 when not queued
+
+	// Anonymous events (AtAnon/AfterAnon/AtAnonArg) never hand their handle
+	// to the caller, so the kernel recycles the Event struct after it fires.
+	// fnArg+arg is the closure-free form: a static function plus its
+	// receiver, so high-rate schedulers (the monitoring plane's message
+	// dispatch) allocate nothing per event.
+	anon  bool
+	fnArg func(any)
+	arg   any
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
@@ -77,6 +86,10 @@ type Kernel struct {
 	// Executed counts events that have fired; useful for tests and for
 	// detecting runaway scheduling loops.
 	executed uint64
+	// free is the recycle pool for anonymous events. Only events whose
+	// handles never escaped the kernel land here, so reuse cannot alias a
+	// handle someone might still Cancel or Reschedule.
+	free []*Event
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -116,6 +129,84 @@ func (k *Kernel) After(d float64, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// checkTime validates a scheduling time against the clock.
+func (k *Kernel) checkTime(t Time) {
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: at=%.9f now=%.9f", t, k.now))
+	}
+}
+
+// getFree returns a recycled anonymous event, or a fresh one.
+func (k *Kernel) getFree() *Event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// AtAnon schedules fn at absolute time t on a pooled event. No handle is
+// returned: anonymous events cannot be cancelled or rescheduled, and their
+// Event structs are recycled after they fire. This is the allocation-free
+// path for fire-and-forget scheduling (message deliveries, ticker steps).
+func (k *Kernel) AtAnon(t Time, fn func()) {
+	k.checkTime(t)
+	e := k.getFree()
+	e.At, e.seq, e.fn, e.anon, e.dead, e.idx = t, k.seq, fn, true, false, -1
+	k.seq++
+	heap.Push(&k.queue, e)
+}
+
+// AfterAnon is AtAnon relative to now. Negative delays are clamped to zero.
+func (k *Kernel) AfterAnon(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.AtAnon(k.now+d, fn)
+}
+
+// AtAnonArg schedules fn(arg) at absolute time t on a pooled event. Passing a
+// static function plus its receiver instead of a closure makes the whole
+// schedule-fire cycle allocation-free when arg is a pointer — the fast path
+// for the event bus's batched dispatch.
+func (k *Kernel) AtAnonArg(t Time, fn func(any), arg any) {
+	k.checkTime(t)
+	e := k.getFree()
+	e.At, e.seq, e.fnArg, e.arg, e.anon, e.dead, e.idx = t, k.seq, fn, arg, true, false, -1
+	k.seq++
+	heap.Push(&k.queue, e)
+}
+
+// AfterAnonArg is AtAnonArg relative to now. Negative delays are clamped to
+// zero.
+func (k *Kernel) AfterAnonArg(d float64, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	k.AtAnonArg(k.now+d, fn, arg)
+}
+
+// fire runs one popped event's callback, recycling anonymous events first so
+// nested scheduling from inside the callback can reuse the struct.
+func (k *Kernel) fire(e *Event) {
+	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	if e.anon {
+		e.fn, e.fnArg, e.arg, e.anon = nil, nil, nil, false
+		k.free = append(k.free, e)
+	}
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
+	k.executed++
+}
+
 // Reschedule moves a pending event to absolute time t, reusing its queue slot
 // and callback — the fast path for completion-event churn in the fluid-flow
 // solver, which previously cancelled and reallocated an event on every rate
@@ -138,6 +229,22 @@ func (k *Kernel) Reschedule(e *Event, t Time) bool {
 	k.seq++
 	heap.Fix(&k.queue, e.idx)
 	return true
+}
+
+// Reuse schedules fn at absolute time t, recycling e's struct when e is no
+// longer queued (it fired, or was cancelled and already popped). The caller
+// must be the event's sole owner — the netsim flow-completion pattern, where
+// a stalled flow's cancelled event is re-armed when its rate returns. When e
+// cannot be recycled (still queued, or nil) a fresh event is allocated.
+func (k *Kernel) Reuse(e *Event, t Time, fn func()) *Event {
+	if e == nil || e.idx >= 0 {
+		return k.At(t, fn)
+	}
+	k.checkTime(t)
+	e.At, e.seq, e.fn, e.dead, e.anon = t, k.seq, fn, false, false
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
 }
 
 // Stop makes Run return after the current event completes.
@@ -165,8 +272,7 @@ func (k *Kernel) Run(until Time) uint64 {
 			continue
 		}
 		k.now = e.At
-		e.fn()
-		k.executed++
+		k.fire(e)
 		n++
 	}
 	// Advance the clock to the horizon so that successive Run calls with
@@ -194,8 +300,7 @@ func (k *Kernel) RunAll(maxEvents uint64) uint64 {
 			continue
 		}
 		k.now = e.At
-		e.fn()
-		k.executed++
+		k.fire(e)
 		n++
 	}
 	return n
@@ -216,8 +321,8 @@ func (k *Kernel) Ticker(start Time, period float64, fn func(Time)) (stop func())
 		}
 		fn(k.now)
 		at += period
-		k.At(at, tick)
+		k.AtAnon(at, tick)
 	}
-	k.At(start, tick)
+	k.AtAnon(start, tick)
 	return func() { stopped = true }
 }

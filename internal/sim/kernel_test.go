@@ -321,3 +321,69 @@ func TestReschedulePastPanics(t *testing.T) {
 	}()
 	k.Reschedule(e, 0.5)
 }
+
+func TestAnonEventsFIFOWithNamed(t *testing.T) {
+	// Anonymous (pooled) and named events at the same time fire in
+	// scheduling order — pooling must not perturb the (time, seq) order.
+	k := NewKernel()
+	var order []int
+	k.At(1, func() { order = append(order, 1) })
+	k.AtAnon(1, func() { order = append(order, 2) })
+	k.AtAnonArg(1, func(arg any) { order = append(order, arg.(int)) }, 3)
+	k.At(1, func() { order = append(order, 4) })
+	k.RunAll(0)
+	if len(order) != 4 {
+		t.Fatalf("fired %d events", len(order))
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestAnonEventPoolRecycles(t *testing.T) {
+	// A chain of sequential anonymous events — the control-message pattern —
+	// reuses a handful of Event structs instead of allocating per event.
+	k := NewKernel()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 1000 {
+			k.AfterAnon(1, step)
+		}
+	}
+	k.AfterAnon(1, step)
+	k.RunAll(0)
+	if n != 1000 {
+		t.Fatalf("fired %d, want 1000", n)
+	}
+	if len(k.free) == 0 {
+		t.Fatal("anonymous events were not recycled")
+	}
+	if len(k.free) > 4 {
+		t.Fatalf("pool grew to %d; a sequential chain should reuse one struct", len(k.free))
+	}
+}
+
+func TestReuseRecyclesFiredEvent(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	e := k.At(1, func() { n++ })
+	k.Run(1)
+	// e fired and was popped: Reuse must recycle the same struct.
+	e2 := k.Reuse(e, 2, func() { n += 10 })
+	if e2 != e {
+		t.Fatal("Reuse did not recycle the fired event struct")
+	}
+	k.Run(2)
+	if n != 11 {
+		t.Fatalf("n=%d, want 11", n)
+	}
+	// A queued event cannot be recycled; Reuse must allocate.
+	pending := k.At(5, func() {})
+	if got := k.Reuse(pending, 6, func() {}); got == pending {
+		t.Fatal("Reuse recycled a still-queued event")
+	}
+}
