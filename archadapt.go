@@ -305,9 +305,43 @@ func RunFleetScenario(opts FleetScenarioOptions) (*FleetScenarioResult, error) {
 // FleetTable renders per-app summaries as a fixed-width table.
 func FleetTable(sums []FleetAppSummary) string { return fleet.Table(sums) }
 
-// FleetCompareTable renders a per-app control-vs-adaptive comparison.
+// FleetCompareTable renders a per-app comparison of two same-seed runs
+// (control vs adaptive, or pinned vs migrating).
 func FleetCompareTable(control, adaptive []FleetAppSummary) string {
 	return fleet.CompareTable(control, adaptive)
+}
+
+// FleetComparePair is one application's summaries across two same-seed runs.
+type FleetComparePair = fleet.ComparePair
+
+// FleetComparePairs pairs two runs' summaries by application name.
+func FleetComparePairs(a, b []FleetAppSummary) []FleetComparePair {
+	return fleet.ComparePairs(a, b)
+}
+
+// FleetMigrationPolicy tunes the fleet-level migration controller: the
+// feedback loop that re-places a whole application when its grid region
+// degrades beyond what intra-app repair can fix.
+type FleetMigrationPolicy = fleet.MigrationPolicy
+
+// FleetMigration records one re-placement of an application.
+type FleetMigration = fleet.Migration
+
+// FleetCatalogEntry is one named scenario in the fleet workload catalog.
+type FleetCatalogEntry = fleet.CatalogEntry
+
+// FleetCatalog returns the named scenario suite (see SCENARIOS.md).
+func FleetCatalog() []FleetCatalogEntry { return fleet.Catalog() }
+
+// FleetScenarioByName returns a catalog entry by name.
+func FleetScenarioByName(name string) (FleetCatalogEntry, error) {
+	return fleet.ScenarioByName(name)
+}
+
+// FleetMigrationBenchScenario is the canonical migration benchmark fixture
+// shared by BenchmarkFleetMigration and cmd/benchjson.
+func FleetMigrationBenchScenario(n int, seed uint64) FleetScenarioOptions {
+	return fleet.MigrationBenchScenario(n, seed)
 }
 
 // --- design-time analysis ---

@@ -403,6 +403,33 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetMigration measures the migration control loop end to end on
+// the canonical fixture (shared with cmd/benchjson): N apps, region-collapse
+// contention on the first quarter, migration enabled. migrations/app is the
+// behavior canary — the scenario is deterministic, so it must not drift.
+func BenchmarkFleetMigration(b *testing.B) {
+	const n = 16
+	b.ReportAllocs()
+	var migrations int
+	for i := 0; i < b.N; i++ {
+		res, err := RunFleetScenario(FleetMigrationBenchScenario(n, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(res.Summaries); got != n {
+			b.Fatalf("admitted %d apps, want %d", got, n)
+		}
+		for _, s := range res.Summaries {
+			migrations += s.Migrations
+		}
+	}
+	if migrations == 0 {
+		b.Fatal("no migrations completed")
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/1e3/float64(b.N*n), "ms/app")
+	b.ReportMetric(float64(migrations)/float64(b.N*n), "migrations/app")
+}
+
 // BenchmarkFullAdaptiveRun measures one complete 1800-second adaptive
 // experiment (the paper's whole evaluation in one number).
 func BenchmarkFullAdaptiveRun(b *testing.B) {

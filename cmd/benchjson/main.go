@@ -25,6 +25,9 @@ type Baseline struct {
 	GoVersion   string      `json:"go_version"`
 	Reflow      ReflowBench `json:"reflow"`
 	Fleet       []FleetRow  `json:"fleet"`
+	// FleetMigration mirrors BenchmarkFleetMigration: the canonical
+	// region-collapse + migration fixture (fleet.MigrationBenchScenario).
+	FleetMigration []FleetRow `json:"fleet_migration"`
 }
 
 // ReflowBench mirrors BenchmarkMaxMinReflow: one background change against
@@ -42,6 +45,9 @@ type FleetRow struct {
 	RepairsPerApp float64 `json:"repairs_per_app"`
 	AllocsPerApp  float64 `json:"allocs_per_app"`
 	MBPerApp      float64 `json:"mb_per_app"`
+	// MigrationsPerApp is set only on migration-fixture rows. Like
+	// repairs_per_app it is a deterministic behavior canary.
+	MigrationsPerApp float64 `json:"migrations_per_app,omitempty"`
 }
 
 func benchReflow() ReflowBench {
@@ -61,16 +67,30 @@ func benchReflow() ReflowBench {
 }
 
 func benchFleet(n, iters int) (FleetRow, error) {
+	return benchScenario(n, iters, func(i int) fleet.ScenarioOptions {
+		return fleet.ScenarioOptions{
+			Apps: n, Seed: uint64(i + 1), Duration: 600, Adaptive: true,
+			CrushStart: 120, CrushStagger: 5, CrushDuration: 240,
+		}
+	})
+}
+
+// benchMigration measures the canonical migration fixture (shared with
+// BenchmarkFleetMigration).
+func benchMigration(n, iters int) (FleetRow, error) {
+	return benchScenario(n, iters, func(i int) fleet.ScenarioOptions {
+		return fleet.MigrationBenchScenario(n, uint64(i+1))
+	})
+}
+
+func benchScenario(n, iters int, opts func(i int) fleet.ScenarioOptions) (FleetRow, error) {
 	row := FleetRow{Apps: n}
-	var repairs int
+	var repairs, migrations int
 	var ms runtimeMem
 	ms.start()
 	begin := time.Now()
 	for i := 0; i < iters; i++ {
-		res, err := fleet.RunScenario(fleet.ScenarioOptions{
-			Apps: n, Seed: uint64(i + 1), Duration: 600, Adaptive: true,
-			CrushStart: 120, CrushStagger: 5, CrushDuration: 240,
-		})
+		res, err := fleet.RunScenario(opts(i))
 		if err != nil {
 			return row, err
 		}
@@ -79,6 +99,7 @@ func benchFleet(n, iters int) (FleetRow, error) {
 		}
 		for _, s := range res.Summaries {
 			repairs += s.Repairs
+			migrations += s.Migrations
 		}
 	}
 	elapsed := time.Since(begin)
@@ -88,6 +109,7 @@ func benchFleet(n, iters int) (FleetRow, error) {
 	row.RepairsPerApp = float64(repairs) / den
 	row.AllocsPerApp = float64(allocs) / den
 	row.MBPerApp = float64(bytes) / den / 1e6
+	row.MigrationsPerApp = float64(migrations) / den
 	return row, nil
 }
 
@@ -137,9 +159,41 @@ func check(baselinePath string, tolerance float64) {
 	limit := committed.AllocsPerApp * (1 + tolerance)
 	fmt.Fprintf(os.Stderr, "check N=32: allocs/app %.0f (committed %.0f, limit %.0f), ms/app %.3f (committed %.3f)\n",
 		row.AllocsPerApp, committed.AllocsPerApp, limit, row.MsPerApp, committed.MsPerApp)
+	failed := false
 	if row.AllocsPerApp > limit {
 		fmt.Fprintf(os.Stderr, "benchjson: allocs/app regressed >%.0f%% vs %s — rerun scripts/bench.sh and justify the regression\n",
 			100*tolerance, baselinePath)
+		failed = true
+	}
+	// Migration fixture: same allocs/app gate, plus migrations/app as an
+	// exact behavior canary (the scenario is deterministic).
+	var committedMig *FleetRow
+	for i := range base.FleetMigration {
+		if base.FleetMigration[i].Apps == 16 {
+			committedMig = &base.FleetMigration[i]
+		}
+	}
+	if committedMig == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline has no migration N=16 row\n")
+		os.Exit(1)
+	}
+	mig, err := benchMigration(16, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: migration N=16: %v\n", err)
+		os.Exit(1)
+	}
+	migLimit := committedMig.AllocsPerApp * (1 + tolerance)
+	fmt.Fprintf(os.Stderr, "check migration N=16: allocs/app %.0f (committed %.0f, limit %.0f), migrations/app %.4f (committed %.4f)\n",
+		mig.AllocsPerApp, committedMig.AllocsPerApp, migLimit, mig.MigrationsPerApp, committedMig.MigrationsPerApp)
+	if mig.AllocsPerApp > migLimit {
+		fmt.Fprintf(os.Stderr, "benchjson: migration allocs/app regressed >%.0f%% vs %s\n", 100*tolerance, baselinePath)
+		failed = true
+	}
+	if mig.MigrationsPerApp != committedMig.MigrationsPerApp {
+		fmt.Fprintf(os.Stderr, "benchjson: migrations/app drifted from the committed baseline — the scenario is deterministic; investigate before regenerating\n")
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "check passed")
@@ -149,7 +203,7 @@ func main() {
 	out := flag.String("out", "BENCH_fleet.json", "output file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "smoke mode: N=4 only, one iteration")
 	iters := flag.Int("iters", 3, "fleet scenario iterations per size point")
-	checkPath := flag.String("check", "", "compare a fresh N=32 run against this committed baseline; exit non-zero if allocs/app regressed >20%")
+	checkPath := flag.String("check", "", "compare fresh fleet N=32 and migration N=16 runs against this committed baseline; exit non-zero if allocs/app regressed >20% or migrations/app drifted")
 	flag.Parse()
 
 	if *checkPath != "" {
@@ -190,6 +244,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fleet N=%-3d %7.3f ms/app  %5.2f repairs/app  %10.0f allocs/app\n",
 			n, row.MsPerApp, row.RepairsPerApp, row.AllocsPerApp)
 		base.Fleet = append(base.Fleet, row)
+	}
+	migSizes := []int{16}
+	if *quick {
+		migSizes = []int{4}
+	}
+	for _, n := range migSizes {
+		// Always one iteration (seed 1): migrations_per_app is gated with
+		// exact equality by -check, which also runs one seed-1 iteration, so
+		// generation and check must sample the identical deterministic run.
+		row, err := benchMigration(n, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: migration N=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "migration N=%-3d %7.3f ms/app  %5.2f migrations/app  %10.0f allocs/app\n",
+			n, row.MsPerApp, row.MigrationsPerApp, row.AllocsPerApp)
+		base.FleetMigration = append(base.FleetMigration, row)
 	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")

@@ -4,13 +4,25 @@
 //
 // Usage:
 //
-//	fleet [-apps N] [-mode both|control|adaptive] [-seed N] [-duration S]
-//	      [-routers N] [-hosts-per-router N] [-host-capacity N]
-//	      [-admit-stagger S] [-crush-start S] [-crush-stagger S]
-//	      [-crush-duration S] [-caching] [-settle S]
+//	fleet [-apps N] [-mode both|control|adaptive|migrate] [-seed N]
+//	      [-duration S] [-routers N] [-hosts-per-router N] [-spare-routers N]
+//	      [-host-capacity N] [-admit-stagger S] [-admit-waves N] [-retire-after S]
+//	      [-crush-start S] [-crush-stagger S] [-crush-duration S]
+//	      [-crush-apps N] [-crush-all-groups]
+//	      [-backbone-crush S] [-region-fail S] [-region-fail-router N]
+//	      [-migration] [-caching] [-settle S]
+//	fleet -scenario NAME [-mode ...] [-seed N]
+//	fleet -list
 //
 // With -mode both (the default) it runs the same fleet twice — once as pure
 // observers, once with repairs enabled — and prints the per-app comparison.
+// With -mode migrate it runs the fleet twice with repairs enabled — once
+// pinned (migration disabled) and once with the fleet-level migration
+// controller — and prints the pinned-vs-migrating comparison.
+//
+// -scenario runs a named entry from the scenario catalog (SCENARIOS.md);
+// -list prints the catalog. Explicitly set flags (-apps, -seed, -duration,
+// -migration) override the entry's values.
 package main
 
 import (
@@ -23,50 +35,109 @@ import (
 
 func main() {
 	apps := flag.Int("apps", 32, "number of applications to admit")
-	mode := flag.String("mode", "both", "control | adaptive | both")
+	mode := flag.String("mode", "both", "control | adaptive | both | migrate")
 	seed := flag.Uint64("seed", 1, "fleet seed (drives every stochastic stream)")
 	duration := flag.Float64("duration", 600, "run duration in simulated seconds")
 	routers := flag.Int("routers", 0, "backbone routers (0 = auto-size for -apps)")
 	hostsPerRouter := flag.Int("hosts-per-router", 0, "hosts per router (0 = auto)")
+	spareRouters := flag.Int("spare-routers", 0, "extra routers beyond the auto-sized minimum (migration headroom)")
 	hostCap := flag.Int("host-capacity", 1, "process slots per host")
 	admitStagger := flag.Float64("admit-stagger", 0, "seconds between admissions")
+	admitWaves := flag.Int("admit-waves", 0, "spread admissions into N diurnal waves")
+	retireAfter := flag.Float64("retire-after", 0, "retire each app this long after admission (0 = never)")
 	crushStart := flag.Float64("crush-start", 120, "first contention onset (<0 disables)")
 	crushStagger := flag.Float64("crush-stagger", 5, "seconds between per-app contention onsets")
 	crushDuration := flag.Float64("crush-duration", 240, "contention duration per app")
+	crushApps := flag.Int("crush-apps", 0, "crush only the first N apps (0 = all)")
+	crushAllGroups := flag.Bool("crush-all-groups", false, "crush every group's servers, not just the primary's")
+	backboneCrush := flag.Float64("backbone-crush", 0, "start correlated backbone contention at this time (0 disables)")
+	regionFail := flag.Float64("region-fail", 0, "fail one router's region at this time (0 disables)")
+	regionFailRouter := flag.Int("region-fail-router", 1, "router index for -region-fail")
+	migration := flag.Bool("migration", false, "enable the fleet-level migration controller")
 	caching := flag.Bool("caching", false, "enable gauge caching (§5.3 extension)")
 	settle := flag.Float64("settle", 0, "repair settle time in seconds")
+	scenario := flag.String("scenario", "", "run a named scenario from the catalog (see -list)")
+	list := flag.Bool("list", false, "print the scenario catalog and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range archadapt.FleetCatalog() {
+			fmt.Printf("%-16s %s\n%16s expect: %s\n", e.Name, e.Stresses, "", e.Expect)
+		}
+		return
+	}
 	switch *mode {
-	case "control", "adaptive", "both":
+	case "control", "adaptive", "both", "migrate":
 	default:
-		fmt.Fprintf(os.Stderr, "fleet: unknown -mode %q (want control|adaptive|both)\n", *mode)
+		fmt.Fprintf(os.Stderr, "fleet: unknown -mode %q (want control|adaptive|both|migrate)\n", *mode)
 		os.Exit(2)
 	}
 
 	cfg := archadapt.DefaultConfig()
 	cfg.GaugeCaching = *caching
 	cfg.SettleTime = *settle
-	base := archadapt.FleetScenarioOptions{
-		Apps:           *apps,
-		Seed:           *seed,
-		Duration:       *duration,
-		Routers:        *routers,
-		HostsPerRouter: *hostsPerRouter,
-		HostCapacity:   *hostCap,
-		AdmitStagger:   *admitStagger,
-		CrushStart:     *crushStart,
-		CrushStagger:   *crushStagger,
-		CrushDuration:  *crushDuration,
-		Manager:        cfg,
+
+	var base archadapt.FleetScenarioOptions
+	if *scenario != "" {
+		entry, err := archadapt.FleetScenarioByName(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v (try -list)\n", err)
+			os.Exit(2)
+		}
+		base = entry.Opts
+		base.Manager = cfg
+		// Explicitly set flags override the catalog entry.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "apps":
+				base.Apps = *apps
+			case "seed":
+				base.Seed = *seed
+			case "duration":
+				base.Duration = *duration
+			case "migration":
+				base.Migration.Enabled = *migration
+			case "mode", "scenario", "caching", "settle", "list":
+				// orthogonal to the entry's shape
+			default:
+				fmt.Fprintf(os.Stderr, "fleet: -%s has no effect together with -scenario (the entry's value is used)\n", f.Name)
+			}
+		})
+	} else {
+		base = archadapt.FleetScenarioOptions{
+			Apps:           *apps,
+			Seed:           *seed,
+			Duration:       *duration,
+			Routers:        *routers,
+			HostsPerRouter: *hostsPerRouter,
+			SpareRouters:   *spareRouters,
+			HostCapacity:   *hostCap,
+			AdmitStagger:   *admitStagger,
+			AdmitWaves:     *admitWaves,
+			RetireAfter:    *retireAfter,
+			CrushStart:     *crushStart,
+			CrushStagger:   *crushStagger,
+			CrushDuration:  *crushDuration,
+			CrushApps:      *crushApps,
+			CrushAllGroups: *crushAllGroups,
+			Manager:        cfg,
+		}
+		if *backboneCrush > 0 {
+			base.BackboneCrushStart = *backboneCrush
+		}
+		if *regionFail > 0 {
+			base.RegionFailStart = *regionFail
+			base.RegionFailRouter = *regionFailRouter
+		}
+		if *migration {
+			base.Migration = archadapt.FleetMigrationPolicy{Enabled: true}
+		}
 	}
 
-	run := func(adaptive bool) *archadapt.FleetScenarioResult {
-		kind := "control"
-		if adaptive {
-			kind = "adaptive"
-		}
+	run := func(kind string, adaptive, migrating bool) *archadapt.FleetScenarioResult {
 		opts := base
 		opts.Adaptive = adaptive
+		opts.Migration.Enabled = migrating
 		res, err := archadapt.RunFleetScenario(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fleet: %s run: %v\n", kind, err)
@@ -77,15 +148,41 @@ func main() {
 		for _, rej := range res.Fleet.Rejections() {
 			fmt.Fprintf(os.Stderr, "  rejected %s at t=%.0f: %v\n", rej.Name, rej.Time, rej.Err)
 		}
+		for _, name := range res.Fleet.Apps() {
+			for _, m := range res.Fleet.App(name).Migrations {
+				switch {
+				case m.Err != nil:
+					fmt.Fprintf(os.Stderr, "  %s migration at t=%.0f failed: %v\n", name, m.DecidedAt, m.Err)
+				case !m.Completed():
+					fmt.Fprintf(os.Stderr, "  %s migration at t=%.0f aborted\n", name, m.DecidedAt)
+				default:
+					fmt.Fprintf(os.Stderr, "  %s migrated t=%.0f→%.0f (drained=%v)\n",
+						name, m.DecidedAt, m.CompletedAt, m.Drained)
+				}
+			}
+		}
 		return res
 	}
 
+	if *mode == "migrate" {
+		pinned := run("pinned", true, false)
+		migrating := run("migrating", true, true)
+		fmt.Println("=== pinned fleet (migration disabled) ===")
+		fmt.Print(pinned.Table())
+		fmt.Println("=== migrating fleet ===")
+		fmt.Print(migrating.Table())
+		fmt.Println("=== per-app pinned vs migrating ===")
+		fmt.Print(archadapt.FleetCompareTable(pinned.Summaries, migrating.Summaries))
+		return
+	}
+
+	migrating := base.Migration.Enabled
 	var control, adaptive *archadapt.FleetScenarioResult
 	if *mode == "control" || *mode == "both" {
-		control = run(false)
+		control = run("control", false, migrating)
 	}
 	if *mode == "adaptive" || *mode == "both" {
-		adaptive = run(true)
+		adaptive = run("adaptive", true, migrating)
 	}
 
 	if control != nil && (*mode == "control" || adaptive == nil) {

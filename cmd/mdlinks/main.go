@@ -1,0 +1,61 @@
+// Command mdlinks checks that the relative links in the given markdown
+// files resolve to existing files — the CI docs gate, so README.md,
+// ARCHITECTURE.md and SCENARIOS.md cannot silently drift apart as the
+// repository grows.
+//
+//	go run ./cmd/mdlinks README.md ARCHITECTURE.md SCENARIOS.md
+//
+// Inline links ([text](target)) are checked; external targets (a scheme
+// like https:) and pure in-page anchors (#section) are skipped, and a
+// file#anchor target checks only the file part. Targets resolve relative to
+// the markdown file's own directory. Exits non-zero listing every broken
+// link.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, skipping images' leading "!".
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinks FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlinks: %v\n", err)
+			broken++
+			continue
+		}
+		dir := filepath.Dir(file)
+		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // in-page anchor
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "mdlinks: %s: broken link %q\n", file, m[1])
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinks: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}

@@ -84,6 +84,8 @@ type Client struct {
 	rng     *sim.Rand
 	nextID  uint64
 	stopped bool
+	paused  bool
+	pending bool // an arrival event is scheduled
 	respTag string
 
 	// Listeners receive completed responses (probes attach here; this is
@@ -256,18 +258,46 @@ func (s *System) StopClients() {
 	}
 }
 
+// PauseClients suspends request generation on every client without
+// discarding it — the drain step of a fleet migration. Paused clients keep
+// their RNG streams and outstanding requests; ResumeClients restarts
+// generation where it left off.
+func (s *System) PauseClients() {
+	for _, name := range s.order.clients {
+		s.clients[name].paused = true
+	}
+}
+
+// ResumeClients restarts request generation for paused clients. A client
+// whose pre-pause arrival event is still pending is left to that event, so
+// a pause/resume cycle never forks a second generator chain.
+func (s *System) ResumeClients() {
+	for _, name := range s.order.clients {
+		c := s.clients[name]
+		if !c.paused {
+			continue
+		}
+		c.paused = false
+		if !c.pending {
+			s.scheduleNext(c)
+		}
+	}
+}
+
 func (s *System) scheduleNext(c *Client) {
-	if c.stopped || c.Rate <= 0 {
+	if c.stopped || c.paused || c.Rate <= 0 {
 		return
 	}
 	gap := c.rng.Exp(1 / c.Rate)
+	c.pending = true
 	s.K.AfterAnonArg(gap, clientTickFn, c)
 }
 
 // clientTickFn fires one client arrival and schedules the next.
 func clientTickFn(arg any) {
 	c := arg.(*Client)
-	if c.stopped {
+	c.pending = false
+	if c.stopped || c.paused {
 		return
 	}
 	c.sys.sendRequest(c)
@@ -514,6 +544,33 @@ func (s *System) MoveClient(client, group string) error {
 // DroppedRequests counts requests discarded by queue removal or client
 // moves.
 func (s *System) DroppedRequests() uint64 { return s.droppedReqs }
+
+// Rehost moves every process of the system onto a new host set: the request
+// queue machine, each server and each client (the fleet migration cutover).
+// The caller is responsible for quiescing traffic first — pause the clients
+// and drain in-flight requests; anything still in flight completes against
+// the hosts it was issued from. All three maps must cover every registered
+// process; on any gap nothing is changed.
+func (s *System) Rehost(queueHost netsim.NodeID, serverHosts, clientHosts map[string]netsim.NodeID) error {
+	for _, name := range s.order.servers {
+		if _, ok := serverHosts[name]; !ok {
+			return fmt.Errorf("app: rehost missing host for server %q", name)
+		}
+	}
+	for _, name := range s.order.clients {
+		if _, ok := clientHosts[name]; !ok {
+			return fmt.Errorf("app: rehost missing host for client %q", name)
+		}
+	}
+	s.QueueHost = queueHost
+	for _, name := range s.order.servers {
+		s.servers[name].Host = serverHosts[name]
+	}
+	for _, name := range s.order.clients {
+		s.clients[name].Host = clientHosts[name]
+	}
+	return nil
+}
 
 // CrashServer abruptly deactivates a server, dropping its current request
 // (failure injection for the self-healing example and tests).

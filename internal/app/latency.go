@@ -40,6 +40,17 @@ func ObserveLatency(sys *System, clients []string, windowWidth float64) *Latency
 	return o
 }
 
+// Outstanding returns the number of requests sent but not yet answered (or
+// dropped) across every observed client — the fleet migration drain check:
+// zero means nothing is in flight anywhere in the pipeline.
+func (o *LatencyObserver) Outstanding() int {
+	n := 0
+	for _, m := range o.outstanding {
+		n += len(m)
+	}
+	return n
+}
+
 // Sample returns the client's current ground-truth latency, or ok=false when
 // there is nothing to report (no completed responses in the window and no
 // outstanding requests).

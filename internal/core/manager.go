@@ -298,6 +298,26 @@ func (m *Manager) Shutdown() {
 	m.GaugeMgr.Close(nil)
 }
 
+// Reattach moves a shut-down manager to a new host and monitoring plane and
+// redeploys its instrumentation — the re-place step of a fleet migration.
+// The caller must have called Shutdown first (probes detached, report
+// subscription removed, gauge lease closed) and re-pointed the application's
+// processes at their new hosts; Reattach then re-anchors the environment
+// manager's operator RPCs at the new host, installs fresh probes and gauges
+// through the new plane, and restarts the control loop. Repair history,
+// alerts and counters survive, so summaries aggregate across the move.
+func (m *Manager) Reattach(host netsim.NodeID, plane Plane) {
+	m.Host = host
+	m.ProbeBus = plane.Probe
+	m.ReportBus = plane.Report
+	m.GaugeMgr = plane.Gauges
+	m.Env.Host = host
+	// A repair whose gauge churn straddled the move finds its gauges already
+	// torn down; the manager must not stay wedged on it.
+	m.busy = false
+	m.Deploy()
+}
+
 func (m *Manager) createBandwidthGauge(client string) {
 	cli := m.App.Client(client)
 	bg := gauges.NewBandwidthGauge(m.K, m.ReportBus, m.Rm, cli.Host, client, cli.Host,

@@ -1,0 +1,120 @@
+package fleet
+
+import "fmt"
+
+// CatalogEntry is one named, ready-to-run scenario. The catalog is the
+// fleet's workload suite: each entry stresses a different part of the
+// control plane, and SCENARIOS.md documents the knobs, what each entry
+// stresses and the expected adaptive-vs-control outcome. cmd/fleet runs
+// entries by name (-scenario).
+type CatalogEntry struct {
+	Name string
+	// Stresses says which mechanism the scenario exercises; Expect is the
+	// qualitative outcome a healthy build shows (mirrored in SCENARIOS.md).
+	Stresses string
+	Expect   string
+	Opts     ScenarioOptions
+}
+
+// Catalog returns the named scenario suite. Entries are deterministic and
+// sized to finish in well under a second of wall clock each.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{
+			Name:     "baseline",
+			Stresses: "per-app repair under staggered single-group contention (the PR 1 workload)",
+			Expect:   "adaptive fleet repairs every app (moves off the crushed group); control stays degraded for the crush window",
+			Opts: ScenarioOptions{
+				Apps: 16, Seed: 1, Duration: 600, Adaptive: true,
+				CrushStart: 120, CrushStagger: 5, CrushDuration: 240,
+			},
+		},
+		{
+			Name:     "heterogeneous",
+			Stresses: "placement and monitoring under a mixed fleet: small chatty apps, large replicated apps, single-group apps with spares",
+			Expect:   "every shape admits and repairs independently; single-group apps recruit spares instead of moving",
+			Opts: ScenarioOptions{
+				Apps: 12, Seed: 3, Duration: 600, Adaptive: true,
+				AppMix: []AppSpec{
+					{Groups: 2, ServersPerGroup: 2, Clients: 2},
+					{Groups: 3, ServersPerGroup: 2, Clients: 4, ClientRate: 0.5},
+					{Groups: 1, ServersPerGroup: 2, SparesPerGroup: 2, Clients: 2, ClientRate: 2},
+				},
+				CrushStart: 120, CrushStagger: 10, CrushDuration: 240,
+			},
+		},
+		{
+			Name:     "diurnal",
+			Stresses: "admission/retirement churn: three admission waves whose apps retire before the next wave, reusing slots and recycled monitoring shards",
+			Expect:   "all waves admit onto the same (small) grid; retired apps free slots, shards and gauge leases for their successors",
+			Opts: ScenarioOptions{
+				Apps: 12, Seed: 5, Duration: 900, Adaptive: true,
+				AdmitWaves: 3, WavePeriod: 300, RetireAfter: 280,
+				Routers: 12, HostsPerRouter: 4,
+				CrushStart: 60, CrushStagger: 20, CrushDuration: 120,
+			},
+		},
+		{
+			Name:     "backbone-crush",
+			Stresses: "correlated cross-region contention: half the backbone links lose almost all capacity at once, degrading many apps simultaneously",
+			Expect:   "repairs fire across much of the fleet in the same window; apps whose groups sit behind the crushed chain segment move clients toward better-connected groups",
+			Opts: ScenarioOptions{
+				Apps: 12, Seed: 7, Duration: 600, Adaptive: true,
+				CrushStart:         -1, // no per-app crushes; the backbone is the event
+				BackboneCrushStart: 180, BackboneCrushDuration: 240,
+				BackboneFraction: 0.5, BackboneLeaveBps: 50e3,
+			},
+		},
+		{
+			Name:     "region-failure",
+			Stresses: "grid-scale failure injection: every access link under one router starves, hitting every process placed there regardless of owner",
+			Expect:   "apps with a group in the failed region repair around it; apps entirely inside it stay degraded until the region recovers (or migration is enabled)",
+			Opts: ScenarioOptions{
+				Apps: 12, Seed: 9, Duration: 600, Adaptive: true,
+				CrushStart:      -1,
+				RegionFailStart: 180, RegionFailDuration: 240, RegionFailRouter: 1,
+			},
+		},
+		{
+			Name:     "region-collapse",
+			Stresses: "the migration control loop: every server group of the first apps degrades at once, so intra-app repair has nowhere to move clients and only fleet-level re-placement helps",
+			Expect:   "with migration enabled the degraded apps are re-placed into spare-router headroom and recover; pinned (migration disabled) they stay above bound for the whole crush",
+			Opts: ScenarioOptions{
+				Apps: 8, Seed: 11, Duration: 900, Adaptive: true,
+				SpareRouters:   4,
+				CrushAllGroups: true, CrushApps: 2,
+				CrushStart: 150, CrushStagger: 30, CrushDuration: 600,
+				Migration: MigrationPolicy{Enabled: true},
+			},
+		},
+	}
+}
+
+// ScenarioByName returns the catalog entry with the given name.
+func ScenarioByName(name string) (CatalogEntry, error) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return CatalogEntry{}, fmt.Errorf("fleet: no scenario %q in the catalog", name)
+}
+
+// MigrationBenchScenario is the canonical migration benchmark fixture:
+// n apps, region-collapse contention (all groups crushed) on the first
+// quarter of them, migration enabled, spare-router headroom to migrate
+// into. Shared by BenchmarkFleetMigration and cmd/benchjson so the
+// committed BENCH_fleet.json baseline measures the same workload.
+func MigrationBenchScenario(n int, seed uint64) ScenarioOptions {
+	crushApps := n / 4
+	if crushApps < 1 {
+		crushApps = 1
+	}
+	return ScenarioOptions{
+		Apps: n, Seed: seed, Duration: 600, Adaptive: true,
+		SpareRouters:   2 * crushApps,
+		CrushAllGroups: true, CrushApps: crushApps,
+		CrushStart: 120, CrushStagger: 20, CrushDuration: 360,
+		Migration: MigrationPolicy{Enabled: true},
+	}
+}

@@ -3,9 +3,22 @@
 //
 // The fleet owns everything that is per-grid rather than per-application:
 //
-//   - Placement: a slot-capacity scheduler (Scheduler) that admits an
-//     application's processes onto grid hosts, spreading replicas across
-//     routers and ranking candidates by Remos bandwidth predictions.
+//   - Placement (placement.go): a slot-capacity scheduler (Scheduler) that
+//     decides *where* an application's processes run — at admission it
+//     spreads replicas across routers and ranks candidate hosts by Remos
+//     bandwidth predictions; the same machinery re-places applications
+//     later (PlaceAvoiding) when the migration controller needs a healthy
+//     region. Placement is a pure spatial decision: it commits slots and
+//     produces an Assignment, and never touches a running process.
+//   - Migration (migration.go): the fleet-level feedback loop that acts on
+//     placement. Where each application's own core.Manager repairs *within*
+//     its architecture (swap server groups, recruit spares), the migration
+//     controller watches per-app gauge reports through the sharded
+//     monitoring plane and, when sustained degradation shows intra-app
+//     repair has failed, drains the application and re-places it whole —
+//     new slots, re-pointed processes, monitoring plane re-anchored —
+//     mid-run. Disabled (the default) it schedules nothing and the fleet
+//     behaves exactly as before it existed.
 //   - Lifecycle: mid-run admission (Admit) and retirement (Retire), with
 //     freed slots and monitoring resources recycled for later admissions.
 //   - The shared monitoring plane: one sharded probe bus, one sharded
@@ -17,8 +30,11 @@
 //     one-plane-per-app design is retained behind Config.PerAppMonitoring
 //     as the byte-identical reference oracle.
 //   - Workload and measurement: targeted bandwidth contention
-//     (CrushPrimary/RestorePrimary, refcounted across apps), ground-truth
-//     latency sampling, and per-app summaries/fleet aggregates.
+//     (CrushPrimary/CrushServers, refcounted across apps), correlated
+//     backbone contention and region-wide failure injection
+//     (CrushBackbone, FailRegion), ground-truth latency sampling, and
+//     per-app summaries/fleet aggregates. scenario.go and catalog.go turn
+//     these into canned, deterministic scenario runs.
 //
 // Each admitted application keeps its own architectural model, constraint
 // registry and repair engine (core.Manager); the fleet multiplexes them
@@ -60,6 +76,10 @@ type Config struct {
 	// ScenarioOptions.GlobalReflow: equivalence tests run the same scenario
 	// both ways and require byte-identical summaries.
 	PerAppMonitoring bool
+	// Migration enables and tunes the fleet-level migration controller
+	// (migration.go). The zero value disables it; enabling it requires the
+	// fleet-shared monitoring plane (not PerAppMonitoring).
+	Migration MigrationPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -180,8 +200,18 @@ type App struct {
 	// RetiredAt is -1 while the application is live.
 	RetiredAt float64
 
+	// Migrations records every re-placement of this application (completed,
+	// failed and aborted attempts alike), in decision order.
+	Migrations []Migration
+
 	obs     *app.LatencyObserver
 	crushed []netsim.LinkID
+	// migrating marks an in-progress drain; pending is the reserved target
+	// assignment released again if the app retires mid-drain. health is the
+	// fleet controller's view of this app (nil when migration is disabled).
+	migrating bool
+	pending   *Assignment
+	health    *appHealth
 	// probe/report are the app's leased shards on the fleet monitoring
 	// plane (nil under PerAppMonitoring); released back to the bus pools at
 	// retirement.
@@ -205,6 +235,9 @@ type Fleet struct {
 	Rm   *remos.Service
 	Sch  *Scheduler
 	Cfg  Config
+	// Host is the fleet's own control host (the machine carrying the Remos
+	// collector); the migration controller's health subscriptions land here.
+	Host netsim.NodeID
 
 	// ProbeBus, ReportBus and Gauges are the fleet-shared monitoring plane
 	// (nil under Config.PerAppMonitoring, where every app builds its own).
@@ -218,6 +251,11 @@ type Fleet struct {
 	rejections []Rejection
 	crushes    map[netsim.LinkID]int // contention refcount per link (apps may share hosts)
 	stopSample func()
+
+	stopMigrate     func()
+	stopped         bool
+	backboneCrushed []netsim.LinkID
+	regionCrushed   map[int][]netsim.LinkID
 }
 
 // Rejection records a failed admission (grid full or placement error).
@@ -232,17 +270,23 @@ type Rejection struct {
 // Remos collector living on the testbed.
 func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
+	cfg.Migration = cfg.Migration.withDefaults()
+	if cfg.Migration.Enabled && cfg.PerAppMonitoring {
+		return nil, fmt.Errorf("fleet: migration requires the fleet-shared monitoring plane (disable PerAppMonitoring)")
+	}
 	f := &Fleet{
 		K: k, Grid: grid, Net: grid.Net, Cfg: cfg,
-		rng:     sim.NewRand(seed),
-		apps:    map[string]*App{},
-		crushes: map[netsim.LinkID]int{},
+		rng:           sim.NewRand(seed),
+		apps:          map[string]*App{},
+		crushes:       map[netsim.LinkID]int{},
+		regionCrushed: map[int][]netsim.LinkID{},
 	}
 	f.Sch = NewScheduler(grid, cfg.HostCapacity, nil)
 	rmHost, err := f.Sch.Reserve()
 	if err != nil {
 		return nil, fmt.Errorf("fleet: placing Remos collector: %w", err)
 	}
+	f.Host = rmHost
 	f.Rm = remos.New(k, grid.Net, rmHost)
 	if !cfg.PerAppMonitoring {
 		f.ProbeBus = bus.New(k, grid.Net)
@@ -262,6 +306,10 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 		return f.Net.AvailBandwidth(src, dst)
 	}
 	f.stopSample = k.Ticker(k.Now()+cfg.SamplePeriod, cfg.SamplePeriod, f.sample)
+	if cfg.Migration.Enabled {
+		p := cfg.Migration
+		f.stopMigrate = k.Ticker(k.Now()+p.CheckPeriod, p.CheckPeriod, f.migrationTick)
+	}
 	return f, nil
 }
 
@@ -374,6 +422,9 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 	sys.Start()
 	f.apps[spec.Name] = a
 	f.order = append(f.order, spec.Name)
+	if f.Cfg.Migration.Enabled {
+		f.attachHealth(a)
+	}
 	return a, nil
 }
 
@@ -388,16 +439,25 @@ func (f *Fleet) Retire(name string) error {
 	if !a.Live() {
 		return fmt.Errorf("fleet: application %q already retired", name)
 	}
+	if a.migrating {
+		// Retired mid-drain: abort the migration and return the reserved
+		// target slots. The drain poller sees migrating=false and stops.
+		f.Sch.Release(a.pending)
+		a.pending = nil
+		a.migrating = false
+	}
 	if f.Cfg.PerAppMonitoring {
 		a.Mgr.Stop()
 	} else {
 		// Full detach from the shared plane: probes silenced, report
 		// subscription removed, gauges torn down — then the app's shards go
-		// back to the bus pools for the next admission.
+		// back to the bus pools for the next admission. The fleet's health
+		// subscription (migration controller) dies with the report shard.
 		a.Mgr.Shutdown()
 		a.probe.Release()
 		a.report.Release()
 		a.probe, a.report = nil, nil
+		a.health = nil
 	}
 	a.Sys.StopClients()
 	f.RestorePrimary(name)
@@ -408,10 +468,16 @@ func (f *Fleet) Retire(name string) error {
 
 // Stop halts every live application and the fleet sampler (end of run).
 // Unlike Retire it does not release scheduler slots — the run is over.
+// In-progress migration drains are abandoned where they stand.
 func (f *Fleet) Stop() {
+	f.stopped = true
 	if f.stopSample != nil {
 		f.stopSample()
 		f.stopSample = nil
+	}
+	if f.stopMigrate != nil {
+		f.stopMigrate()
+		f.stopMigrate = nil
 	}
 	for _, name := range f.order {
 		a := f.apps[name]
@@ -452,22 +518,14 @@ func (f *Fleet) CrushPrimary(name string) error {
 	if len(a.crushed) > 0 {
 		return nil // already crushed
 	}
-	primary := a.Opspec.Groups[0]
 	// Batched: one reflow for the whole group's links, not one per link.
-	f.Net.Batch(func() {
-		for _, srv := range a.Sys.ActiveServersOf(primary.Name) {
-			link := f.Grid.AccessLink(a.Assign.ServerHosts[srv])
-			f.crushes[link]++
-			if f.crushes[link] == 1 {
-				f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
-			}
-			a.crushed = append(a.crushed, link)
-		}
-	})
+	f.crushServersOf(a, []string{a.Opspec.Groups[0].Name})
 	return nil
 }
 
-// RestorePrimary lifts the competition installed by CrushPrimary.
+// RestorePrimary lifts the competition installed by CrushPrimary or
+// CrushServers (whatever links were crushed for this application, wherever
+// it has since migrated to).
 func (f *Fleet) RestorePrimary(name string) {
 	a := f.apps[name]
 	if a == nil {
@@ -475,11 +533,7 @@ func (f *Fleet) RestorePrimary(name string) {
 	}
 	f.Net.Batch(func() {
 		for _, link := range a.crushed {
-			f.crushes[link]--
-			if f.crushes[link] <= 0 {
-				delete(f.crushes, link)
-				f.Net.SetBackgroundBoth(link, 0)
-			}
+			f.dropCrush(link)
 		}
 	})
 	a.crushed = nil
@@ -502,6 +556,9 @@ type AppSummary struct {
 
 	Repairs, Moves, Alerts int
 	MeanRepairSeconds      float64
+
+	// Migrations counts completed fleet-level re-placements of this app.
+	Migrations int
 }
 
 // Summarize aggregates one application.
@@ -548,6 +605,11 @@ func (a *App) Summarize() AppSummary {
 		s.MeanRepairSeconds /= float64(s.Repairs)
 	}
 	s.Alerts = len(a.Mgr.Alerts())
+	for _, m := range a.Migrations {
+		if m.Completed() {
+			s.Migrations++
+		}
+	}
 	return s
 }
 
@@ -565,6 +627,7 @@ type Totals struct {
 	Apps, Live, Retired    int
 	Responses, Dropped     uint64
 	Repairs, Moves, Alerts int
+	Migrations             int
 	// WorstFracAboveBound is the worst per-app violation fraction — the
 	// fleet's SLO headline.
 	WorstFracAboveBound float64
@@ -585,6 +648,7 @@ func Aggregate(sums []AppSummary) Totals {
 		t.Repairs += s.Repairs
 		t.Moves += s.Moves
 		t.Alerts += s.Alerts
+		t.Migrations += s.Migrations
 		if s.FracAboveBound > t.WorstFracAboveBound {
 			t.WorstFracAboveBound = s.FracAboveBound
 		}
@@ -595,45 +659,66 @@ func Aggregate(sums []AppSummary) Totals {
 // Table renders per-app summaries as a fixed-width table.
 func Table(sums []AppSummary) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %9s %9s %6s %6s %9s %8s %8s %7s %6s %6s %11s\n",
+	fmt.Fprintf(&b, "%-8s %9s %9s %6s %6s %9s %8s %8s %7s %6s %6s %5s %11s\n",
 		"app", "admitted", "retired", "cli", "srv", "responses", "dropped",
-		"peak-lat", ">bound%", "reps", "moves", "mean-repair")
+		"peak-lat", ">bound%", "reps", "moves", "migs", "mean-repair")
 	for _, s := range sums {
 		retired := "-"
 		if s.RetiredAt >= 0 {
 			retired = fmt.Sprintf("%.0f", s.RetiredAt)
 		}
-		fmt.Fprintf(&b, "%-8s %9.0f %9s %6d %6d %9d %8d %7.2fs %6.1f%% %6d %6d %10.1fs\n",
+		fmt.Fprintf(&b, "%-8s %9.0f %9s %6d %6d %9d %8d %7.2fs %6.1f%% %6d %6d %5d %10.1fs\n",
 			s.Name, s.AdmittedAt, retired, s.Clients, s.Servers, s.Responses, s.Dropped,
-			s.PeakLatency, 100*s.FracAboveBound, s.Repairs, s.Moves, s.MeanRepairSeconds)
+			s.PeakLatency, 100*s.FracAboveBound, s.Repairs, s.Moves, s.Migrations,
+			s.MeanRepairSeconds)
 	}
 	t := Aggregate(sums)
-	fmt.Fprintf(&b, "fleet: apps=%d live=%d retired=%d responses=%d dropped=%d repairs=%d moves=%d alerts=%d worst>bound=%.1f%%\n",
+	fmt.Fprintf(&b, "fleet: apps=%d live=%d retired=%d responses=%d dropped=%d repairs=%d moves=%d alerts=%d migrations=%d worst>bound=%.1f%%\n",
 		t.Apps, t.Live, t.Retired, t.Responses, t.Dropped, t.Repairs, t.Moves, t.Alerts,
-		100*t.WorstFracAboveBound)
+		t.Migrations, 100*t.WorstFracAboveBound)
 	return b.String()
 }
 
-// CompareTable renders a per-app control-vs-adaptive comparison (the fleet
-// version of the paper's Figures 8 vs 11). Rows pair by app name in control
-// order.
-func CompareTable(control, adaptive []AppSummary) string {
+// ComparePair is one application's summaries across two same-seed runs —
+// a control/baseline run (A) and the run under test (B). ComparePairs is
+// the data behind CompareTable; tests assert on it directly.
+type ComparePair struct {
+	Name string
+	A, B AppSummary
+}
+
+// ComparePairs pairs summaries by application name, in A order. Apps missing
+// from B (e.g. rejected there) are skipped.
+func ComparePairs(a, b []AppSummary) []ComparePair {
 	byName := map[string]AppSummary{}
-	for _, s := range adaptive {
+	for _, s := range b {
 		byName[s.Name] = s
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %16s %18s %14s %12s\n",
-		"app", ">bound% ctl→adp", "peak-lat ctl→adp", "resp ctl→adp", "reps/moves")
-	for _, c := range control {
-		a, ok := byName[c.Name]
+	var out []ComparePair
+	for _, s := range a {
+		other, ok := byName[s.Name]
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(&b, "%-8s %6.1f%% → %5.1f%% %7.2fs → %5.2fs %6d → %5d %8d/%d\n",
-			c.Name, 100*c.FracAboveBound, 100*a.FracAboveBound,
+		out = append(out, ComparePair{Name: s.Name, A: s, B: other})
+	}
+	return out
+}
+
+// CompareTable renders a per-app comparison of two same-seed runs (the fleet
+// version of the paper's Figures 8 vs 11): control vs adaptive, or pinned vs
+// migrating. Rows pair by app name in the first run's order; the reps/moves/
+// migs column describes the second run.
+func CompareTable(control, adaptive []AppSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %16s %18s %14s %15s\n",
+		"app", ">bound% A→B", "peak-lat A→B", "resp A→B", "reps/moves/migs")
+	for _, p := range ComparePairs(control, adaptive) {
+		c, a := p.A, p.B
+		fmt.Fprintf(&b, "%-8s %6.1f%% → %5.1f%% %7.2fs → %5.2fs %6d → %5d %8d/%d/%d\n",
+			p.Name, 100*c.FracAboveBound, 100*a.FracAboveBound,
 			c.PeakLatency, a.PeakLatency, c.Responses, a.Responses,
-			a.Repairs, a.Moves)
+			a.Repairs, a.Moves, a.Migrations)
 	}
 	return b.String()
 }

@@ -1,0 +1,447 @@
+// Fleet-level migration: the feedback loop that re-places a whole
+// application when its grid region degrades beyond what intra-app repair can
+// fix. The paper's repair loop adapts *within* an architecture (swap server
+// groups inside the app); this is the grid-scale analogue one level up — the
+// fleet watches each application's gauge reports through the sharded
+// monitoring plane, decides when the app's own manager has been given a fair
+// chance and failed, and live-migrates the application to a healthy region:
+//
+//	signals   per-app report-bus health (latency reports above bound,
+//	          bandwidth reports below floor) accumulated by a fleet
+//	          subscription on the app's report shard
+//	decision  a sustained-unhealthy streak longer than a repair attempt
+//	          (Patience × CheckPeriod > the paper's ~30 s repair time)
+//	drain     pause the clients, let in-flight requests finish (bounded
+//	          by DrainTimeout)
+//	re-place  reserve a new Assignment away from the degraded region
+//	          (Scheduler.PlaceAvoiding), re-point every process, detach
+//	          and re-attach the app's monitoring-plane shards and gauge
+//	          lease at the new anchor, release the old slots, resume
+//
+// Everything runs on the shared kernel and is deterministic; with the
+// policy disabled the fleet schedules no extra events and subscribes to
+// nothing, so default-configuration runs are byte-identical to a build
+// without this file.
+package fleet
+
+import (
+	"fmt"
+
+	"archadapt/internal/bus"
+	"archadapt/internal/core"
+	"archadapt/internal/gauges"
+	"archadapt/internal/netsim"
+)
+
+// MigrationPolicy tunes the fleet-level migration controller. The zero value
+// disables migration entirely (no subscriptions, no ticker — the default
+// fleet behaves exactly as before the controller existed).
+type MigrationPolicy struct {
+	// Enabled turns the controller on. Requires the fleet-shared monitoring
+	// plane; New rejects Enabled together with Config.PerAppMonitoring.
+	Enabled bool
+	// CheckPeriod is the interval between fleet health-decision ticks
+	// (default 15 s).
+	CheckPeriod float64
+	// Patience is the number of consecutive unhealthy decision ticks before
+	// the fleet gives up on intra-app repair and migrates. The default (4)
+	// with the default CheckPeriod gives one minute of sustained
+	// degradation — comfortably longer than one ~30 s repair attempt, so
+	// the app's own manager always gets its chance first.
+	Patience int
+	// ViolFrac makes a tick unhealthy when at least this fraction of the
+	// latency reports received since the previous tick were above the
+	// application's bound (default 0.5). A tick is also unhealthy when
+	// every bandwidth report since the previous tick was below the
+	// application's floor — the region-bandwidth-collapse signal, which
+	// keeps firing even when a wedged app completes no requests at all.
+	ViolFrac float64
+	// Cooldown is the minimum time after a completed migration before the
+	// same application may migrate again (default 300 s).
+	Cooldown float64
+	// DrainTimeout bounds the pre-cutover drain: if in-flight requests have
+	// not completed this long after the decision, the cutover proceeds
+	// anyway (default 30 s) — a wedged region must not pin the app forever.
+	DrainTimeout float64
+	// MaxPerApp caps completed migrations per application (default 3).
+	MaxPerApp int
+}
+
+func (p MigrationPolicy) withDefaults() MigrationPolicy {
+	if p.CheckPeriod <= 0 {
+		p.CheckPeriod = 15
+	}
+	if p.Patience < 1 {
+		p.Patience = 4
+	}
+	if p.ViolFrac <= 0 || p.ViolFrac > 1 {
+		p.ViolFrac = 0.5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 300
+	}
+	if p.DrainTimeout <= 0 {
+		p.DrainTimeout = 30
+	}
+	if p.MaxPerApp < 1 {
+		p.MaxPerApp = 3
+	}
+	return p
+}
+
+// Migration records one re-placement of an application, or the attempt.
+type Migration struct {
+	App string
+	// DecidedAt is when the controller (or a manual Migrate call) committed
+	// to moving the app.
+	DecidedAt float64
+	// CompletedAt is when the cutover finished; -1 while draining, and
+	// forever if the attempt failed (Err) or was aborted by retirement.
+	CompletedAt float64
+	// Drained reports whether every in-flight request completed before the
+	// cutover (false: DrainTimeout forced it).
+	Drained bool
+	// FromManager/ToManager anchor the move for logs: the manager host
+	// before and after.
+	FromManager, ToManager netsim.NodeID
+	// Err is the placement failure when no healthy region had capacity.
+	Err error
+}
+
+// Completed reports whether the migration finished its cutover.
+func (m Migration) Completed() bool { return m.CompletedAt >= 0 }
+
+// appHealth is the fleet's monitoring-plane view of one application, fed by
+// a fleet subscription on the app's report shard and consumed by the
+// decision ticker. Counters cover the reports since the last tick.
+type appHealth struct {
+	sub                 *bus.Subscription
+	latReports, latViol int
+	bwReports, bwBelow  int
+	streak              int
+	lastMigrated        float64
+}
+
+// attachHealth subscribes the fleet to an application's gauge reports at the
+// fleet control host. The subscription is a real bus tenant: reports ride
+// the simulated network to the control host, so fleet-level monitoring pays
+// the same honesty costs as everything else.
+func (f *Fleet) attachHealth(a *App) {
+	if a.health == nil {
+		a.health = &appHealth{lastMigrated: -1}
+	}
+	h := a.health
+	h.latReports, h.latViol, h.bwReports, h.bwBelow = 0, 0, 0, 0
+	maxLat, minBW := a.Spec.MaxLatency, a.Spec.MinBandwidth
+	h.sub = a.report.Subscribe(f.Host, bus.TopicIs(gauges.TopicReport), func(msg bus.Message) {
+		switch {
+		case msg.Kind == "client" && msg.Prop == "averageLatency":
+			h.latReports++
+			if msg.V1 > maxLat {
+				h.latViol++
+			}
+		case msg.Kind == "clientRole" && msg.Prop == "bandwidth":
+			h.bwReports++
+			if msg.V1 < minBW {
+				h.bwBelow++
+			}
+		}
+	})
+}
+
+// migrationTick is one pass of the fleet feedback loop: fold each live
+// application's report counters into an unhealthy/healthy verdict, advance
+// or reset its streak, and migrate the ones whose streak says intra-app
+// repair has had its chance and failed.
+func (f *Fleet) migrationTick(now float64) {
+	p := f.Cfg.Migration
+	for _, name := range f.order {
+		a := f.apps[name]
+		if !a.Live() || a.migrating || a.health == nil {
+			continue
+		}
+		h := a.health
+		unhealthy := (h.latReports > 0 && float64(h.latViol) >= p.ViolFrac*float64(h.latReports)) ||
+			(h.bwReports > 0 && h.bwBelow == h.bwReports)
+		h.latReports, h.latViol, h.bwReports, h.bwBelow = 0, 0, 0, 0
+		if !unhealthy {
+			h.streak = 0
+			continue
+		}
+		h.streak++
+		if h.streak < p.Patience {
+			continue
+		}
+		if f.completedMigrations(a) >= p.MaxPerApp {
+			continue
+		}
+		if h.lastMigrated >= 0 && now-h.lastMigrated < p.Cooldown {
+			continue
+		}
+		h.streak = 0
+		_ = f.beginMigration(a, now)
+	}
+}
+
+func (f *Fleet) completedMigrations(a *App) int {
+	n := 0
+	for _, m := range a.Migrations {
+		if m.Completed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Migrate immediately re-places a live application — the operator override;
+// the policy ticker drives the same path. It reserves a new assignment away
+// from the application's current region, pauses the clients, drains
+// in-flight requests (bounded by the policy's DrainTimeout) and cuts over.
+// The returned error reports placement failure (no healthy capacity) or a
+// bad target; the drain and cutover themselves proceed asynchronously on
+// the kernel.
+func (f *Fleet) Migrate(name string) error {
+	a := f.apps[name]
+	if a == nil {
+		return fmt.Errorf("fleet: no application %q", name)
+	}
+	if !a.Live() {
+		return fmt.Errorf("fleet: application %q is retired", name)
+	}
+	if a.migrating {
+		return fmt.Errorf("fleet: application %q is already migrating", name)
+	}
+	if f.Cfg.PerAppMonitoring {
+		return fmt.Errorf("fleet: migration requires the fleet-shared monitoring plane")
+	}
+	return f.beginMigration(a, f.K.Now())
+}
+
+// beginMigration reserves the new placement and starts the drain. The avoid
+// set is staged: first every router the application currently touches (a
+// completely fresh region), then only the routers of its server hosts (the
+// links whose bandwidth actually collapsed) — the narrower retry keeps
+// migration possible on grids without a whole spare region.
+func (f *Fleet) beginMigration(a *App, now float64) error {
+	avoid := map[netsim.NodeID]bool{}
+	a.Assign.hosts(func(h netsim.NodeID) { avoid[f.Grid.RouterOf(h)] = true })
+	newAssign, err := f.Sch.PlaceAvoiding(a.Opspec, avoid)
+	if err != nil {
+		avoid = map[netsim.NodeID]bool{}
+		for _, h := range a.Assign.ServerHosts {
+			avoid[f.Grid.RouterOf(h)] = true
+		}
+		newAssign, err = f.Sch.PlaceAvoiding(a.Opspec, avoid)
+	}
+	rec := Migration{
+		App: a.Name, DecidedAt: now, CompletedAt: -1,
+		FromManager: a.Assign.ManagerHost,
+	}
+	if err != nil {
+		rec.Err = err
+		a.Migrations = append(a.Migrations, rec)
+		return err
+	}
+	rec.ToManager = newAssign.ManagerHost
+	a.Migrations = append(a.Migrations, rec)
+	a.migrating = true
+	a.pending = newAssign
+	a.Sys.PauseClients()
+	f.pollDrain(a, now)
+	return nil
+}
+
+// pollDrain waits for the paused application's in-flight requests to finish
+// (or for DrainTimeout) and then cuts over. Retirement mid-drain, or the end
+// of the run, aborts the migration cleanly.
+func (f *Fleet) pollDrain(a *App, decidedAt float64) {
+	const pollPeriod = 1.0
+	var poll func()
+	poll = func() {
+		if f.stopped || !a.Live() || !a.migrating {
+			return // aborted: Retire or Stop released the pending assignment
+		}
+		now := f.K.Now()
+		drained := a.obs.Outstanding() == 0
+		if !drained && now < decidedAt+f.Cfg.Migration.DrainTimeout {
+			f.K.At(now+pollPeriod, poll)
+			return
+		}
+		f.cutover(a, drained)
+	}
+	f.K.At(f.K.Now()+pollPeriod, poll)
+}
+
+// cutover executes the re-placement at one kernel instant: detach the
+// manager from the monitoring plane, release the old shards and slots,
+// re-point every process at the new hosts, re-lease a plane at the new
+// anchor, redeploy, and resume the clients.
+func (f *Fleet) cutover(a *App, drained bool) {
+	now := f.K.Now()
+
+	// Full detach from the old anchor: probes silenced, report subscription
+	// removed, gauge lease closed (teardown handshakes drain in the
+	// background from the old manager host), shards recycled. The fleet's
+	// own health subscription dies with the report shard.
+	a.Mgr.Shutdown()
+	a.probe.Release()
+	a.report.Release()
+	if a.health != nil {
+		a.health.sub = nil
+	}
+
+	// Swap placements and re-point the processes.
+	f.Sch.Release(a.Assign)
+	a.Assign = a.pending
+	a.pending = nil
+	if err := a.Sys.Rehost(a.Assign.QueueHost, a.Assign.ServerHosts, a.Assign.ClientHosts); err != nil {
+		panic("fleet: rehost after placement: " + err.Error()) // placement covers every process
+	}
+
+	// Re-attach at the new anchor. The lease name freed synchronously in
+	// Shutdown, so re-leasing under the same application name cannot fail.
+	lease, err := f.Gauges.Lease(a.Name, a.Assign.ManagerHost)
+	if err != nil {
+		panic("fleet: re-lease after shutdown: " + err.Error())
+	}
+	a.probe = f.ProbeBus.Acquire()
+	a.report = f.ReportBus.Acquire()
+	a.Mgr.Reattach(a.Assign.ManagerHost, core.Plane{Probe: a.probe, Report: a.report, Gauges: lease})
+	if a.health != nil {
+		f.attachHealth(a)
+		a.health.streak = 0
+		a.health.lastMigrated = now
+	}
+	a.Sys.ResumeClients()
+	a.migrating = false
+
+	rec := &a.Migrations[len(a.Migrations)-1]
+	rec.CompletedAt = now
+	rec.Drained = drained
+}
+
+// --- grid-scale fault injection (the scenario catalog's degradations) ---
+
+// crushServersOf starves the access links of the named groups' currently
+// active servers, leaving ≈5 Kbps available (below the 10 Kbps floor).
+// Links are refcounted across applications and region failures.
+func (f *Fleet) crushServersOf(a *App, groups []string) {
+	f.Net.Batch(func() {
+		for _, g := range groups {
+			for _, srv := range a.Sys.ActiveServersOf(g) {
+				link := f.Grid.AccessLink(a.Sys.Server(srv).Host)
+				f.addCrush(link)
+				a.crushed = append(a.crushed, link)
+			}
+		}
+	})
+}
+
+// addCrush refcounts contention on one access link, installing the
+// background load on the first reference.
+func (f *Fleet) addCrush(link netsim.LinkID) {
+	f.crushes[link]++
+	if f.crushes[link] == 1 {
+		f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
+	}
+}
+
+// dropCrush releases one reference, lifting the load on the last.
+func (f *Fleet) dropCrush(link netsim.LinkID) {
+	f.crushes[link]--
+	if f.crushes[link] <= 0 {
+		delete(f.crushes, link)
+		f.Net.SetBackgroundBoth(link, 0)
+	}
+}
+
+// CrushServers starves the access links of every group's active servers —
+// the whole application's region degrades at once, so intra-app repair
+// (move the clients to another group) has nowhere good to go. This is the
+// degradation migration exists for; RestorePrimary lifts it.
+func (f *Fleet) CrushServers(name string) error {
+	a := f.apps[name]
+	if a == nil {
+		return fmt.Errorf("fleet: no application %q", name)
+	}
+	if len(a.crushed) > 0 {
+		return nil // already crushed
+	}
+	f.crushServersOf(a, a.Sys.Groups())
+	return nil
+}
+
+// CrushBackbone loads a fraction of the backbone links with background
+// traffic, leaving leaveBps available per direction — correlated
+// cross-region contention rather than a per-app access-link crush. Links are
+// taken in Grid.Backbone order (the chain first, then the chords), so
+// fraction 0.5 loads the first half of the chain. Idempotent until
+// RestoreBackbone.
+func (f *Fleet) CrushBackbone(fraction, leaveBps float64) {
+	if len(f.backboneCrushed) > 0 {
+		return
+	}
+	n := int(fraction * float64(len(f.Grid.Backbone)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(f.Grid.Backbone) {
+		n = len(f.Grid.Backbone)
+	}
+	bg := f.Grid.Spec.BackboneBps - leaveBps
+	if bg < 0 {
+		bg = 0
+	}
+	f.Net.Batch(func() {
+		for _, link := range f.Grid.Backbone[:n] {
+			f.Net.SetBackgroundBoth(link, bg)
+			f.backboneCrushed = append(f.backboneCrushed, link)
+		}
+	})
+}
+
+// RestoreBackbone lifts the contention installed by CrushBackbone.
+func (f *Fleet) RestoreBackbone() {
+	f.Net.Batch(func() {
+		for _, link := range f.backboneCrushed {
+			f.Net.SetBackgroundBoth(link, 0)
+		}
+	})
+	f.backboneCrushed = nil
+}
+
+// FailRegion starves every access link under router r (0-based index) —
+// region-wide failure injection: every process on the region's hosts,
+// whichever application owns it, loses its connectivity. Refcounted with
+// the per-app crushes, so overlapping injections compose. RestoreRegion
+// lifts it.
+func (f *Fleet) FailRegion(r int) error {
+	if r < 0 || r >= len(f.Grid.HostsByRouter) {
+		return fmt.Errorf("fleet: no router %d", r)
+	}
+	if len(f.regionCrushed[r]) > 0 {
+		return nil // already failed
+	}
+	f.Net.Batch(func() {
+		for _, h := range f.Grid.HostsByRouter[r] {
+			link := f.Grid.AccessLink(h)
+			f.addCrush(link)
+			f.regionCrushed[r] = append(f.regionCrushed[r], link)
+		}
+	})
+	return nil
+}
+
+// RestoreRegion lifts a region failure installed by FailRegion.
+func (f *Fleet) RestoreRegion(r int) {
+	links := f.regionCrushed[r]
+	if len(links) == 0 {
+		return
+	}
+	f.Net.Batch(func() {
+		for _, link := range links {
+			f.dropCrush(link)
+		}
+	})
+	delete(f.regionCrushed, r)
+}

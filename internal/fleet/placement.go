@@ -1,13 +1,7 @@
-// Package fleet is the grid control plane: it admits independent managed
-// applications onto one shared simulated grid, places their server groups and
-// repair infrastructure on grid hosts, wires a per-application architecture
-// manager (model, buses, gauges, repair engine) over the shared
-// discrete-event kernel, and aggregates fleet-level metrics.
-//
-// The paper manages a single client/server system on the Figure 6 testbed;
-// this package runs N of them concurrently — the grid setting the paper's
-// introduction describes, where "resources are shared by many users" and each
-// application needs its own architecture-based adaptation.
+// Placement: the slot-capacity scheduler that decides which grid hosts an
+// application's processes land on, both at admission and when the migration
+// controller re-places a degraded application (see the package comment in
+// fleet.go for how placement and migration divide the work).
 package fleet
 
 import (
@@ -126,12 +120,35 @@ func (s *Scheduler) pick(rank func(h netsim.NodeID) (admissible bool, score floa
 // the deterministic tie-breaks make the assignment a pure function of
 // scheduler state. On any failure nothing is committed.
 func (s *Scheduler) Place(spec operators.Spec) (*Assignment, error) {
+	return s.PlaceAvoiding(spec, nil)
+}
+
+// PlaceAvoiding places like Place but refuses every host hanging off a
+// router in avoid — the migration path's "healthy region only" filter: the
+// fleet passes the routers of a degraded application's current hosts so the
+// re-placement lands somewhere genuinely different. A nil or empty avoid set
+// is exactly Place. The capacity pre-check counts only allowed hosts, so a
+// grid with free slots solely inside the avoided region fails fast.
+func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]bool) (*Assignment, error) {
+	allowed := func(h netsim.NodeID) bool {
+		return len(avoid) == 0 || !avoid[s.Grid.RouterOf(h)]
+	}
 	need := 2
 	for _, g := range spec.Groups {
 		need += len(g.Servers)
 	}
 	need += len(spec.Clients)
-	if free := s.FreeSlots(); free < need {
+	free := 0
+	for _, h := range s.Grid.Hosts {
+		if allowed(h) {
+			free += s.HostCapacity - s.load[h]
+		}
+	}
+	if free < need {
+		if len(avoid) > 0 {
+			return nil, fmt.Errorf("fleet: no healthy capacity: need %d slots, %d free outside %d avoided routers",
+				need, free, len(avoid))
+		}
 		return nil, fmt.Errorf("fleet: grid full: need %d slots, %d free", need, free)
 	}
 
@@ -154,14 +171,14 @@ func (s *Scheduler) Place(spec operators.Spec) (*Assignment, error) {
 
 	// Queue and manager: least-loaded hosts, avoiding double-stacking the
 	// app's own infrastructure where possible.
-	qh, ok := s.pick(func(h netsim.NodeID) (bool, float64) { return true, 0 })
+	qh, ok := s.pick(func(h netsim.NodeID) (bool, float64) { return allowed(h), 0 })
 	if !ok {
 		return nil, fmt.Errorf("fleet: no host for request queue")
 	}
 	a.QueueHost = qh
 	take(qh)
 	mh, ok := s.pick(func(h netsim.NodeID) (bool, float64) {
-		return true, -float64(taken[h])
+		return allowed(h), -float64(taken[h])
 	})
 	if !ok {
 		release()
@@ -185,7 +202,7 @@ func (s *Scheduler) Place(spec operators.Spec) (*Assignment, error) {
 				if taken[h] > 0 {
 					score -= 1e6 // never co-locate with our own processes if avoidable
 				}
-				return true, score
+				return allowed(h), score
 			})
 			if !ok {
 				release()
@@ -209,7 +226,7 @@ func (s *Scheduler) Place(spec operators.Spec) (*Assignment, error) {
 			if taken[h] > 0 {
 				score -= 1e6
 			}
-			return true, score
+			return allowed(h), score
 		})
 		if !ok {
 			release()

@@ -102,6 +102,119 @@ func TestPlaceDeterministic(t *testing.T) {
 	}
 }
 
+// TestReleaseReplaceRoundTripFragmented exercises the migration path's
+// Release/re-Place cycle on a fragmented grid: releasing an assignment must
+// restore every per-host slot count exactly, and a subsequent identical
+// placement must succeed with full router spreading intact.
+func TestReleaseReplaceRoundTripFragmented(t *testing.T) {
+	g := testGrid(8, 2) // 16 hosts, capacity 2 => 32 slots
+	s := NewScheduler(g, 2, nil)
+
+	// Fragment: three placements interleaved with a mid-sequence release.
+	a1, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a1
+
+	// Snapshot, place-release, compare: the slot state must round-trip
+	// exactly, host by host.
+	before := map[netsim.NodeID]int{}
+	for _, h := range g.Hosts {
+		before[h] = s.Load(h)
+	}
+	free := s.FreeSlots()
+	ax, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(ax)
+	for _, h := range g.Hosts {
+		if s.Load(h) != before[h] {
+			t.Fatalf("host %v load = %d after place+release, want %d", h, s.Load(h), before[h])
+		}
+	}
+	if got := s.FreeSlots(); got != free {
+		t.Fatalf("free slots = %d after place+release, want %d", got, free)
+	}
+
+	// Release the middle tenant and re-place the same spec into the holes:
+	// it must succeed and still spread each group's replicas across routers
+	// (8 routers minus the survivors' spread leaves plenty).
+	s.Release(a2)
+	b, err := s.Place(testSpec())
+	if err != nil {
+		t.Fatalf("re-place into freed fragmented slots: %v", err)
+	}
+	for _, grp := range []struct{ s1, s2 string }{{"S1_1", "S1_2"}, {"S2_1", "S2_2"}} {
+		r1 := g.RouterOf(b.ServerHosts[grp.s1])
+		r2 := g.RouterOf(b.ServerHosts[grp.s2])
+		if r1 == r2 {
+			t.Errorf("re-placed replicas %s,%s co-located on router %v", grp.s1, grp.s2, r1)
+		}
+	}
+	// Determinism under fragmentation: an identical scheduler brought to the
+	// same state produces the identical re-placement.
+	s2 := NewScheduler(testGrid(8, 2), 2, nil)
+	c1, _ := s2.Place(testSpec())
+	c2, _ := s2.Place(testSpec())
+	c3, _ := s2.Place(testSpec())
+	_, _, _ = c1, c3, a3
+	cx, _ := s2.Place(testSpec())
+	s2.Release(cx)
+	s2.Release(c2)
+	b2, err := s2.Place(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueHost != b2.QueueHost || b.ManagerHost != b2.ManagerHost {
+		t.Fatalf("fragmented re-placement differs between identical schedulers: %+v vs %+v", b, b2)
+	}
+	for srv, h := range b.ServerHosts {
+		if b2.ServerHosts[srv] != h {
+			t.Fatalf("server %s re-placed on %v vs %v", srv, h, b2.ServerHosts[srv])
+		}
+	}
+}
+
+// TestPlaceAvoidingExcludesRouters: the migration filter must keep every
+// process off the avoided routers and fail fast when only avoided capacity
+// remains — without leaking partially committed slots.
+func TestPlaceAvoidingExcludesRouters(t *testing.T) {
+	g := testGrid(8, 2)
+	s := NewScheduler(g, 1, nil)
+	avoid := map[netsim.NodeID]bool{g.Routers[0]: true, g.Routers[1]: true}
+	a, err := s.PlaceAvoiding(testSpec(), avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.hosts(func(h netsim.NodeID) {
+		if avoid[g.RouterOf(h)] {
+			t.Errorf("host %v is on an avoided router", h)
+		}
+	})
+	// Avoid everything: must fail and leave the committed state untouched.
+	all := map[netsim.NodeID]bool{}
+	for _, r := range g.Routers {
+		all[r] = true
+	}
+	free := s.FreeSlots()
+	if _, err := s.PlaceAvoiding(testSpec(), all); err == nil {
+		t.Fatal("PlaceAvoiding succeeded with every router avoided")
+	}
+	if got := s.FreeSlots(); got != free {
+		t.Fatalf("failed PlaceAvoiding leaked slots: free %d, want %d", got, free)
+	}
+}
+
 func TestPlaceClientsAvoidServerRouters(t *testing.T) {
 	g := testGrid(8, 2)
 	s := NewScheduler(g, 1, nil)

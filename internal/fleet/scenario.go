@@ -19,11 +19,19 @@ type ScenarioOptions struct {
 	Apps int
 	// App is the per-application template; Name is overridden per app.
 	App AppSpec
+	// AppMix, when non-empty, admits a heterogeneous fleet: app i uses
+	// AppMix[i%len(AppMix)] (names still overridden per app) and App is
+	// ignored. Auto-sizing accounts for the exact mix.
+	AppMix []AppSpec
 
 	// Routers and HostsPerRouter size the grid; zero auto-sizes so every
-	// process of every application gets its own host slot.
+	// process of every application gets its own host slot. SpareRouters
+	// adds that many routers beyond the auto-sized minimum — headroom the
+	// migration controller can re-place degraded applications into (ignored
+	// when Routers is set explicitly).
 	Routers        int
 	HostsPerRouter int
+	SpareRouters   int
 
 	Seed uint64
 	// Duration of the run in simulated seconds (default 600); the fleet
@@ -31,6 +39,15 @@ type ScenarioOptions struct {
 	Duration float64
 	// AdmitStagger spaces admissions (default 0: all admitted at t=0).
 	AdmitStagger float64
+	// AdmitWaves > 1 spreads admissions into that many diurnal waves: wave w
+	// starts at w*WavePeriod (default Duration/AdmitWaves), with
+	// AdmitStagger applied within each wave.
+	AdmitWaves int
+	WavePeriod float64
+	// RetireAfter retires each application this long after its admission
+	// (0: apps run to the end). With waves, later waves reuse the slots
+	// earlier waves freed.
+	RetireAfter float64
 
 	// CrushStart, CrushStagger and CrushDuration schedule the per-app
 	// competition: app i's primary paths are crushed during
@@ -41,6 +58,29 @@ type ScenarioOptions struct {
 	CrushStart    float64
 	CrushStagger  float64
 	CrushDuration float64
+	// CrushApps limits the per-app contention to the first CrushApps
+	// applications (0: all of them).
+	CrushApps int
+	// CrushAllGroups aims the contention at every group's servers instead
+	// of only the primary's — a degradation intra-app repair cannot route
+	// around, and the trigger migration exists for.
+	CrushAllGroups bool
+
+	// BackboneCrushStart > 0 schedules correlated backbone contention: from
+	// that time, for BackboneCrushDuration seconds (default 240),
+	// BackboneFraction of the backbone links (default 0.5, chain first) are
+	// loaded down to BackboneLeaveBps available (default 50 Kbps).
+	BackboneCrushStart    float64
+	BackboneCrushDuration float64
+	BackboneFraction      float64
+	BackboneLeaveBps      float64
+
+	// RegionFailStart > 0 schedules a region-wide failure: every access
+	// link under router RegionFailRouter is starved from RegionFailStart
+	// for RegionFailDuration seconds (default 240).
+	RegionFailStart    float64
+	RegionFailDuration float64
+	RegionFailRouter   int
 
 	// Adaptive enables repairs (default via Config); Manager tunes each
 	// application's architecture manager.
@@ -48,6 +88,11 @@ type ScenarioOptions struct {
 	Manager  core.Config
 	// HostCapacity overrides the auto-sized per-host slot count.
 	HostCapacity int
+
+	// Migration enables and tunes the fleet-level migration controller.
+	// Zero value: disabled, and the run is byte-identical to a fleet
+	// without the controller.
+	Migration MigrationPolicy
 
 	// GlobalReflow forces the network's pre-incremental global solver (every
 	// flow recomputed on every change). Test/bench escape hatch: the solver
@@ -61,24 +106,55 @@ type ScenarioOptions struct {
 	PerAppMonitoring bool
 }
 
+// specFor returns the (defaulted) spec for app index i.
+func (o ScenarioOptions) specFor(i int) AppSpec {
+	if len(o.AppMix) > 0 {
+		return o.AppMix[i%len(o.AppMix)].withDefaults()
+	}
+	return o.App
+}
+
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
 	if o.Apps < 1 {
 		o.Apps = 8
 	}
 	o.App = o.App.withDefaults()
+	for i := range o.AppMix {
+		o.AppMix[i] = o.AppMix[i].withDefaults()
+	}
 	if o.Duration <= 0 {
 		o.Duration = 600
 	}
 	if o.CrushDuration <= 0 {
 		o.CrushDuration = 240
 	}
+	if o.AdmitWaves > 1 && o.WavePeriod <= 0 {
+		o.WavePeriod = o.Duration / float64(o.AdmitWaves)
+	}
+	if o.BackboneCrushStart > 0 {
+		if o.BackboneCrushDuration <= 0 {
+			o.BackboneCrushDuration = 240
+		}
+		if o.BackboneFraction <= 0 {
+			o.BackboneFraction = 0.5
+		}
+		if o.BackboneLeaveBps <= 0 {
+			o.BackboneLeaveBps = 50e3
+		}
+	}
+	if o.RegionFailStart > 0 && o.RegionFailDuration <= 0 {
+		o.RegionFailDuration = 240
+	}
 	if o.HostCapacity < 1 {
 		o.HostCapacity = 1
 	}
 	if o.Routers <= 0 || o.HostsPerRouter <= 0 {
 		// Auto-size: one slot per process plus one for the Remos collector.
-		perApp := 2 + o.App.Groups*(o.App.ServersPerGroup+o.App.SparesPerGroup) + o.App.Clients
-		slots := o.Apps*perApp + 1
+		slots := 1
+		for i := 0; i < o.Apps; i++ {
+			s := o.specFor(i)
+			slots += 2 + s.Groups*(s.ServersPerGroup+s.SparesPerGroup) + s.Clients
+		}
 		hostsNeeded := (slots + o.HostCapacity - 1) / o.HostCapacity
 		if o.HostsPerRouter <= 0 {
 			o.HostsPerRouter = 4
@@ -88,6 +164,7 @@ func (o ScenarioOptions) withDefaults() ScenarioOptions {
 			if o.Routers < 3 {
 				o.Routers = 3
 			}
+			o.Routers += o.SpareRouters
 		}
 	}
 	return o
@@ -120,14 +197,22 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		Adaptive:         opts.Adaptive,
 		HostCapacity:     opts.HostCapacity,
 		PerAppMonitoring: opts.PerAppMonitoring,
+		Migration:        opts.Migration,
 	})
 	if err != nil {
 		return nil, err
 	}
+	appsPerWave := opts.Apps
+	if opts.AdmitWaves > 1 {
+		appsPerWave = (opts.Apps + opts.AdmitWaves - 1) / opts.AdmitWaves
+	}
 	for i := 0; i < opts.Apps; i++ {
-		spec := opts.App
+		spec := opts.specFor(i)
 		spec.Name = fmt.Sprintf("app%02d", i)
-		admitAt := float64(i) * opts.AdmitStagger
+		admitAt := float64(i%appsPerWave) * opts.AdmitStagger
+		if opts.AdmitWaves > 1 {
+			admitAt += float64(i/appsPerWave) * opts.WavePeriod
+		}
 		admit := func() {
 			// Rejections are recorded on the fleet; the run continues with
 			// whatever the grid could hold.
@@ -138,15 +223,38 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		} else {
 			k.At(admitAt, admit)
 		}
-		if opts.CrushStart >= 0 {
-			name := spec.Name
+		name := spec.Name
+		if opts.RetireAfter > 0 {
+			k.At(admitAt+opts.RetireAfter, func() {
+				if a := f.App(name); a != nil && a.Live() {
+					_ = f.Retire(name)
+				}
+			})
+		}
+		if opts.CrushStart >= 0 && (opts.CrushApps <= 0 || i < opts.CrushApps) {
 			crushAt := opts.CrushStart + float64(i)*opts.CrushStagger
 			if min := admitAt + 100; crushAt < min {
 				crushAt = min
 			}
-			k.At(crushAt, func() { _ = f.CrushPrimary(name) })
+			crush := f.CrushPrimary
+			if opts.CrushAllGroups {
+				crush = f.CrushServers
+			}
+			k.At(crushAt, func() { _ = crush(name) })
 			k.At(crushAt+opts.CrushDuration, func() { f.RestorePrimary(name) })
 		}
+	}
+	if opts.BackboneCrushStart > 0 {
+		k.At(opts.BackboneCrushStart, func() {
+			f.CrushBackbone(opts.BackboneFraction, opts.BackboneLeaveBps)
+		})
+		k.At(opts.BackboneCrushStart+opts.BackboneCrushDuration, f.RestoreBackbone)
+	}
+	if opts.RegionFailStart > 0 {
+		k.At(opts.RegionFailStart, func() { _ = f.FailRegion(opts.RegionFailRouter) })
+		k.At(opts.RegionFailStart+opts.RegionFailDuration, func() {
+			f.RestoreRegion(opts.RegionFailRouter)
+		})
 	}
 	k.Run(opts.Duration)
 	f.Stop()

@@ -28,11 +28,44 @@ import "slices"
 //     is unchanged keeps its completion event as-is. Changed completions
 //     move via Kernel.Reschedule instead of cancel+reallocate.
 //
-// Region members are sorted into global (index) order before filling so that
-// the arithmetic inside a component is bit-identical to a global recompute
-// restricted to that component. GlobalReflow forces that global recompute on
-// every solve (over the same lazy-settlement machinery) and anchors the
-// equivalence tests; ReferenceRates retains the original algorithm itself.
+// # Why max–min decomposes over connected components
+//
+// The correctness of region-partitioned reflow rests on one invariant:
+// progressive filling on the whole network assigns a flow exactly the rate
+// it would get from progressive filling restricted to the flow's connected
+// component of the flow/resource bipartite graph (flows are vertices on one
+// side, (link,direction) resources on the other; a flow is adjacent to every
+// resource on its path).
+//
+// The argument: progressive filling raises all unfrozen flows' rates in
+// lockstep until some resource saturates, freezes that resource's flows at
+// their fair share, and repeats. Whether a resource saturates — and at what
+// fill level — depends only on its capacity, its background load, and the
+// number of its crossing flows still unfrozen. Every one of those flows is,
+// by definition, in the same component as the resource. So the sequence of
+// (fill level, saturating resource) events inside one component is entirely
+// determined by that component: flows elsewhere can neither saturate its
+// resources nor be frozen by them. Filling the components one at a time —
+// or only the dirty ones — therefore produces the same fixed point as
+// filling everything at once.
+//
+// Two bookkeeping invariants make the incremental version of this safe:
+//
+//   - Dirty expansion reaches the whole affected component. An event dirties
+//     the resources it directly touches; the solver then walks flow→resource
+//     adjacency until closure (the `seen` epoch). Anything outside the
+//     closure shares no resource, transitively, with anything dirtied — by
+//     the argument above its rates are already at the global fixed point and
+//     must not be recomputed (their completion events stay put).
+//   - Bit-identical arithmetic. Region members are sorted into global
+//     (index) order before filling, so the floating-point operations inside
+//     a component happen in the same order as a global recompute restricted
+//     to that component. Same order ⇒ same rounding ⇒ byte-identical rates —
+//     the property the equivalence oracles assert, not merely "close".
+//
+// GlobalReflow forces a global recompute on every solve (over the same
+// lazy-settlement machinery) and anchors the equivalence tests;
+// ReferenceRates retains the original algorithm itself.
 
 // resource is the per-(link, direction) solver state. flows is maintained
 // incrementally as transfers start and finish; avail/count are scratch for
