@@ -344,6 +344,21 @@ func FleetMigrationBenchScenario(n int, seed uint64) FleetScenarioOptions {
 	return fleet.MigrationBenchScenario(n, seed)
 }
 
+// FleetRankedMigrationBenchScenario is the measurement-driven variant of
+// the migration fixture (region health index + PlaceRanked), shared by
+// BenchmarkFleetRankedMigration and cmd/benchjson.
+func FleetRankedMigrationBenchScenario(n int, seed uint64) FleetScenarioOptions {
+	return fleet.RankedMigrationBenchScenario(n, seed)
+}
+
+// FleetRegionRank is a measured health score per grid region, consumed by
+// FleetScheduler.PlaceRanked.
+type FleetRegionRank = fleet.RegionRank
+
+// FleetRegionHealth is the fleet's measured per-region health index (see
+// Fleet.RegionHealth; non-nil when ranked migration targeting is enabled).
+type FleetRegionHealth = fleet.RegionHealth
+
 // --- design-time analysis ---
 
 // MMm is the queueing model used for design-time sizing.

@@ -430,6 +430,35 @@ func BenchmarkFleetMigration(b *testing.B) {
 	b.ReportMetric(float64(migrations)/float64(b.N*n), "migrations/app")
 }
 
+// BenchmarkFleetRankedMigration measures the measurement-driven migration
+// loop end to end on the ranked variant of the canonical fixture (shared
+// with cmd/benchjson): the same region-collapse workload as
+// BenchmarkFleetMigration, plus the region health index (one batched Remos
+// probe per decision tick), PlaceRanked targeting and the coordination
+// cap. migrations/app is the behavior canary, exactly gated in CI.
+func BenchmarkFleetRankedMigration(b *testing.B) {
+	const n = 16
+	b.ReportAllocs()
+	var migrations int
+	for i := 0; i < b.N; i++ {
+		res, err := RunFleetScenario(FleetRankedMigrationBenchScenario(n, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(res.Summaries); got != n {
+			b.Fatalf("admitted %d apps, want %d", got, n)
+		}
+		for _, s := range res.Summaries {
+			migrations += s.Migrations
+		}
+	}
+	if migrations == 0 {
+		b.Fatal("no migrations completed")
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/1e3/float64(b.N*n), "ms/app")
+	b.ReportMetric(float64(migrations)/float64(b.N*n), "migrations/app")
+}
+
 // BenchmarkFullAdaptiveRun measures one complete 1800-second adaptive
 // experiment (the paper's whole evaluation in one number).
 func BenchmarkFullAdaptiveRun(b *testing.B) {

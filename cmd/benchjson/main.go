@@ -28,6 +28,10 @@ type Baseline struct {
 	// FleetMigration mirrors BenchmarkFleetMigration: the canonical
 	// region-collapse + migration fixture (fleet.MigrationBenchScenario).
 	FleetMigration []FleetRow `json:"fleet_migration"`
+	// FleetRankedMigration mirrors BenchmarkFleetRankedMigration: the same
+	// fixture with measurement-driven targeting (region health index +
+	// PlaceRanked, fleet.RankedMigrationBenchScenario).
+	FleetRankedMigration []FleetRow `json:"fleet_ranked_migration"`
 }
 
 // ReflowBench mirrors BenchmarkMaxMinReflow: one background change against
@@ -80,6 +84,14 @@ func benchFleet(n, iters int) (FleetRow, error) {
 func benchMigration(n, iters int) (FleetRow, error) {
 	return benchScenario(n, iters, func(i int) fleet.ScenarioOptions {
 		return fleet.MigrationBenchScenario(n, uint64(i+1))
+	})
+}
+
+// benchRankedMigration measures the measurement-driven variant (shared
+// with BenchmarkFleetRankedMigration).
+func benchRankedMigration(n, iters int) (FleetRow, error) {
+	return benchScenario(n, iters, func(i int) fleet.ScenarioOptions {
+		return fleet.RankedMigrationBenchScenario(n, uint64(i+1))
 	})
 }
 
@@ -165,33 +177,44 @@ func check(baselinePath string, tolerance float64) {
 			100*tolerance, baselinePath)
 		failed = true
 	}
-	// Migration fixture: same allocs/app gate, plus migrations/app as an
-	// exact behavior canary (the scenario is deterministic).
-	var committedMig *FleetRow
-	for i := range base.FleetMigration {
-		if base.FleetMigration[i].Apps == 16 {
-			committedMig = &base.FleetMigration[i]
+	// Migration fixtures (unranked and ranked): same allocs/app gate, plus
+	// migrations/app as an exact behavior canary (both scenarios are
+	// deterministic).
+	fixtures := []struct {
+		label string
+		rows  []FleetRow
+		bench func(n, iters int) (FleetRow, error)
+	}{
+		{"migration", base.FleetMigration, benchMigration},
+		{"ranked migration", base.FleetRankedMigration, benchRankedMigration},
+	}
+	for _, fx := range fixtures {
+		var committed *FleetRow
+		for i := range fx.rows {
+			if fx.rows[i].Apps == 16 {
+				committed = &fx.rows[i]
+			}
 		}
-	}
-	if committedMig == nil {
-		fmt.Fprintf(os.Stderr, "benchjson: baseline has no migration N=16 row\n")
-		os.Exit(1)
-	}
-	mig, err := benchMigration(16, 1)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: migration N=16: %v\n", err)
-		os.Exit(1)
-	}
-	migLimit := committedMig.AllocsPerApp * (1 + tolerance)
-	fmt.Fprintf(os.Stderr, "check migration N=16: allocs/app %.0f (committed %.0f, limit %.0f), migrations/app %.4f (committed %.4f)\n",
-		mig.AllocsPerApp, committedMig.AllocsPerApp, migLimit, mig.MigrationsPerApp, committedMig.MigrationsPerApp)
-	if mig.AllocsPerApp > migLimit {
-		fmt.Fprintf(os.Stderr, "benchjson: migration allocs/app regressed >%.0f%% vs %s\n", 100*tolerance, baselinePath)
-		failed = true
-	}
-	if mig.MigrationsPerApp != committedMig.MigrationsPerApp {
-		fmt.Fprintf(os.Stderr, "benchjson: migrations/app drifted from the committed baseline — the scenario is deterministic; investigate before regenerating\n")
-		failed = true
+		if committed == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline has no %s N=16 row\n", fx.label)
+			os.Exit(1)
+		}
+		row, err := fx.bench(16, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s N=16: %v\n", fx.label, err)
+			os.Exit(1)
+		}
+		limit := committed.AllocsPerApp * (1 + tolerance)
+		fmt.Fprintf(os.Stderr, "check %s N=16: allocs/app %.0f (committed %.0f, limit %.0f), migrations/app %.4f (committed %.4f)\n",
+			fx.label, row.AllocsPerApp, committed.AllocsPerApp, limit, row.MigrationsPerApp, committed.MigrationsPerApp)
+		if row.AllocsPerApp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocs/app regressed >%.0f%% vs %s\n", fx.label, 100*tolerance, baselinePath)
+			failed = true
+		}
+		if row.MigrationsPerApp != committed.MigrationsPerApp {
+			fmt.Fprintf(os.Stderr, "benchjson: %s migrations/app drifted from the committed baseline — the scenario is deterministic; investigate before regenerating\n", fx.label)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)
@@ -203,7 +226,7 @@ func main() {
 	out := flag.String("out", "BENCH_fleet.json", "output file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "smoke mode: N=4 only, one iteration")
 	iters := flag.Int("iters", 3, "fleet scenario iterations per size point")
-	checkPath := flag.String("check", "", "compare fresh fleet N=32 and migration N=16 runs against this committed baseline; exit non-zero if allocs/app regressed >20% or migrations/app drifted")
+	checkPath := flag.String("check", "", "compare fresh fleet N=32 and (ranked) migration N=16 runs against this committed baseline; exit non-zero if allocs/app regressed >20% or migrations/app drifted")
 	flag.Parse()
 
 	if *checkPath != "" {
@@ -249,18 +272,29 @@ func main() {
 	if *quick {
 		migSizes = []int{4}
 	}
-	for _, n := range migSizes {
-		// Always one iteration (seed 1): migrations_per_app is gated with
-		// exact equality by -check, which also runs one seed-1 iteration, so
-		// generation and check must sample the identical deterministic run.
-		row, err := benchMigration(n, 1)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: migration N=%d: %v\n", n, err)
-			os.Exit(1)
+	migFixtures := []struct {
+		label string
+		bench func(n, iters int) (FleetRow, error)
+		dst   *[]FleetRow
+	}{
+		{"migration", benchMigration, &base.FleetMigration},
+		{"ranked migration", benchRankedMigration, &base.FleetRankedMigration},
+	}
+	for _, fx := range migFixtures {
+		for _, n := range migSizes {
+			// Always one iteration (seed 1): migrations_per_app is gated with
+			// exact equality by -check, which also runs one seed-1 iteration,
+			// so generation and check must sample the identical deterministic
+			// run.
+			row, err := fx.bench(n, 1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s N=%d: %v\n", fx.label, n, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%s N=%-3d %7.3f ms/app  %5.2f migrations/app  %10.0f allocs/app\n",
+				fx.label, n, row.MsPerApp, row.MigrationsPerApp, row.AllocsPerApp)
+			*fx.dst = append(*fx.dst, row)
 		}
-		fmt.Fprintf(os.Stderr, "migration N=%-3d %7.3f ms/app  %5.2f migrations/app  %10.0f allocs/app\n",
-			n, row.MsPerApp, row.MigrationsPerApp, row.AllocsPerApp)
-		base.FleetMigration = append(base.FleetMigration, row)
 	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")

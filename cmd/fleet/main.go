@@ -10,7 +10,7 @@
 //	      [-crush-start S] [-crush-stagger S] [-crush-duration S]
 //	      [-crush-apps N] [-crush-all-groups]
 //	      [-backbone-crush S] [-region-fail S] [-region-fail-router N]
-//	      [-migration] [-caching] [-settle S]
+//	      [-migration] [-ranked] [-max-concurrent N] [-caching] [-settle S]
 //	fleet -scenario NAME [-mode ...] [-seed N]
 //	fleet -list
 //
@@ -22,7 +22,9 @@
 //
 // -scenario runs a named entry from the scenario catalog (SCENARIOS.md);
 // -list prints the catalog. Explicitly set flags (-apps, -seed, -duration,
-// -migration) override the entry's values.
+// -migration, -ranked, -max-concurrent) override the entry's values —
+// e.g. `-scenario backbone-rescue -ranked=false` runs the avoid-set-only
+// control against the committed ranked entry.
 package main
 
 import (
@@ -54,6 +56,8 @@ func main() {
 	regionFail := flag.Float64("region-fail", 0, "fail one router's region at this time (0 disables)")
 	regionFailRouter := flag.Int("region-fail-router", 1, "router index for -region-fail")
 	migration := flag.Bool("migration", false, "enable the fleet-level migration controller")
+	ranked := flag.Bool("ranked", false, "measurement-driven migration targeting (region health index + PlaceRanked)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "cap on concurrently draining migrations (0 = policy default)")
 	caching := flag.Bool("caching", false, "enable gauge caching (§5.3 extension)")
 	settle := flag.Float64("settle", 0, "repair settle time in seconds")
 	scenario := flag.String("scenario", "", "run a named scenario from the catalog (see -list)")
@@ -97,6 +101,10 @@ func main() {
 				base.Duration = *duration
 			case "migration":
 				base.Migration.Enabled = *migration
+			case "ranked":
+				base.Migration.Ranked = *ranked
+			case "max-concurrent":
+				base.Migration.MaxConcurrent = *maxConcurrent
 			case "mode", "scenario", "caching", "settle", "list":
 				// orthogonal to the entry's shape
 			default:
@@ -129,9 +137,16 @@ func main() {
 			base.RegionFailStart = *regionFail
 			base.RegionFailRouter = *regionFailRouter
 		}
-		if *migration {
-			base.Migration = archadapt.FleetMigrationPolicy{Enabled: true}
+		base.Migration = archadapt.FleetMigrationPolicy{
+			// -mode migrate enables migration for its second run even when
+			// -migration is unset, so the targeting knobs are always carried.
+			Enabled: *migration || *ranked,
+			Ranked:  *ranked, MaxConcurrent: *maxConcurrent,
 		}
+	}
+	// -mode migrate enables migration itself for the second run.
+	if !base.Migration.Enabled && *mode != "migrate" && (*ranked || *maxConcurrent != 0) {
+		fmt.Fprintf(os.Stderr, "fleet: -ranked/-max-concurrent have no effect while migration is disabled (add -migration, -mode migrate, or a migration-enabled scenario)\n")
 	}
 
 	run := func(kind string, adaptive, migrating bool) *archadapt.FleetScenarioResult {

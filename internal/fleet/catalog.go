@@ -87,6 +87,32 @@ func Catalog() []CatalogEntry {
 				Migration: MigrationPolicy{Enabled: true},
 			},
 		},
+		{
+			Name:     "backbone-rescue",
+			Stresses: "measurement-driven migration targeting: the head of the backbone chain collapses (the proactive backbone verdict drives the decisions), while one of the spare regions every blind re-placement reaches first is concurrently failed — a trap only live measurement can see",
+			Expect:   "ranked targeting re-places degraded apps into regions that measure healthy (TargetHealth ≥ SourceHealth on every ranked record) and cuts time-above-bound versus the avoid-set-only controller, which drops its first re-placements into the failed spare region",
+			Opts: ScenarioOptions{
+				Apps: 10, Seed: 13, Duration: 900, Adaptive: true,
+				Routers: 35, HostsPerRouter: 4,
+				CrushStart:         -1, // the backbone + failed spare are the event
+				BackboneCrushStart: 150, BackboneCrushDuration: 600,
+				BackboneFraction: 0.3, BackboneLeaveBps: 30e3,
+				RegionFailStart: 150, RegionFailDuration: 600, RegionFailRouter: 21,
+				Migration: MigrationPolicy{Enabled: true, Ranked: true},
+			},
+		},
+		{
+			Name:     "thundering-herd",
+			Stresses: "the migration coordination layer: eight apps lose every server group at the same instant and compete for spare capacity sized for two; staged reservations and the MaxConcurrent cap must serialize the drains",
+			Expect:   "at most MaxConcurrent drains in flight at any time, reservations never double-book a spare region's last slots and always round-trip (FreeSlots is exact after the run); the first movers are rescued, the rest settle for the least-bad measured regions",
+			Opts: ScenarioOptions{
+				Apps: 8, Seed: 17, Duration: 900, Adaptive: true,
+				SpareRouters:   4,
+				CrushAllGroups: true, CrushApps: 8,
+				CrushStart: 150, CrushStagger: 0, CrushDuration: 600,
+				Migration: MigrationPolicy{Enabled: true, Ranked: true, MaxConcurrent: 2},
+			},
+		},
 	}
 }
 
@@ -117,4 +143,17 @@ func MigrationBenchScenario(n int, seed uint64) ScenarioOptions {
 		CrushStart: 120, CrushStagger: 20, CrushDuration: 360,
 		Migration: MigrationPolicy{Enabled: true},
 	}
+}
+
+// RankedMigrationBenchScenario is MigrationBenchScenario with
+// measurement-driven targeting enabled — the canonical ranked-migration
+// fixture behind BenchmarkFleetRankedMigration and the
+// fleet_ranked_migration row in BENCH_fleet.json. It exercises the region
+// health index (batched Remos probes every decision tick), PlaceRanked and
+// the reservation/coordination layer on the same region-collapse workload
+// the unranked fixture measures.
+func RankedMigrationBenchScenario(n int, seed uint64) ScenarioOptions {
+	opts := MigrationBenchScenario(n, seed)
+	opts.Migration.Ranked = true
+	return opts
 }

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"archadapt/internal/netsim"
+	"archadapt/internal/sim"
+)
+
+// TestMigrationPolicyWithDefaults is the direct table-driven test of the
+// policy defaulting rules: zero fields fill in, explicit fields survive,
+// and the DrainTimeout-below-CheckPeriod combination is clamped up (the
+// controller cannot re-evaluate faster than it measures).
+func TestMigrationPolicyWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   MigrationPolicy
+		want MigrationPolicy
+	}{
+		{
+			name: "zero fills every default",
+			in:   MigrationPolicy{},
+			want: MigrationPolicy{
+				CheckPeriod: 15, Patience: 4, ViolFrac: 0.5, Cooldown: 300,
+				DrainTimeout: 30, MaxPerApp: 3, MaxConcurrent: 2, RegionFloorBps: 100e3,
+			},
+		},
+		{
+			name: "explicit fields survive, the rest default",
+			in:   MigrationPolicy{Enabled: true, Patience: 2, Cooldown: 60, MaxConcurrent: 5},
+			want: MigrationPolicy{
+				Enabled: true, CheckPeriod: 15, Patience: 2, ViolFrac: 0.5, Cooldown: 60,
+				DrainTimeout: 30, MaxPerApp: 3, MaxConcurrent: 5, RegionFloorBps: 100e3,
+			},
+		},
+		{
+			name: "drain timeout below the check period is clamped up",
+			in:   MigrationPolicy{CheckPeriod: 20, DrainTimeout: 5},
+			want: MigrationPolicy{
+				CheckPeriod: 20, Patience: 4, ViolFrac: 0.5, Cooldown: 300,
+				DrainTimeout: 20, MaxPerApp: 3, MaxConcurrent: 2, RegionFloorBps: 100e3,
+			},
+		},
+		{
+			name: "default drain timeout clamps to a long check period",
+			in:   MigrationPolicy{CheckPeriod: 60},
+			want: MigrationPolicy{
+				CheckPeriod: 60, Patience: 4, ViolFrac: 0.5, Cooldown: 300,
+				DrainTimeout: 60, MaxPerApp: 3, MaxConcurrent: 2, RegionFloorBps: 100e3,
+			},
+		},
+		{
+			name: "ranked knobs survive",
+			in:   MigrationPolicy{Enabled: true, Ranked: true, RegionFloorBps: 50e3},
+			want: MigrationPolicy{
+				Enabled: true, Ranked: true, CheckPeriod: 15, Patience: 4, ViolFrac: 0.5,
+				Cooldown: 300, DrainTimeout: 30, MaxPerApp: 3, MaxConcurrent: 2, RegionFloorBps: 50e3,
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.in.validate(); err != nil {
+				t.Fatalf("validate rejected a valid policy: %v", err)
+			}
+			if got := c.in.withDefaults(); got != c.want {
+				t.Errorf("withDefaults:\n got %+v\nwant %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestMigrationPolicyValidate rejects the nonsensical policies withDefaults
+// used to silently "fix": negative knobs, NaNs, out-of-range fractions and
+// contradictory flags all fail, and fleet construction surfaces the error.
+func TestMigrationPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   MigrationPolicy
+		frag string // expected substring of the error
+	}{
+		{"negative check period", MigrationPolicy{CheckPeriod: -1}, "CheckPeriod"},
+		{"NaN check period", MigrationPolicy{CheckPeriod: math.NaN()}, "CheckPeriod"},
+		{"negative patience", MigrationPolicy{Patience: -2}, "Patience"},
+		{"violfrac above one", MigrationPolicy{ViolFrac: 1.5}, "ViolFrac"},
+		{"negative violfrac", MigrationPolicy{ViolFrac: -0.1}, "ViolFrac"},
+		{"negative cooldown", MigrationPolicy{Cooldown: -5}, "Cooldown"},
+		{"negative drain timeout", MigrationPolicy{DrainTimeout: -1}, "DrainTimeout"},
+		{"negative max per app", MigrationPolicy{MaxPerApp: -1}, "MaxPerApp"},
+		{"negative max concurrent", MigrationPolicy{MaxConcurrent: -3}, "MaxConcurrent"},
+		{"negative region floor", MigrationPolicy{RegionFloorBps: -10}, "RegionFloorBps"},
+		{"legacy oracle with ranking", MigrationPolicy{LegacyTargeting: true, Ranked: true}, "LegacyTargeting"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.in.validate()
+			if err == nil {
+				t.Fatalf("validate accepted %+v", c.in)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not name %s", err, c.frag)
+			}
+			// New surfaces the same rejection.
+			k := sim.NewKernel()
+			grid := netsim.GenerateGrid(k, netsim.GridSpec{Routers: 3, HostsPerRouter: 2, Seed: 1})
+			cfg := Config{}
+			cfg.Migration = c.in
+			if _, err := New(k, grid, 1, cfg); err == nil {
+				t.Error("New accepted the invalid policy")
+			}
+		})
+	}
+}
+
+// TestConfigWithDefaults covers the fleet-config defaulting rules directly.
+func TestConfigWithDefaults(t *testing.T) {
+	got := Config{}.withDefaults()
+	if got.HostCapacity != 4 || got.SamplePeriod != 5 {
+		t.Errorf("zero Config defaulted to %+v", got)
+	}
+	got = Config{HostCapacity: -2, SamplePeriod: -1}.withDefaults()
+	if got.HostCapacity != 4 || got.SamplePeriod != 5 {
+		t.Errorf("negative Config fields not clamped: %+v", got)
+	}
+	kept := Config{HostCapacity: 2, SamplePeriod: 1}.withDefaults()
+	if kept.HostCapacity != 2 || kept.SamplePeriod != 1 {
+		t.Errorf("explicit Config fields overwritten: %+v", kept)
+	}
+}
+
+// TestAppSpecWithDefaults covers the per-application defaulting rules,
+// including the negative values that clamp rather than reject (an AppSpec
+// is workload description, not a control policy).
+func TestAppSpecWithDefaults(t *testing.T) {
+	got := AppSpec{}.withDefaults()
+	want := AppSpec{
+		Groups: 2, ServersPerGroup: 2, SparesPerGroup: 0, Clients: 2,
+		ClientRate: 1, RespBits: 8 * 8192,
+		MaxLatency: 2, MaxServerLoad: 6, MinBandwidth: 10e3,
+	}
+	if got != want {
+		t.Errorf("zero AppSpec:\n got %+v\nwant %+v", got, want)
+	}
+	neg := AppSpec{Groups: -1, ServersPerGroup: -1, SparesPerGroup: -4, Clients: -1,
+		ClientRate: -1, RespBits: -1, MaxLatency: -1, MaxServerLoad: -1, MinBandwidth: -1}.withDefaults()
+	if neg != want {
+		t.Errorf("negative AppSpec not clamped to defaults:\n got %+v\nwant %+v", neg, want)
+	}
+}

@@ -206,11 +206,15 @@ type App struct {
 
 	obs     *app.LatencyObserver
 	crushed []netsim.LinkID
-	// migrating marks an in-progress drain; pending is the reserved target
-	// assignment released again if the app retires mid-drain. health is the
-	// fleet controller's view of this app (nil when migration is disabled).
+	// admIdx is the application's admission sequence number — the
+	// coordination layer's deterministic last tie-break.
+	admIdx int
+	// migrating marks an in-progress drain; pending is the staged target
+	// reservation, released again if the app retires mid-drain. health is
+	// the fleet controller's view of this app (nil when migration is
+	// disabled).
 	migrating bool
-	pending   *Assignment
+	pending   *Reservation
 	health    *appHealth
 	// probe/report are the app's leased shards on the fleet monitoring
 	// plane (nil under PerAppMonitoring); released back to the bus pools at
@@ -256,6 +260,14 @@ type Fleet struct {
 	stopped         bool
 	backboneCrushed []netsim.LinkID
 	regionCrushed   map[int][]netsim.LinkID
+
+	// rh is the region health index (nil unless Migration.Ranked);
+	// inFlight/peakInFlight count concurrently draining migrations;
+	// migrCands is the decision tick's candidate scratch.
+	rh           *RegionHealth
+	inFlight     int
+	peakInFlight int
+	migrCands    []*App
 }
 
 // Rejection records a failed admission (grid full or placement error).
@@ -270,6 +282,9 @@ type Rejection struct {
 // Remos collector living on the testbed.
 func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Migration.validate(); err != nil {
+		return nil, err
+	}
 	cfg.Migration = cfg.Migration.withDefaults()
 	if cfg.Migration.Enabled && cfg.PerAppMonitoring {
 		return nil, fmt.Errorf("fleet: migration requires the fleet-shared monitoring plane (disable PerAppMonitoring)")
@@ -308,10 +323,25 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 	f.stopSample = k.Ticker(k.Now()+cfg.SamplePeriod, cfg.SamplePeriod, f.sample)
 	if cfg.Migration.Enabled {
 		p := cfg.Migration
+		if p.Ranked {
+			f.rh = newRegionHealth(f)
+		}
 		f.stopMigrate = k.Ticker(k.Now()+p.CheckPeriod, p.CheckPeriod, f.migrationTick)
 	}
 	return f, nil
 }
+
+// RegionHealth returns the measured region health index, or nil unless
+// ranked migration targeting (Config.Migration.Ranked) is enabled.
+func (f *Fleet) RegionHealth() *RegionHealth { return f.rh }
+
+// MigrationsInFlight returns how many migrations are currently draining.
+func (f *Fleet) MigrationsInFlight() int { return f.inFlight }
+
+// PeakConcurrentMigrations returns the high-water mark of concurrently
+// draining migrations over the run — never above the policy's
+// MaxConcurrent unless LegacyTargeting disabled the cap.
+func (f *Fleet) PeakConcurrentMigrations() int { return f.peakInFlight }
 
 // Apps returns admitted application names in admission order (including
 // retired ones).
@@ -420,6 +450,7 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 
 	a.Mgr.Deploy()
 	sys.Start()
+	a.admIdx = len(f.order)
 	f.apps[spec.Name] = a
 	f.order = append(f.order, spec.Name)
 	if f.Cfg.Migration.Enabled {
@@ -440,11 +471,13 @@ func (f *Fleet) Retire(name string) error {
 		return fmt.Errorf("fleet: application %q already retired", name)
 	}
 	if a.migrating {
-		// Retired mid-drain: abort the migration and return the reserved
-		// target slots. The drain poller sees migrating=false and stops.
-		f.Sch.Release(a.pending)
+		// Retired mid-drain: abort the migration and return the staged
+		// reservation's slots. The drain poller sees migrating=false and
+		// stops.
+		a.pending.Release()
 		a.pending = nil
 		a.migrating = false
+		f.inFlight--
 	}
 	if f.Cfg.PerAppMonitoring {
 		a.Mgr.Stop()
@@ -467,8 +500,10 @@ func (f *Fleet) Retire(name string) error {
 }
 
 // Stop halts every live application and the fleet sampler (end of run).
-// Unlike Retire it does not release scheduler slots — the run is over.
-// In-progress migration drains are abandoned where they stand.
+// Unlike Retire it does not release a live application's slots — the run
+// is over. In-progress migration drains are aborted: their staged
+// reservations are returned so the scheduler ledger and the in-flight
+// counter stay consistent for post-run inspection.
 func (f *Fleet) Stop() {
 	f.stopped = true
 	if f.stopSample != nil {
@@ -482,6 +517,12 @@ func (f *Fleet) Stop() {
 	for _, name := range f.order {
 		a := f.apps[name]
 		if a.Live() {
+			if a.migrating {
+				a.pending.Release()
+				a.pending = nil
+				a.migrating = false
+				f.inFlight--
+			}
 			a.Mgr.Stop()
 			a.Sys.StopClients()
 		}

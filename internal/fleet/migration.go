@@ -26,6 +26,8 @@ package fleet
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"archadapt/internal/bus"
 	"archadapt/internal/core"
@@ -62,9 +64,69 @@ type MigrationPolicy struct {
 	// DrainTimeout bounds the pre-cutover drain: if in-flight requests have
 	// not completed this long after the decision, the cutover proceeds
 	// anyway (default 30 s) — a wedged region must not pin the app forever.
+	// A timeout shorter than CheckPeriod is clamped up to it: the
+	// controller cannot re-evaluate faster than it measures.
 	DrainTimeout float64
 	// MaxPerApp caps completed migrations per application (default 3).
 	MaxPerApp int
+
+	// Ranked enables measurement-driven targeting: the fleet maintains a
+	// per-region health index (RegionHealth) from batched Remos probes and
+	// fleet-wide report statistics, migrations land via
+	// Scheduler.PlaceRanked in the measurably best region (falling back to
+	// the avoid-set path when the index has nothing admissible), and
+	// backbone degradation measured below RegionFloorBps becomes a
+	// proactive unhealthy verdict. Off (the default), no region probes are
+	// issued and targeting is exactly the avoid-set path.
+	Ranked bool
+	// RegionFloorBps is the measured region bandwidth below which a region
+	// counts as degraded for the proactive backbone verdict (default
+	// 100 Kbps). Read only when Ranked.
+	RegionFloorBps float64
+	// MaxConcurrent caps how many migrations may be draining at once
+	// across the fleet (default 2) — the admission half of the
+	// coordination layer. Eligible applications beyond the cap keep their
+	// unhealthy streaks and are reconsidered next tick; when the cap
+	// forces a choice, the fairness tie-break prefers the longest streak,
+	// then the fewest completed migrations, then admission order.
+	MaxConcurrent int
+	// LegacyTargeting forces the PR 4 reference controller: staged
+	// avoid-set targeting with no concurrency cap and no region
+	// measurements. It is the retained byte-identical oracle for the
+	// migration equivalence tests, mirroring PerAppMonitoring and
+	// GlobalReflow; it cannot be combined with Ranked.
+	LegacyTargeting bool
+}
+
+// validate rejects nonsensical policies before defaulting fills the zero
+// fields: negative knobs, NaNs, out-of-range fractions, and contradictory
+// combinations all fail fleet construction instead of being silently
+// "fixed" into something the caller did not ask for.
+func (p MigrationPolicy) validate() error {
+	bad := func(field string, v float64) error {
+		return fmt.Errorf("fleet: MigrationPolicy.%s = %v is invalid (zero means default)", field, v)
+	}
+	switch {
+	case p.CheckPeriod < 0 || math.IsNaN(p.CheckPeriod):
+		return bad("CheckPeriod", p.CheckPeriod)
+	case p.Patience < 0:
+		return fmt.Errorf("fleet: MigrationPolicy.Patience = %d is invalid (zero means default)", p.Patience)
+	case p.ViolFrac < 0 || p.ViolFrac > 1 || math.IsNaN(p.ViolFrac):
+		return bad("ViolFrac", p.ViolFrac)
+	case p.Cooldown < 0 || math.IsNaN(p.Cooldown):
+		return bad("Cooldown", p.Cooldown)
+	case p.DrainTimeout < 0 || math.IsNaN(p.DrainTimeout):
+		return bad("DrainTimeout", p.DrainTimeout)
+	case p.MaxPerApp < 0:
+		return fmt.Errorf("fleet: MigrationPolicy.MaxPerApp = %d is invalid (zero means default)", p.MaxPerApp)
+	case p.MaxConcurrent < 0:
+		return fmt.Errorf("fleet: MigrationPolicy.MaxConcurrent = %d is invalid (zero means default)", p.MaxConcurrent)
+	case p.RegionFloorBps < 0 || math.IsNaN(p.RegionFloorBps):
+		return bad("RegionFloorBps", p.RegionFloorBps)
+	case p.LegacyTargeting && p.Ranked:
+		return fmt.Errorf("fleet: MigrationPolicy.LegacyTargeting (the avoid-set oracle) cannot be combined with Ranked")
+	}
+	return nil
 }
 
 func (p MigrationPolicy) withDefaults() MigrationPolicy {
@@ -74,7 +136,7 @@ func (p MigrationPolicy) withDefaults() MigrationPolicy {
 	if p.Patience < 1 {
 		p.Patience = 4
 	}
-	if p.ViolFrac <= 0 || p.ViolFrac > 1 {
+	if p.ViolFrac <= 0 {
 		p.ViolFrac = 0.5
 	}
 	if p.Cooldown <= 0 {
@@ -83,8 +145,17 @@ func (p MigrationPolicy) withDefaults() MigrationPolicy {
 	if p.DrainTimeout <= 0 {
 		p.DrainTimeout = 30
 	}
+	if p.DrainTimeout < p.CheckPeriod {
+		p.DrainTimeout = p.CheckPeriod
+	}
 	if p.MaxPerApp < 1 {
 		p.MaxPerApp = 3
+	}
+	if p.MaxConcurrent < 1 {
+		p.MaxConcurrent = 2
+	}
+	if p.RegionFloorBps <= 0 {
+		p.RegionFloorBps = 100e3
 	}
 	return p
 }
@@ -104,6 +175,15 @@ type Migration struct {
 	// FromManager/ToManager anchor the move for logs: the manager host
 	// before and after.
 	FromManager, ToManager netsim.NodeID
+	// Ranked reports whether the target was chosen by the measured region
+	// ranking (false: the staged avoid-set fallback decided).
+	Ranked bool
+	// SourceHealth and TargetHealth are the decision-time region-health
+	// scores of the application's worst current server region and of the
+	// worst region its servers were re-placed into. Meaningful only when
+	// Ranked; the ranked-targeting invariant is TargetHealth ≥
+	// SourceHealth.
+	SourceHealth, TargetHealth float64
 	// Err is the placement failure when no healthy region had capacity.
 	Err error
 }
@@ -149,20 +229,37 @@ func (f *Fleet) attachHealth(a *App) {
 	})
 }
 
-// migrationTick is one pass of the fleet feedback loop: fold each live
-// application's report counters into an unhealthy/healthy verdict, advance
-// or reset its streak, and migrate the ones whose streak says intra-app
-// repair has had its chance and failed.
+// migrationTick is one pass of the fleet feedback loop: refresh the region
+// health index (when ranking is on), fold each live application's report
+// counters into an unhealthy/healthy verdict, advance or reset its streak,
+// and hand the applications whose streak says intra-app repair has had its
+// chance and failed to the coordination layer, which bounds how many drains
+// run at once.
 func (f *Fleet) migrationTick(now float64) {
 	p := f.Cfg.Migration
+	if f.rh != nil {
+		// Region statistics read the per-app counters before they reset
+		// below; the batched Remos probe issued here lands before the next
+		// tick.
+		f.rh.tick()
+	}
+	cands := f.migrCands[:0]
 	for _, name := range f.order {
 		a := f.apps[name]
-		if !a.Live() || a.migrating || a.health == nil {
+		if !a.Live() || a.health == nil {
 			continue
 		}
 		h := a.health
+		if a.migrating {
+			// Mid-drain: the region statistics above consumed this tick's
+			// reports; zero the counters so they are not folded again next
+			// tick, but hold no verdict — health re-attaches at cutover.
+			h.latReports, h.latViol, h.bwReports, h.bwBelow = 0, 0, 0, 0
+			continue
+		}
 		unhealthy := (h.latReports > 0 && float64(h.latViol) >= p.ViolFrac*float64(h.latReports)) ||
-			(h.bwReports > 0 && h.bwBelow == h.bwReports)
+			(h.bwReports > 0 && h.bwBelow == h.bwReports) ||
+			(f.rh != nil && f.rh.appDegraded(a))
 		h.latReports, h.latViol, h.bwReports, h.bwBelow = 0, 0, 0, 0
 		if !unhealthy {
 			h.streak = 0
@@ -178,7 +275,34 @@ func (f *Fleet) migrationTick(now float64) {
 		if h.lastMigrated >= 0 && now-h.lastMigrated < p.Cooldown {
 			continue
 		}
-		h.streak = 0
+		cands = append(cands, a)
+	}
+	f.migrCands = cands
+
+	// Coordination: at most MaxConcurrent drains in flight fleet-wide
+	// (legacy oracle: unbounded). Deferred candidates keep their streaks —
+	// still unhealthy next tick, they compete again. When the cap forces a
+	// choice, fairness prefers the longest streak (waited longest), then
+	// the fewest completed migrations (least served so far), then admission
+	// order; the chosen set is then processed in admission order so
+	// placement stays a pure function of scheduler state.
+	if !p.LegacyTargeting {
+		if room := p.MaxConcurrent - f.inFlight; len(cands) > room {
+			if room < 0 {
+				room = 0
+			}
+			sort.SliceStable(cands, func(i, j int) bool {
+				if cands[i].health.streak != cands[j].health.streak {
+					return cands[i].health.streak > cands[j].health.streak
+				}
+				return f.completedMigrations(cands[i]) < f.completedMigrations(cands[j])
+			})
+			cands = cands[:room]
+			sort.Slice(cands, func(i, j int) bool { return cands[i].admIdx < cands[j].admIdx })
+		}
+	}
+	for _, a := range cands {
+		a.health.streak = 0
 		_ = f.beginMigration(a, now)
 	}
 }
@@ -214,38 +338,65 @@ func (f *Fleet) Migrate(name string) error {
 	if f.Cfg.PerAppMonitoring {
 		return fmt.Errorf("fleet: migration requires the fleet-shared monitoring plane")
 	}
+	// The operator path is coordinated like the ticker path: a manual
+	// migration may not exceed the concurrent-drain cap either.
+	if p := f.Cfg.Migration; !p.LegacyTargeting && p.MaxConcurrent > 0 && f.inFlight >= p.MaxConcurrent {
+		return fmt.Errorf("fleet: %d migrations already draining (MaxConcurrent=%d)", f.inFlight, p.MaxConcurrent)
+	}
 	return f.beginMigration(a, f.K.Now())
 }
 
-// beginMigration reserves the new placement and starts the drain. The avoid
-// set is staged: first every router the application currently touches (a
-// completely fresh region), then only the routers of its server hosts (the
-// links whose bandwidth actually collapsed) — the narrower retry keeps
-// migration possible on grids without a whole spare region.
+// beginMigration reserves the new placement as a staged Reservation and
+// starts the drain. With ranking enabled the target comes from the region
+// health index via PlaceRanked — only regions measurably at least as
+// healthy as the source qualify. Without it (or when the index has nothing
+// admissible) the avoid set is staged as before: first every router the
+// application currently touches (a completely fresh region), then only the
+// routers of its server hosts (the links whose bandwidth actually
+// collapsed) — the narrower retry keeps migration possible on grids
+// without a whole spare region.
 func (f *Fleet) beginMigration(a *App, now float64) error {
-	avoid := map[netsim.NodeID]bool{}
-	a.Assign.hosts(func(h netsim.NodeID) { avoid[f.Grid.RouterOf(h)] = true })
-	newAssign, err := f.Sch.PlaceAvoiding(a.Opspec, avoid)
-	if err != nil {
-		avoid = map[netsim.NodeID]bool{}
-		for _, h := range a.Assign.ServerHosts {
-			avoid[f.Grid.RouterOf(h)] = true
-		}
-		newAssign, err = f.Sch.PlaceAvoiding(a.Opspec, avoid)
-	}
 	rec := Migration{
 		App: a.Name, DecidedAt: now, CompletedAt: -1,
 		FromManager: a.Assign.ManagerHost,
 	}
-	if err != nil {
-		rec.Err = err
-		a.Migrations = append(a.Migrations, rec)
-		return err
+	var newAssign *Assignment
+	if f.rh != nil {
+		if rank, source, ok := f.rh.RankFor(a); ok {
+			if asg, err := f.Sch.PlaceRanked(a.Opspec, rank); err == nil {
+				newAssign = asg
+				rec.Ranked = true
+				rec.SourceHealth = source
+				rec.TargetHealth = f.rh.AssignmentHealth(asg)
+			}
+		}
+	}
+	if newAssign == nil {
+		avoid := map[netsim.NodeID]bool{}
+		a.Assign.hosts(func(h netsim.NodeID) { avoid[f.Grid.RouterOf(h)] = true })
+		asg, err := f.Sch.PlaceAvoiding(a.Opspec, avoid)
+		if err != nil {
+			avoid = map[netsim.NodeID]bool{}
+			for _, h := range a.Assign.ServerHosts {
+				avoid[f.Grid.RouterOf(h)] = true
+			}
+			asg, err = f.Sch.PlaceAvoiding(a.Opspec, avoid)
+		}
+		if err != nil {
+			rec.Err = err
+			a.Migrations = append(a.Migrations, rec)
+			return err
+		}
+		newAssign = asg
 	}
 	rec.ToManager = newAssign.ManagerHost
 	a.Migrations = append(a.Migrations, rec)
 	a.migrating = true
-	a.pending = newAssign
+	a.pending = f.Sch.Stage(newAssign)
+	f.inFlight++
+	if f.inFlight > f.peakInFlight {
+		f.peakInFlight = f.inFlight
+	}
 	a.Sys.PauseClients()
 	f.pollDrain(a, now)
 	return nil
@@ -259,7 +410,7 @@ func (f *Fleet) pollDrain(a *App, decidedAt float64) {
 	var poll func()
 	poll = func() {
 		if f.stopped || !a.Live() || !a.migrating {
-			return // aborted: Retire or Stop released the pending assignment
+			return // aborted: Retire or Stop released the staged reservation
 		}
 		now := f.K.Now()
 		drained := a.obs.Outstanding() == 0
@@ -290,9 +441,10 @@ func (f *Fleet) cutover(a *App, drained bool) {
 		a.health.sub = nil
 	}
 
-	// Swap placements and re-point the processes.
+	// Swap placements and re-point the processes. Committing the
+	// reservation transfers slot ownership to the live assignment.
 	f.Sch.Release(a.Assign)
-	a.Assign = a.pending
+	a.Assign = a.pending.Commit()
 	a.pending = nil
 	if err := a.Sys.Rehost(a.Assign.QueueHost, a.Assign.ServerHosts, a.Assign.ClientHosts); err != nil {
 		panic("fleet: rehost after placement: " + err.Error()) // placement covers every process
@@ -314,6 +466,7 @@ func (f *Fleet) cutover(a *App, drained bool) {
 	}
 	a.Sys.ResumeClients()
 	a.migrating = false
+	f.inFlight--
 
 	rec := &a.Migrations[len(a.Migrations)-1]
 	rec.CompletedAt = now

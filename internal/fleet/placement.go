@@ -6,6 +6,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 
 	"archadapt/internal/netsim"
 	"archadapt/internal/operators"
@@ -133,6 +134,64 @@ func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]b
 	allowed := func(h netsim.NodeID) bool {
 		return len(avoid) == 0 || !avoid[s.Grid.RouterOf(h)]
 	}
+	return s.placeWhere(spec, allowed, nil, func(need, free int) error {
+		if len(avoid) > 0 {
+			return fmt.Errorf("fleet: no healthy capacity: need %d slots, %d free outside %d avoided routers",
+				need, free, len(avoid))
+		}
+		return fmt.Errorf("fleet: grid full: need %d slots, %d free", need, free)
+	})
+}
+
+// RegionRank is a measured health score per region (indexed by
+// Grid.RouterIndex), higher = healthier. The fleet's region-health index
+// produces one from Remos measurements and fleet-wide report statistics;
+// PlaceRanked consumes it. A score of -Inf excludes the region outright —
+// the migration controller uses that to rule out every region measurably
+// worse than the one the application is fleeing. A nil rank disables ranked
+// targeting (callers fall back to the avoid-set path).
+type RegionRank []float64
+
+// rankWeight scales a region's health score ([-1, 1] from the health
+// index) so it dominates every per-host preference (bandwidth ~10, router
+// spread 1e3, self-colocation 1e6): ranked placement commits to the
+// measurably best region first and only then optimizes within it.
+const rankWeight = 1e9
+
+// PlaceRanked places like Place but steers every process toward the
+// highest-ranked regions: a host's score is dominated by its region's rank,
+// with the usual bandwidth/spread/colocation preferences breaking ties
+// inside equally-ranked regions. Hosts in regions ranked -Inf (or beyond
+// the rank's length) are excluded entirely, and the capacity pre-check
+// counts only admissible hosts. An empty rank is exactly Place.
+func (s *Scheduler) PlaceRanked(spec operators.Spec, rank RegionRank) (*Assignment, error) {
+	if len(rank) == 0 {
+		return s.Place(spec)
+	}
+	admissible := func(h netsim.NodeID) bool {
+		r := s.Grid.RouterIndex(h)
+		return r >= 0 && r < len(rank) && !math.IsInf(rank[r], -1)
+	}
+	bias := func(h netsim.NodeID) float64 {
+		// Hosts in regions beyond the rank are inadmissible, but pick
+		// evaluates the score before the admissibility filter — guard the
+		// index rather than panic on a short rank.
+		if r := s.Grid.RouterIndex(h); r >= 0 && r < len(rank) {
+			return rank[r] * rankWeight
+		}
+		return 0
+	}
+	return s.placeWhere(spec, admissible, bias, func(need, free int) error {
+		return fmt.Errorf("fleet: no ranked capacity: need %d slots, %d free in admissible regions", need, free)
+	})
+}
+
+// placeWhere is the placement core shared by Place, PlaceAvoiding and
+// PlaceRanked: allowed filters hosts, bias (nil = none) is added to every
+// pick score, and capacityErr renders the caller-specific pre-check
+// failure. With a nil bias the arithmetic is identical to the pre-ranking
+// scheduler, which the migration equivalence tests rely on.
+func (s *Scheduler) placeWhere(spec operators.Spec, allowed func(netsim.NodeID) bool, bias func(netsim.NodeID) float64, capacityErr func(need, free int) error) (*Assignment, error) {
 	need := 2
 	for _, g := range spec.Groups {
 		need += len(g.Servers)
@@ -145,11 +204,7 @@ func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]b
 		}
 	}
 	if free < need {
-		if len(avoid) > 0 {
-			return nil, fmt.Errorf("fleet: no healthy capacity: need %d slots, %d free outside %d avoided routers",
-				need, free, len(avoid))
-		}
-		return nil, fmt.Errorf("fleet: grid full: need %d slots, %d free", need, free)
+		return nil, capacityErr(need, free)
 	}
 
 	a := &Assignment{
@@ -171,14 +226,24 @@ func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]b
 
 	// Queue and manager: least-loaded hosts, avoiding double-stacking the
 	// app's own infrastructure where possible.
-	qh, ok := s.pick(func(h netsim.NodeID) (bool, float64) { return allowed(h), 0 })
+	qh, ok := s.pick(func(h netsim.NodeID) (bool, float64) {
+		score := 0.0
+		if bias != nil {
+			score = bias(h)
+		}
+		return allowed(h), score
+	})
 	if !ok {
 		return nil, fmt.Errorf("fleet: no host for request queue")
 	}
 	a.QueueHost = qh
 	take(qh)
 	mh, ok := s.pick(func(h netsim.NodeID) (bool, float64) {
-		return allowed(h), -float64(taken[h])
+		score := -float64(taken[h])
+		if bias != nil {
+			score += bias(h)
+		}
+		return allowed(h), score
 	})
 	if !ok {
 		release()
@@ -201,6 +266,9 @@ func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]b
 				}
 				if taken[h] > 0 {
 					score -= 1e6 // never co-locate with our own processes if avoidable
+				}
+				if bias != nil {
+					score += bias(h)
 				}
 				return allowed(h), score
 			})
@@ -226,6 +294,9 @@ func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]b
 			if taken[h] > 0 {
 				score -= 1e6
 			}
+			if bias != nil {
+				score += bias(h)
+			}
 			return allowed(h), score
 		})
 		if !ok {
@@ -236,6 +307,53 @@ func (s *Scheduler) PlaceAvoiding(spec operators.Spec, avoid map[netsim.NodeID]b
 		take(h)
 	}
 	return a, nil
+}
+
+// Reservation stages a committed assignment for a migration in flight. The
+// slots were taken from the scheduler the moment the assignment was placed
+// — a later placement can never hand the same last slots to a second drain;
+// that commit-at-decision is what serializes concurrent migrations
+// competing for the same spare capacity. The reservation then has exactly
+// two exits: Commit hands the slots to the cutover, Release returns them to
+// the pool (retirement mid-drain, placement abandoned). Release is
+// idempotent and a no-op after Commit, so every abort path can call it
+// unconditionally; Scheduler.FreeSlots round-trips exactly either way.
+type Reservation struct {
+	sch       *Scheduler
+	assign    *Assignment
+	released  bool
+	committed bool
+}
+
+// Stage wraps an assignment whose slots this scheduler already committed
+// (Place/PlaceAvoiding/PlaceRanked) into a staged reservation.
+func (s *Scheduler) Stage(a *Assignment) *Reservation {
+	return &Reservation{sch: s, assign: a}
+}
+
+// Assignment returns the staged target without transferring ownership.
+func (r *Reservation) Assignment() *Assignment { return r.assign }
+
+// Release returns the staged slots to the scheduler. Idempotent; no-op
+// after Commit (the slots then belong to the live assignment).
+func (r *Reservation) Release() {
+	if r == nil || r.released || r.committed {
+		return
+	}
+	r.released = true
+	r.sch.Release(r.assign)
+}
+
+// Commit finalizes the reservation and hands the assignment to the caller,
+// which now owns the slots (they are freed later by Scheduler.Release at
+// retirement or the next migration). Committing a released reservation is
+// a bug — the slots may already be someone else's.
+func (r *Reservation) Commit() *Assignment {
+	if r.released {
+		panic("fleet: committing a released reservation")
+	}
+	r.committed = true
+	return r.assign
 }
 
 // Release returns an assignment's slots to the pool (application

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"archadapt/internal/netsim"
@@ -230,5 +232,52 @@ func TestPlaceClientsAvoidServerRouters(t *testing.T) {
 		if serverRouters[g.RouterOf(h)] {
 			t.Errorf("client %s placed on a server router despite free routers", cli)
 		}
+	}
+}
+
+// TestPlaceRankedPrefersHealthyRegions: with a rank that scores one region
+// far above the rest, every process lands in (or as near as capacity
+// allows to) the top-ranked regions, and -Inf regions are never used.
+func TestPlaceRankedPrefersHealthyRegions(t *testing.T) {
+	g := testGrid(6, 4)
+	s := NewScheduler(g, 1, nil)
+	rank := make(RegionRank, 6)
+	for r := range rank {
+		rank[r] = math.Inf(-1)
+	}
+	rank[3], rank[4] = 1.0, 0.9 // only regions 3 and 4 admissible, 3 best
+	a, err := s.PlaceRanked(testSpec(), rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.hosts(func(h netsim.NodeID) {
+		if r := g.RouterIndex(h); r != 3 && r != 4 {
+			t.Errorf("process placed in excluded region %d", r)
+		}
+	})
+	// The 8-slot spec exactly fills both admissible regions; a second app
+	// must fail the capacity pre-check rather than spill into -Inf regions.
+	if _, err := s.PlaceRanked(testSpec(), rank); err == nil {
+		t.Fatal("PlaceRanked spilled into excluded regions")
+	}
+	if free := s.FreeSlots(); free != 4*4 {
+		t.Errorf("failed ranked placement leaked slots: %d free, want 16", free)
+	}
+}
+
+// TestPlaceRankedDeterministic: equal scheduler state and rank produce
+// byte-identical assignments.
+func TestPlaceRankedDeterministic(t *testing.T) {
+	rank := RegionRank{0.2, 0.9, 0.9, 0.1, math.Inf(-1), 0.5}
+	place := func() *Assignment {
+		s := NewScheduler(testGrid(6, 3), 1, nil)
+		a, err := s.PlaceRanked(testSpec(), rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	if a, b := place(), place(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("ranked placement not deterministic:\n%+v\nvs\n%+v", a, b)
 	}
 }

@@ -77,8 +77,9 @@ type Grid struct {
 	// Backbone lists the chain links followed by the chords.
 	Backbone []LinkID
 
-	routerOf map[NodeID]NodeID
-	access   map[NodeID]LinkID
+	routerOf  map[NodeID]NodeID
+	routerIdx map[NodeID]int
+	access    map[NodeID]LinkID
 }
 
 // GenerateGrid builds a grid topology on a fresh network bound to k.
@@ -87,10 +88,11 @@ type Grid struct {
 func GenerateGrid(k *sim.Kernel, spec GridSpec) *Grid {
 	spec = spec.withDefaults()
 	g := &Grid{
-		Net:      New(k),
-		Spec:     spec,
-		routerOf: map[NodeID]NodeID{},
-		access:   map[NodeID]LinkID{},
+		Net:       New(k),
+		Spec:      spec,
+		routerOf:  map[NodeID]NodeID{},
+		routerIdx: map[NodeID]int{},
+		access:    map[NodeID]LinkID{},
 	}
 	for i := 0; i < spec.Routers; i++ {
 		g.Routers = append(g.Routers, g.Net.AddRouter(fmt.Sprintf("R%d", i+1)))
@@ -101,6 +103,7 @@ func GenerateGrid(k *sim.Kernel, spec GridSpec) *Grid {
 			h := g.Net.AddHost(fmt.Sprintf("R%dH%d", i+1, j+1))
 			g.access[h] = g.Net.Connect(h, r, spec.AccessBps, spec.PropDelay)
 			g.routerOf[h] = r
+			g.routerIdx[h] = i
 			hosts = append(hosts, h)
 			g.Hosts = append(g.Hosts, h)
 		}
@@ -133,6 +136,17 @@ func GenerateGrid(k *sim.Kernel, spec GridSpec) *Grid {
 
 // RouterOf returns the router a host hangs off.
 func (g *Grid) RouterOf(h NodeID) NodeID { return g.routerOf[h] }
+
+// RouterIndex returns the 0-based region index of a host's router (the
+// index into Routers and HostsByRouter), or -1 for a node that is not a
+// grid host. Region-indexed structures (the fleet's region-health index)
+// key off it.
+func (g *Grid) RouterIndex(h NodeID) int {
+	if i, ok := g.routerIdx[h]; ok {
+		return i
+	}
+	return -1
+}
 
 // AccessLink returns a host's access link (for targeted contention).
 func (g *Grid) AccessLink(h NodeID) LinkID { return g.access[h] }

@@ -77,3 +77,21 @@ func TestGenerateGridDefaults(t *testing.T) {
 		}
 	}
 }
+
+func TestRouterIndex(t *testing.T) {
+	g := GenerateGrid(sim.NewKernel(), GridSpec{Routers: 4, HostsPerRouter: 3, Seed: 1})
+	for r, hosts := range g.HostsByRouter {
+		for _, h := range hosts {
+			if got := g.RouterIndex(h); got != r {
+				t.Errorf("RouterIndex(%v) = %d, want %d", h, got, r)
+			}
+			if g.Routers[g.RouterIndex(h)] != g.RouterOf(h) {
+				t.Errorf("RouterIndex and RouterOf disagree for host %v", h)
+			}
+		}
+	}
+	// Routers themselves are not hosts.
+	if got := g.RouterIndex(g.Routers[0]); got != -1 {
+		t.Errorf("RouterIndex(router) = %d, want -1", got)
+	}
+}

@@ -9,6 +9,8 @@
 package remos
 
 import (
+	"math"
+
 	"archadapt/internal/netsim"
 	"archadapt/internal/sim"
 )
@@ -179,6 +181,38 @@ func (s *Service) startCollection(key pairKey, src, dst netsim.NodeID) {
 		for _, w := range waiters {
 			w(bw)
 		}
+	})
+}
+
+// GetFlowBatch resolves the predicted available bandwidth for len(srcs)
+// (src, dst) pairs in one query/response exchange: one query message
+// caller→collector, one WarmDelay for the whole batch, one response message
+// back (sized per pair), then cb(out). The pairs need not involve the
+// caller — like GetFlow, the collector answers about arbitrary host pairs.
+//
+// Warm pairs are measured; cold pairs report NaN and kick off a background
+// collection so later batches see them warm — a batch issued on a periodic
+// control tick must never block the several minutes a cold collection takes.
+// out must have length len(srcs) and is passed through to cb, so a periodic
+// caller can reuse one buffer across batches.
+func (s *Service) GetFlowBatch(caller netsim.NodeID, srcs, dsts []netsim.NodeID, out []float64, cb func(bws []float64)) {
+	if len(srcs) != len(dsts) || len(out) != len(srcs) {
+		panic("remos: GetFlowBatch srcs/dsts/out length mismatch")
+	}
+	s.Net.SendMessage(caller, s.Host, s.QueryBits, s.Priority, func() {
+		s.queries++
+		s.K.AfterAnon(s.WarmDelay, func() {
+			for i := range srcs {
+				if s.warm[pairKey{srcs[i], dsts[i]}] {
+					out[i] = s.measure(srcs[i], dsts[i])
+				} else {
+					out[i] = math.NaN()
+					s.Prequery(srcs[i], dsts[i])
+				}
+			}
+			bits := s.QueryBits + 64*float64(len(srcs))
+			s.Net.SendMessage(s.Host, caller, bits, s.Priority, func() { cb(out) })
+		})
 	})
 }
 

@@ -150,3 +150,57 @@ func TestQueryDelayGrowsUnderCongestion(t *testing.T) {
 		t.Fatalf("congested query %v vs idle %v", d2, d1)
 	}
 }
+
+// TestGetFlowBatchMixedWarmCold: a batch answers warm pairs with live
+// measurements, reports NaN for cold pairs, and starts their collections so
+// the next batch sees them warm — all in one query/response exchange.
+func TestGetFlowBatchMixedWarmCold(t *testing.T) {
+	k, n, s, a, b, _ := rig()
+	s.Prequery(a, b)
+	k.RunAll(0) // a→b warm; b→a still cold
+	srcs := []netsim.NodeID{a, b}
+	dsts := []netsim.NodeID{b, a}
+	out := make([]float64, 2)
+	queriesBefore := s.Queries()
+	var got []float64
+	s.GetFlowBatch(s.Host, srcs, dsts, out, func(bws []float64) { got = bws })
+	k.RunAll(0)
+	if got == nil {
+		t.Fatal("batch callback never fired")
+	}
+	if want := n.AvailBandwidth(a, b); got[0] != want {
+		t.Errorf("warm pair measured %v, want %v", got[0], want)
+	}
+	if !math.IsNaN(got[1]) {
+		t.Errorf("cold pair measured %v, want NaN", got[1])
+	}
+	if s.Queries() != queriesBefore+1 {
+		t.Errorf("batch counted as %d queries, want 1", s.Queries()-queriesBefore)
+	}
+	if !s.Warm(b, a) {
+		t.Error("cold pair's background collection never completed")
+	}
+	// The next batch sees the previously-cold pair warm.
+	var second []float64
+	s.GetFlowBatch(s.Host, srcs, dsts, out, func(bws []float64) { second = bws })
+	k.RunAll(0)
+	if math.IsNaN(second[1]) {
+		t.Error("pair still cold on the second batch")
+	}
+}
+
+// TestGetFlowBatchReusesBuffer: the caller's out buffer is handed back to
+// the callback, so periodic callers can reuse one slice with no per-batch
+// allocation of results.
+func TestGetFlowBatchReusesBuffer(t *testing.T) {
+	k, _, s, a, b, _ := rig()
+	s.Prequery(a, b)
+	k.RunAll(0)
+	out := make([]float64, 1)
+	s.GetFlowBatch(s.Host, []netsim.NodeID{a}, []netsim.NodeID{b}, out, func(bws []float64) {
+		if &bws[0] != &out[0] {
+			t.Error("callback did not receive the caller's buffer")
+		}
+	})
+	k.RunAll(0)
+}
