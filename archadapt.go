@@ -37,6 +37,7 @@ import (
 	"archadapt/internal/metrics"
 	"archadapt/internal/model"
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 	"archadapt/internal/operators"
 	"archadapt/internal/queueing"
 	"archadapt/internal/remos"
@@ -245,6 +246,37 @@ func CompareRuns(control, adaptive *ExperimentResults) string {
 
 // Series is a sampled time series.
 type Series = metrics.Series
+
+// Dist is an order-insensitive sample distribution (mean, min/max,
+// nearest-rank percentiles), the representation behind phase latencies.
+type Dist = metrics.Dist
+
+// --- observability plane ---
+
+// Tracer is the deterministic observability plane: causal control-loop
+// spans, phase-latency distributions and kernel event-rate counters, all
+// stamped in virtual time. Enable it fleet-wide with FleetConfig.Trace (or
+// FleetScenarioOptions.Trace) and read it back via Fleet.Tracer.
+type Tracer = obs.Tracer
+
+// TraceSpan is one causal span in a trace.
+type TraceSpan = obs.Span
+
+// TraceSpanID identifies a span; parents always have lower IDs.
+type TraceSpanID = obs.SpanID
+
+// TraceKind is a span's place in the control loop (probe.sample,
+// gauge.report, violation, repair, migrate.decide, ...).
+type TraceKind = obs.Kind
+
+// TracePhase is one adaptation phase (detect, decide, drain, recover).
+type TracePhase = obs.Phase
+
+// PhaseSet holds one latency distribution per adaptation phase.
+type PhaseSet = obs.PhaseSet
+
+// NewTracer creates a tracer reading the given clock (typically Kernel.Now).
+func NewTracer(clock func() float64) *Tracer { return obs.New(clock) }
 
 // ASCIIPlot renders series as a terminal plot.
 func ASCIIPlot(title string, series []*Series, width, height int, logScale bool, yMin, yMax float64) string {

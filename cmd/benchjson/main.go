@@ -188,6 +188,7 @@ func check(baselinePath string, tolerance float64) {
 		{"migration", base.FleetMigration, benchMigration},
 		{"ranked migration", base.FleetRankedMigration, benchRankedMigration},
 	}
+	var rankedFresh, rankedCommitted FleetRow
 	for _, fx := range fixtures {
 		var committed *FleetRow
 		for i := range fx.rows {
@@ -204,6 +205,9 @@ func check(baselinePath string, tolerance float64) {
 			fmt.Fprintf(os.Stderr, "benchjson: %s N=16: %v\n", fx.label, err)
 			os.Exit(1)
 		}
+		if fx.label == "ranked migration" {
+			rankedFresh, rankedCommitted = row, *committed
+		}
 		limit := committed.AllocsPerApp * (1 + tolerance)
 		fmt.Fprintf(os.Stderr, "check %s N=16: allocs/app %.0f (committed %.0f, limit %.0f), migrations/app %.4f (committed %.4f)\n",
 			fx.label, row.AllocsPerApp, committed.AllocsPerApp, limit, row.MigrationsPerApp, committed.MigrationsPerApp)
@@ -216,6 +220,40 @@ func check(baselinePath string, tolerance float64) {
 			failed = true
 		}
 	}
+	// Observability-plane gates against the ranked fixture:
+	//
+	//  1. trace-off overhead: with tracing disabled the plane must cost
+	//     nothing — the fresh trace-off run above is held to a much tighter
+	//     allocs/app tolerance than the general gate, because the committed
+	//     row predates the plane entirely. ms/app is reported for context but
+	//     not gated (machine-dependent).
+	//  2. traced behavior canary: a traced run of the same fixture must make
+	//     exactly the committed migration decisions — the tracer observes the
+	//     control loop, it never steers it.
+	const traceOffTolerance = 0.02
+	traceLimit := rankedCommitted.AllocsPerApp * (1 + traceOffTolerance)
+	fmt.Fprintf(os.Stderr, "check trace-off N=16: allocs/app %.0f (committed %.0f, limit %.0f), ms/app %.3f (committed %.3f)\n",
+		rankedFresh.AllocsPerApp, rankedCommitted.AllocsPerApp, traceLimit, rankedFresh.MsPerApp, rankedCommitted.MsPerApp)
+	if rankedFresh.AllocsPerApp > traceLimit {
+		fmt.Fprintf(os.Stderr, "benchjson: disabled tracing costs allocations (>%.0f%% over the pre-plane baseline) — the off path must stay free\n",
+			100*traceOffTolerance)
+		failed = true
+	}
+	traced, err := benchScenario(16, 1, func(i int) fleet.ScenarioOptions {
+		o := fleet.RankedMigrationBenchScenario(16, uint64(i+1))
+		o.Trace = true
+		return o
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: traced ranked migration N=16: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "check traced N=16: migrations/app %.4f (committed %.4f), allocs/app %.0f\n",
+		traced.MigrationsPerApp, rankedCommitted.MigrationsPerApp, traced.AllocsPerApp)
+	if traced.MigrationsPerApp != rankedCommitted.MigrationsPerApp {
+		fmt.Fprintln(os.Stderr, "benchjson: tracing changed migration behavior — the tracer must only observe")
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -226,7 +264,7 @@ func main() {
 	out := flag.String("out", "BENCH_fleet.json", "output file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "smoke mode: N=4 only, one iteration")
 	iters := flag.Int("iters", 3, "fleet scenario iterations per size point")
-	checkPath := flag.String("check", "", "compare fresh fleet N=32 and (ranked) migration N=16 runs against this committed baseline; exit non-zero if allocs/app regressed >20% or migrations/app drifted")
+	checkPath := flag.String("check", "", "compare fresh fleet N=32 and (ranked) migration N=16 runs against this committed baseline; exit non-zero if allocs/app regressed >20%, migrations/app drifted, disabled tracing costs >2% allocs, or tracing changes behavior")
 	flag.Parse()
 
 	if *checkPath != "" {

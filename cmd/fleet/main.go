@@ -11,6 +11,7 @@
 //	      [-crush-apps N] [-crush-all-groups]
 //	      [-backbone-crush S] [-region-fail S] [-region-fail-router N]
 //	      [-migration] [-ranked] [-max-concurrent N] [-caching] [-settle S]
+//	      [-trace FILE] [-trace-format chrome|jsonl] [-pprof CPU[,HEAP]]
 //	fleet -scenario NAME [-mode ...] [-seed N]
 //	fleet -list
 //
@@ -25,15 +26,47 @@
 // -migration, -ranked, -max-concurrent) override the entry's values —
 // e.g. `-scenario backbone-rescue -ranked=false` runs the avoid-set-only
 // control against the committed ranked entry.
+//
+// -trace FILE attaches the deterministic observability plane to the run
+// under test (the adaptive run; the migrating run with -mode migrate) and
+// exports its causal span timeline — chrome format loads directly into
+// chrome://tracing or Perfetto, jsonl is one span per line for scripting.
+// -pprof writes a CPU profile (and optionally a heap profile) of the whole
+// invocation for scripts/bench.sh -profile.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"archadapt"
 )
+
+// writeTrace exports tr to path in the requested format.
+func writeTrace(tr *archadapt.Tracer, path, format string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+	if format == "jsonl" {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s trace (%d spans) to %s\n", format, tr.Len(), path)
+}
 
 func main() {
 	apps := flag.Int("apps", 32, "number of applications to admit")
@@ -62,6 +95,9 @@ func main() {
 	settle := flag.Float64("settle", 0, "repair settle time in seconds")
 	scenario := flag.String("scenario", "", "run a named scenario from the catalog (see -list)")
 	list := flag.Bool("list", false, "print the scenario catalog and exit")
+	traceOut := flag.String("trace", "", "trace the run under test and write its timeline to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome | jsonl")
+	pprofOut := flag.String("pprof", "", "write a CPU profile to the first path (and a heap profile to an optional second, comma-separated)")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +111,40 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "fleet: unknown -mode %q (want control|adaptive|both|migrate)\n", *mode)
 		os.Exit(2)
+	}
+	switch *traceFormat {
+	case "chrome", "jsonl":
+	default:
+		fmt.Fprintf(os.Stderr, "fleet: unknown -trace-format %q (want chrome|jsonl)\n", *traceFormat)
+		os.Exit(2)
+	}
+	if *pprofOut != "" {
+		paths := strings.SplitN(*pprofOut, ",", 2)
+		cf, err := os.Create(paths[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			if len(paths) == 2 && paths[1] != "" {
+				hf, err := os.Create(paths[1])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(hf); err != nil {
+					fmt.Fprintf(os.Stderr, "fleet: heap profile: %v\n", err)
+				}
+				hf.Close()
+			}
+		}()
 	}
 
 	cfg := archadapt.DefaultConfig()
@@ -105,7 +175,8 @@ func main() {
 				base.Migration.Ranked = *ranked
 			case "max-concurrent":
 				base.Migration.MaxConcurrent = *maxConcurrent
-			case "mode", "scenario", "caching", "settle", "list":
+			case "mode", "scenario", "caching", "settle", "list",
+				"trace", "trace-format", "pprof":
 				// orthogonal to the entry's shape
 			default:
 				fmt.Fprintf(os.Stderr, "fleet: -%s has no effect together with -scenario (the entry's value is used)\n", f.Name)
@@ -149,10 +220,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fleet: -ranked/-max-concurrent have no effect while migration is disabled (add -migration, -mode migrate, or a migration-enabled scenario)\n")
 	}
 
-	run := func(kind string, adaptive, migrating bool) *archadapt.FleetScenarioResult {
+	run := func(kind string, adaptive, migrating, traced bool) *archadapt.FleetScenarioResult {
 		opts := base
 		opts.Adaptive = adaptive
 		opts.Migration.Enabled = migrating
+		opts.Trace = traced && *traceOut != ""
 		res, err := archadapt.RunFleetScenario(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fleet: %s run: %v\n", kind, err)
@@ -176,12 +248,15 @@ func main() {
 				}
 			}
 		}
+		if opts.Trace {
+			writeTrace(res.Fleet.Tracer(), *traceOut, *traceFormat)
+		}
 		return res
 	}
 
 	if *mode == "migrate" {
-		pinned := run("pinned", true, false)
-		migrating := run("migrating", true, true)
+		pinned := run("pinned", true, false, false)
+		migrating := run("migrating", true, true, true)
 		fmt.Println("=== pinned fleet (migration disabled) ===")
 		fmt.Print(pinned.Table())
 		fmt.Println("=== migrating fleet ===")
@@ -194,10 +269,10 @@ func main() {
 	migrating := base.Migration.Enabled
 	var control, adaptive *archadapt.FleetScenarioResult
 	if *mode == "control" || *mode == "both" {
-		control = run("control", false, migrating)
+		control = run("control", false, migrating, *mode == "control")
 	}
 	if *mode == "adaptive" || *mode == "both" {
-		adaptive = run("adaptive", true, migrating)
+		adaptive = run("adaptive", true, migrating, true)
 	}
 
 	if control != nil && (*mode == "control" || adaptive == nil) {

@@ -1,0 +1,182 @@
+// Command tracecheck structurally validates a Chrome trace_event JSON file
+// produced by `fleet -trace out.json -trace-format chrome`. It is the CI
+// gate behind the exporter: a trace that loads in a viewer can still be
+// causally broken (orphaned spans, decisions with no monitoring ancestry),
+// and nothing in chrome://tracing would complain.
+//
+// Checks:
+//
+//   - the file is a trace_event container ({"traceEvents":[...]}) with
+//     displayTimeUnit "ms", process/thread metadata, and at least one event;
+//   - every span event carries args.span/args.parent, parents reference
+//     emitted spans with lower IDs (causes precede effects in virtual time);
+//   - the control loop's layers are present: probe samples, gauge reports,
+//     model updates, violations and repair spans at minimum — plus the
+//     migration chain (verdict → migrate.decide → drain → cutover →
+//     recover) unless -require-migration=false, and region-health counters
+//     whenever a ranked decision was traced;
+//   - every migrate.decide span is causally rooted in the monitoring plane:
+//     walking args.parent reaches a probe.sample or gauge.report event;
+//   - counter tracks (kernel event rate) are non-empty.
+//
+// Usage:
+//
+//	tracecheck [-require-migration=false] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Args map[string]any `json:"args"`
+}
+
+type trace struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func main() {
+	requireMigration := flag.Bool("require-migration", true,
+		"require the migration decision chain and region-health counters")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-migration=false] trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	var tr trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		fail("%s is not trace_event JSON: %v", flag.Arg(0), err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		fail("displayTimeUnit is %q, want \"ms\"", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) == 0 {
+		fail("trace has no events")
+	}
+
+	// Index span events (those carrying args.span) and tally everything else.
+	spanNum := func(ev *event, key string) (uint64, bool) {
+		v, ok := ev.Args[key]
+		if !ok {
+			return 0, false
+		}
+		f, ok := v.(float64)
+		if !ok || f < 0 {
+			return 0, false
+		}
+		return uint64(f), true
+	}
+	catOf := map[uint64]string{}    // span ID → cat
+	parentOf := map[uint64]uint64{} // span ID → parent span ID
+	byCat := map[string]int{}
+	var procs, counters, flows int
+	for i := range tr.TraceEvents {
+		ev := &tr.TraceEvents[i]
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procs++
+			}
+			continue
+		case "C":
+			counters++
+			byCat[ev.Cat]++
+			continue
+		case "s", "f":
+			flows++
+			continue
+		case "X", "i":
+		default:
+			fail("event %d has unexpected phase %q", i, ev.Ph)
+		}
+		byCat[ev.Cat]++
+		id, ok := spanNum(ev, "span")
+		if !ok {
+			fail("%s event %d (%s) has no args.span", ev.Ph, i, ev.Name)
+		}
+		if _, dup := catOf[id]; dup {
+			fail("span %d emitted twice", id)
+		}
+		parent, ok := spanNum(ev, "parent")
+		if !ok {
+			fail("span %d (%s) has no args.parent", id, ev.Name)
+		}
+		if parent >= id && parent != 0 {
+			fail("span %d has parent %d: causes must precede effects", id, parent)
+		}
+		catOf[id] = ev.Cat
+		parentOf[id] = parent
+	}
+	for id, parent := range parentOf {
+		if parent != 0 {
+			if _, ok := catOf[parent]; !ok {
+				fail("span %d references unexported parent %d", id, parent)
+			}
+		}
+	}
+	if procs < 2 {
+		fail("want fleet + app process metadata, found %d process rows", procs)
+	}
+	if counters == 0 {
+		fail("no counter tracks (kernel event rate missing)")
+	}
+
+	required := []string{"probe.sample", "gauge.update", "gauge.report", "model.update", "violation"}
+	if *requireMigration {
+		required = append(required, "verdict", "migrate.decide", "drain", "cutover", "recover")
+	}
+	for _, cat := range required {
+		if byCat[cat] == 0 {
+			fail("no %s events in the trace", cat)
+		}
+	}
+	// Region-health counters exist exactly when ranked targeting ran; a
+	// ranked decision without the index it consulted is a broken trace.
+	ranked := 0
+	for i := range tr.TraceEvents {
+		if ev := &tr.TraceEvents[i]; ev.Cat == "migrate.decide" && ev.Name == "ranked" {
+			ranked++
+		}
+	}
+	if ranked > 0 && byCat["region.health"] == 0 {
+		fail("%d ranked migrate.decide events but no region.health counters", ranked)
+	}
+
+	// Causal root check: every migration decision must trace back to the
+	// monitoring plane.
+	for id, cat := range catOf {
+		if cat != "migrate.decide" {
+			continue
+		}
+		rooted := false
+		for p := parentOf[id]; p != 0; p = parentOf[p] {
+			if c := catOf[p]; c == "probe.sample" || c == "gauge.report" {
+				rooted = true
+				break
+			}
+		}
+		if !rooted {
+			fail("migrate.decide span %d has no probe/report ancestor", id)
+		}
+	}
+
+	fmt.Printf("tracecheck: ok — %d events, %d spans, %d flow arrows, %d counters, %d migrate.decide\n",
+		len(tr.TraceEvents), len(catOf), flows, counters, byCat["migrate.decide"])
+}

@@ -23,7 +23,10 @@
 package bus
 
 import (
+	"strings"
+
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 	"archadapt/internal/sim"
 )
 
@@ -46,6 +49,13 @@ type Message struct {
 	Prop   string
 	Group  string
 	V1, V2 float64
+
+	// Span is the message's own trace span, stamped by the bus at publish
+	// time when the observability plane is enabled; Parent is the causal
+	// predecessor the publisher pre-sets (e.g. a gauge parents its report on
+	// the probe sample it last folded). Both stay zero — and cost nothing —
+	// when tracing is off.
+	Span, Parent obs.SpanID
 }
 
 // Str reads a string field by its wire name (see the slot table above).
@@ -113,6 +123,10 @@ type Bus struct {
 	// Priority applies to all bus traffic; BestEffort reproduces the
 	// paper's monitoring lag, Prioritized is the QoS ablation.
 	Priority netsim.Priority
+	// Tracer, when non-nil, records a span per published message — the
+	// observability plane's monitoring-level hook. Publish paths pay one nil
+	// check when it is off.
+	Tracer *obs.Tracer
 
 	def      *Shard
 	free     []*Shard
@@ -133,6 +147,10 @@ func New(k *sim.Kernel, net *netsim.Network) *Bus {
 type Shard struct {
 	b    *Bus
 	subs []*Subscription
+
+	// Label names the tenant (the application) for trace spans published on
+	// this shard. Set by the fleet at admission, cleared at Release.
+	Label string
 
 	published uint64
 	delivered uint64
@@ -167,6 +185,7 @@ func (sh *Shard) Release() {
 		return
 	}
 	sh.closed = true
+	sh.Label = ""
 	sh.b.tenants--
 	for _, s := range sh.subs {
 		sh.b.recycleSub(s)
@@ -208,6 +227,34 @@ func (sh *Shard) SetDrop(rate float64, rng *sim.Rand) {
 
 // Subscribers returns the number of live subscriptions on the shard.
 func (sh *Shard) Subscribers() int { return len(sh.subs) }
+
+// Tracer returns the owning bus's tracer (nil when the observability plane
+// is off) so gauges can parent their reports on probe-sample spans.
+func (sh *Shard) Tracer() *obs.Tracer { return sh.b.Tracer }
+
+// traceKind maps a bus topic to its span kind without importing the topic
+// owners (probes, gauges import this package).
+func traceKind(topic string) obs.Kind {
+	switch {
+	case strings.HasPrefix(topic, "probe."):
+		return obs.KindProbeSample
+	case topic == "gauge.report":
+		return obs.KindGaugeReport
+	}
+	return obs.KindMessage
+}
+
+// traceMsg stamps the message's own span: kind from the topic, parent from
+// the publisher's pre-set Parent, scope from the shard label. The subject is
+// the message's Name (client, server, gauge) or its Group for group-keyed
+// probe samples.
+func (sh *Shard) traceMsg(msg *Message) {
+	name := msg.Name
+	if name == "" {
+		name = msg.Group
+	}
+	msg.Span = sh.b.Tracer.Instant(traceKind(msg.Topic), msg.Parent, sh.Label, name, msg.V1, msg.V2)
+}
 
 // Subscribe registers a handler running on host for messages matching f.
 func (sh *Shard) Subscribe(host netsim.NodeID, f Filter, handler func(Message)) *Subscription {
@@ -293,6 +340,9 @@ func (b *Bus) recycleSub(s *Subscription) {
 // steady state allocates nothing.
 func (sh *Shard) Publish(msg Message) {
 	msg.Time = sh.b.K.Now()
+	if sh.b.Tracer != nil {
+		sh.traceMsg(&msg)
+	}
 	sh.dispatch(msg)
 }
 
@@ -317,6 +367,9 @@ func (sh *Shard) PublishBatch(msgs []Message) {
 	nmemo := 0
 	for _, msg := range msgs {
 		msg.Time = now
+		if b.Tracer != nil {
+			sh.traceMsg(&msg)
+		}
 		sh.published++
 		for _, s := range sh.subs {
 			if s.dead || !s.filter(msg) {

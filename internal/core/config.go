@@ -6,7 +6,10 @@
 // churn that dominated the paper's measured 30-second repairs.
 package core
 
-import "archadapt/internal/netsim"
+import (
+	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
+)
 
 // Config tunes the architecture manager. Zero value fields fall back to the
 // defaults in Defaults(), which mirror the paper's deployment.
@@ -54,6 +57,13 @@ type Config struct {
 	// servers to a minimum" (§1). Registers the utilizationFloor invariant
 	// and binds the shrink strategy.
 	ScaleDown bool
+
+	// Tracer, when non-nil, attaches the manager to the observability plane:
+	// the control loop emits causally-linked spans (model update → violation
+	// → repair decision → repair/drain → recovery) and phase-latency samples
+	// onto it. Nil (the default) disables tracing with zero overhead and
+	// byte-identical behavior — the tracer only observes, never steers.
+	Tracer *obs.Tracer
 
 	// SettleTime suppresses repeat repairs on one subject while the last
 	// repair's effect lands (§5.3). Zero disables.

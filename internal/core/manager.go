@@ -11,6 +11,7 @@ import (
 	"archadapt/internal/gauges"
 	"archadapt/internal/model"
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 	"archadapt/internal/operators"
 	"archadapt/internal/probes"
 	"archadapt/internal/remos"
@@ -69,6 +70,12 @@ type Manager struct {
 	stopCheck   func()
 	probeDetach []func()
 	reportSub   *bus.Subscription
+
+	// tr/trApp/trState attach the control loop to the observability plane;
+	// all nil/zero (and every hook a single nil check) when tracing is off.
+	tr      *obs.Tracer
+	trApp   string
+	trState *traceState
 
 	busy        bool
 	spans       []RepairSpan
@@ -139,6 +146,10 @@ func NewAttached(cfg Config, k *sim.Kernel, net *netsim.Network, a *app.System, 
 	m.Engine.DampFactor = cfg.DampFactor
 	m.Engine.AlertFn = func(v constraint.Violation, reason string) {
 		m.alerts = append(m.alerts, Alert{Time: k.Now(), Subject: subjectName(v), Reason: reason})
+		if m.tr != nil {
+			m.tr.Instant(obs.KindAlert, m.trState.violSpan[subjectName(v)], m.trApp,
+				subjectName(v)+": "+reason, 0, 0)
+		}
 	}
 	if cfg.ScriptedRepairs {
 		strat, err := operators.CompileFixLatency(m.FindGoodSGrp)
@@ -159,6 +170,9 @@ func NewAttached(cfg Config, k *sim.Kernel, net *netsim.Network, a *app.System, 
 		m.Registry.Add(constraint.MustInvariant(operators.InvUtilization, operators.TServerGroup,
 			"load >= minServerLoad or replicationCount <= minReplicas"))
 		m.Engine.Bind(operators.InvUtilization, operators.ShrinkStrategy())
+	}
+	if cfg.Tracer != nil {
+		m.traceInit(m.GaugeMgr.App())
 	}
 	return m
 }
@@ -337,10 +351,16 @@ func (m *Manager) consumeReport(msg bus.Message) {
 	case "client":
 		if c := m.Model.Component(target); c != nil {
 			c.Props().Set(prop, value)
+			if m.tr != nil {
+				m.traceModelUpdate(msg, c.Name())
+			}
 		}
 	case "group":
 		if g := m.Model.Component(target); g != nil {
 			g.Props().Set(prop, value)
+			if m.tr != nil {
+				m.traceModelUpdate(msg, g.Name())
+			}
 		}
 	case "clientRole":
 		cli := m.Model.Component(target)
@@ -352,6 +372,11 @@ func (m *Manager) consumeReport(msg bus.Message) {
 			return
 		}
 		role.Props().Set(prop, value)
+		if m.tr != nil {
+			// Bandwidth violations subject the client's *role* element, so the
+			// update is remembered under the role's name to match.
+			m.traceModelUpdate(msg, role.Name())
+		}
 	}
 }
 
@@ -364,6 +389,9 @@ func (m *Manager) check(now float64) {
 	}
 	vs := m.Registry.CheckAll(m.Model)
 	m.violationsN += uint64(len(vs))
+	if m.tr != nil {
+		m.traceCheck(vs, now)
+	}
 	if len(vs) == 0 || m.Cfg.DisableRepairs {
 		return
 	}
@@ -383,12 +411,19 @@ func (m *Manager) check(now float64) {
 			Tactics:  rec.Applied,
 			Ops:      rec.Ops,
 		}
+		var repairSpan obs.SpanID
+		if m.tr != nil {
+			repairSpan = m.traceRepairBegin(rec, now)
+		}
 		rec := rec
 		m.churnGauges(rec.Ops, func() {
 			span.End = m.K.Now()
 			rec.Duration = span.Duration()
 			m.spans = append(m.spans, span)
 			m.busy = false
+			if m.tr != nil {
+				m.traceRepairDone(rec, repairSpan, span.Start)
+			}
 		})
 		break
 	}

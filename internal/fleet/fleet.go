@@ -53,6 +53,7 @@ import (
 	"archadapt/internal/metrics"
 	"archadapt/internal/model"
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 	"archadapt/internal/operators"
 	"archadapt/internal/remos"
 	"archadapt/internal/repair"
@@ -80,6 +81,14 @@ type Config struct {
 	// (migration.go). The zero value disables it; enabling it requires the
 	// fleet-shared monitoring plane (not PerAppMonitoring).
 	Migration MigrationPolicy
+	// Trace attaches the whole control loop — kernel, monitoring plane,
+	// per-app managers, migration controller, region health — to one
+	// deterministic observability tracer (internal/obs). Off (the default)
+	// no tracer exists and runs are byte-identical to a build without the
+	// plane; on, Fleet.Tracer() exposes the collected spans, phase latencies
+	// and kernel event-rate counters. Requires the fleet-shared monitoring
+	// plane (not PerAppMonitoring).
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +229,10 @@ type App struct {
 	// plane (nil under PerAppMonitoring); released back to the bus pools at
 	// retirement.
 	probe, report *bus.Shard
+	// traceDrain is the open drain span of an in-progress migration (zero
+	// when tracing is off or no drain is running); closed at cutover or when
+	// the drain is aborted by retirement or fleet stop.
+	traceDrain obs.SpanID
 }
 
 // Live reports whether the application is still running.
@@ -261,6 +274,9 @@ type Fleet struct {
 	backboneCrushed []netsim.LinkID
 	regionCrushed   map[int][]netsim.LinkID
 
+	// tracer is the fleet's observability plane (nil unless Config.Trace).
+	tracer *obs.Tracer
+
 	// rh is the region health index (nil unless Migration.Ranked);
 	// inFlight/peakInFlight count concurrently draining migrations;
 	// migrCands is the decision tick's candidate scratch.
@@ -289,6 +305,9 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 	if cfg.Migration.Enabled && cfg.PerAppMonitoring {
 		return nil, fmt.Errorf("fleet: migration requires the fleet-shared monitoring plane (disable PerAppMonitoring)")
 	}
+	if cfg.Trace && cfg.PerAppMonitoring {
+		return nil, fmt.Errorf("fleet: tracing requires the fleet-shared monitoring plane (disable PerAppMonitoring)")
+	}
 	f := &Fleet{
 		K: k, Grid: grid, Net: grid.Net, Cfg: cfg,
 		rng:           sim.NewRand(seed),
@@ -312,6 +331,18 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 		f.Gauges.Caching = cfg.Manager.GaugeCaching
 		f.Gauges.Priority = cfg.Manager.MonitoringPriority
 	}
+	if cfg.Trace {
+		// One tracer spans the whole plane: the buses stamp probe samples and
+		// gauge reports, each admitted manager chains model updates through
+		// repairs (core.Config.Tracer rides f.Cfg.Manager into Admit), the
+		// kernel hook feeds the event-rate counter, and the migration
+		// controller adds the fleet-level spans.
+		f.tracer = obs.New(k.Now)
+		f.ProbeBus.Tracer = f.tracer
+		f.ReportBus.Tracer = f.tracer
+		f.Cfg.Manager.Tracer = f.tracer
+		k.FireHook = f.tracer.KernelEvent
+	}
 	f.Sch.Predict = func(src, dst netsim.NodeID) float64 {
 		if bw, ok := f.Rm.Predict(src, dst); ok {
 			return bw
@@ -334,6 +365,10 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 // RegionHealth returns the measured region health index, or nil unless
 // ranked migration targeting (Config.Migration.Ranked) is enabled.
 func (f *Fleet) RegionHealth() *RegionHealth { return f.rh }
+
+// Tracer returns the fleet's observability plane, or nil unless Config.Trace
+// is enabled.
+func (f *Fleet) Tracer() *obs.Tracer { return f.tracer }
 
 // MigrationsInFlight returns how many migrations are currently draining.
 func (f *Fleet) MigrationsInFlight() int { return f.inFlight }
@@ -435,6 +470,9 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 		}
 		a.probe = f.ProbeBus.Acquire()
 		a.report = f.ReportBus.Acquire()
+		// The shard label names this tenant in every span the bus stamps.
+		a.probe.Label = spec.Name
+		a.report.Label = spec.Name
 		a.Mgr = core.NewAttached(cfg, f.K, f.Net, sys, mdl, assign.ManagerHost, f.Rm,
 			core.Plane{Probe: a.probe, Report: a.report, Gauges: lease})
 	}
@@ -478,6 +516,8 @@ func (f *Fleet) Retire(name string) error {
 		a.pending = nil
 		a.migrating = false
 		f.inFlight--
+		f.tracer.EndSpan(a.traceDrain)
+		a.traceDrain = 0
 	}
 	if f.Cfg.PerAppMonitoring {
 		a.Mgr.Stop()
@@ -522,6 +562,8 @@ func (f *Fleet) Stop() {
 				a.pending = nil
 				a.migrating = false
 				f.inFlight--
+				f.tracer.EndSpan(a.traceDrain)
+				a.traceDrain = 0
 			}
 			a.Mgr.Stop()
 			a.Sys.StopClients()
@@ -600,6 +642,12 @@ type AppSummary struct {
 
 	// Migrations counts completed fleet-level re-placements of this app.
 	Migrations int
+
+	// Phases holds the app's adaptation phase-latency distributions
+	// (detect/decide/drain/recover), collected by the observability plane.
+	// Nil when the fleet ran untraced; non-nil (possibly empty) on every
+	// summary of a traced run.
+	Phases *obs.PhaseSet
 }
 
 // Summarize aggregates one application.
@@ -654,11 +702,19 @@ func (a *App) Summarize() AppSummary {
 	return s
 }
 
-// Summaries aggregates every admitted application, in admission order.
+// Summaries aggregates every admitted application, in admission order. On a
+// traced fleet each summary additionally carries the app's phase-latency
+// distributions.
 func (f *Fleet) Summaries() []AppSummary {
 	var out []AppSummary
 	for _, name := range f.order {
-		out = append(out, f.apps[name].Summarize())
+		s := f.apps[name].Summarize()
+		if f.tracer != nil {
+			if s.Phases = f.tracer.PhasesFor(name); s.Phases == nil {
+				s.Phases = &obs.PhaseSet{}
+			}
+		}
+		out = append(out, s)
 	}
 	return out
 }
@@ -717,6 +773,54 @@ func Table(sums []AppSummary) string {
 	fmt.Fprintf(&b, "fleet: apps=%d live=%d retired=%d responses=%d dropped=%d repairs=%d moves=%d alerts=%d migrations=%d worst>bound=%.1f%%\n",
 		t.Apps, t.Live, t.Retired, t.Responses, t.Dropped, t.Repairs, t.Moves, t.Alerts,
 		t.Migrations, 100*t.WorstFracAboveBound)
+	b.WriteString(phaseBlock(sums))
+	return b.String()
+}
+
+// phaseDists formats one PhaseSet as per-phase p50/p95/p99 columns.
+func phaseDists(b *strings.Builder, ps *obs.PhaseSet) {
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		d := ps.Dist(p)
+		if d.N() == 0 {
+			fmt.Fprintf(b, " %18s", "-")
+			continue
+		}
+		fmt.Fprintf(b, " %18s", fmt.Sprintf("%.1f/%.1f/%.1f", d.Percentile(50), d.Percentile(95), d.Percentile(99)))
+	}
+	b.WriteByte('\n')
+}
+
+// phaseBlock renders the phase-latency table for traced summaries: one row
+// per app plus a fleet-wide merge. Empty when the run was untraced (no
+// summary carries phases).
+func phaseBlock(sums []AppSummary) string {
+	any := false
+	for _, s := range sums {
+		if s.Phases != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase latency p50/p95/p99 (s): %-8s", "app")
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		fmt.Fprintf(&b, " %18s", p.String())
+	}
+	b.WriteByte('\n')
+	all := &obs.PhaseSet{}
+	for _, s := range sums {
+		if s.Phases == nil {
+			continue
+		}
+		all.Merge(s.Phases)
+		fmt.Fprintf(&b, "%30s %-8s", "", s.Name)
+		phaseDists(&b, s.Phases)
+	}
+	fmt.Fprintf(&b, "%30s %-8s", "", "fleet")
+	phaseDists(&b, all)
 	return b.String()
 }
 
@@ -761,5 +865,7 @@ func CompareTable(control, adaptive []AppSummary) string {
 			c.PeakLatency, a.PeakLatency, c.Responses, a.Responses,
 			a.Repairs, a.Moves, a.Migrations)
 	}
+	// Phase latencies describe the run under test (B).
+	b.WriteString(phaseBlock(adaptive))
 	return b.String()
 }

@@ -33,6 +33,7 @@ import (
 	"archadapt/internal/core"
 	"archadapt/internal/gauges"
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 )
 
 // MigrationPolicy tunes the fleet-level migration controller. The zero value
@@ -200,6 +201,18 @@ type appHealth struct {
 	bwReports, bwBelow  int
 	streak              int
 	lastMigrated        float64
+
+	// Observability-plane state (all zero when tracing is off):
+	// lastViolSpan is the bus span of the newest violating report, the causal
+	// parent of the next unhealthy verdict; streakStart anchors the fleet's
+	// decide-phase latency; recoverSpan/recoverAt watch a completed
+	// migration's recovery, resolved at the first healthy verdict that saw
+	// reports.
+	lastViolSpan obs.SpanID
+	lastVerdict  obs.SpanID
+	streakStart  float64
+	recoverSpan  obs.SpanID
+	recoverAt    float64
 }
 
 // attachHealth subscribes the fleet to an application's gauge reports at the
@@ -219,11 +232,13 @@ func (f *Fleet) attachHealth(a *App) {
 			h.latReports++
 			if msg.V1 > maxLat {
 				h.latViol++
+				h.lastViolSpan = msg.Span // zero (free) when tracing is off
 			}
 		case msg.Kind == "clientRole" && msg.Prop == "bandwidth":
 			h.bwReports++
 			if msg.V1 < minBW {
 				h.bwBelow++
+				h.lastViolSpan = msg.Span
 			}
 		}
 	})
@@ -260,12 +275,35 @@ func (f *Fleet) migrationTick(now float64) {
 		unhealthy := (h.latReports > 0 && float64(h.latViol) >= p.ViolFrac*float64(h.latReports)) ||
 			(h.bwReports > 0 && h.bwBelow == h.bwReports) ||
 			(f.rh != nil && f.rh.appDegraded(a))
+		hadReports := h.latReports+h.bwReports > 0
 		h.latReports, h.latViol, h.bwReports, h.bwBelow = 0, 0, 0, 0
 		if !unhealthy {
 			h.streak = 0
+			if h.recoverSpan != 0 && hadReports {
+				// First healthy verdict backed by fresh reports: the migrated
+				// app has demonstrably recovered.
+				f.tracer.EndSpan(h.recoverSpan)
+				f.tracer.RecordPhase(a.Name, obs.PhaseRecover, now-h.recoverAt)
+				h.recoverSpan = 0
+			}
 			continue
 		}
 		h.streak++
+		if f.tracer != nil {
+			if h.streak == 1 {
+				h.streakStart = now
+				// Fleet-level detect latency: observation origin (probe sample
+				// when the chain has one) → first unhealthy verdict.
+				if sp, ok := f.tracer.Get(h.lastViolSpan); ok {
+					start := sp.Start
+					if anc, ok := f.tracer.Ancestor(h.lastViolSpan, obs.KindProbeSample); ok {
+						start = anc.Start
+					}
+					f.tracer.RecordPhase(a.Name, obs.PhaseDetect, now-start)
+				}
+			}
+			h.lastVerdict = f.tracer.Instant(obs.KindVerdict, h.lastViolSpan, a.Name, "unhealthy", float64(h.streak), 0)
+		}
 		if h.streak < p.Patience {
 			continue
 		}
@@ -305,6 +343,20 @@ func (f *Fleet) migrationTick(now float64) {
 		a.health.streak = 0
 		_ = f.beginMigration(a, now)
 	}
+}
+
+// migrateParent is the causal parent of a migration decision: the app's
+// newest unhealthy verdict (policy path), falling back to its newest
+// violating report (manual Migrate before any verdict), else a root span.
+func (f *Fleet) migrateParent(a *App) obs.SpanID {
+	h := a.health
+	if h == nil {
+		return 0
+	}
+	if h.lastVerdict != 0 {
+		return h.lastVerdict
+	}
+	return h.lastViolSpan
 }
 
 func (f *Fleet) completedMigrations(a *App) int {
@@ -385,12 +437,29 @@ func (f *Fleet) beginMigration(a *App, now float64) error {
 		if err != nil {
 			rec.Err = err
 			a.Migrations = append(a.Migrations, rec)
+			if f.tracer != nil {
+				f.tracer.Instant(obs.KindMigrateDecide, f.migrateParent(a), a.Name, "failed", 0, 0)
+			}
 			return err
 		}
 		newAssign = asg
 	}
 	rec.ToManager = newAssign.ManagerHost
 	a.Migrations = append(a.Migrations, rec)
+	if f.tracer != nil {
+		target := "avoid-set"
+		if rec.Ranked {
+			target = "ranked"
+		}
+		dec := f.tracer.Instant(obs.KindMigrateDecide, f.migrateParent(a), a.Name, target,
+			rec.SourceHealth, rec.TargetHealth)
+		f.tracer.Instant(obs.KindReserve, dec, a.Name, fmt.Sprintf("mgr@%v", rec.ToManager), 0, 0)
+		a.traceDrain = f.tracer.Begin(obs.KindDrain, dec, a.Name, "drain", 0, 0)
+		if h := a.health; h != nil && h.streakStart > 0 {
+			// Decide latency: first unhealthy verdict → migration commit.
+			f.tracer.RecordPhase(a.Name, obs.PhaseDecide, now-h.streakStart)
+		}
+	}
 	a.migrating = true
 	a.pending = f.Sch.Stage(newAssign)
 	f.inFlight++
@@ -458,6 +527,8 @@ func (f *Fleet) cutover(a *App, drained bool) {
 	}
 	a.probe = f.ProbeBus.Acquire()
 	a.report = f.ReportBus.Acquire()
+	a.probe.Label = a.Name
+	a.report.Label = a.Name
 	a.Mgr.Reattach(a.Assign.ManagerHost, core.Plane{Probe: a.probe, Report: a.report, Gauges: lease})
 	if a.health != nil {
 		f.attachHealth(a)
@@ -471,6 +542,25 @@ func (f *Fleet) cutover(a *App, drained bool) {
 	rec := &a.Migrations[len(a.Migrations)-1]
 	rec.CompletedAt = now
 	rec.Drained = drained
+
+	if f.tracer != nil {
+		f.tracer.EndSpan(a.traceDrain)
+		how := "timeout"
+		if drained {
+			how = "drained"
+		}
+		cut := f.tracer.Instant(obs.KindCutover, a.traceDrain, a.Name, how, 0, 0)
+		f.tracer.RecordPhase(a.Name, obs.PhaseDrain, now-rec.DecidedAt)
+		a.traceDrain = 0
+		if h := a.health; h != nil {
+			if h.recoverSpan != 0 {
+				// A repeat migration superseded an unresolved recovery.
+				f.tracer.EndSpan(h.recoverSpan)
+			}
+			h.recoverSpan = f.tracer.Begin(obs.KindRecover, cut, a.Name, "recover/migration", 0, 0)
+			h.recoverAt = now
+		}
+	}
 }
 
 // --- grid-scale fault injection (the scenario catalog's degradations) ---

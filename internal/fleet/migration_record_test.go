@@ -1,0 +1,103 @@
+package fleet
+
+import "testing"
+
+// TestMigrationRecordFields pins the Migration record contract end to end:
+// run the ranked region-collapse rescue, then check every record's fields —
+// decision/completion ordering, the ranked-targeting health scores, the
+// failure/abort encodings — and that Summaries and ComparePairs aggregate
+// exactly the completed records.
+func TestMigrationRecordFields(t *testing.T) {
+	opts := regionCollapseOpts(true)
+	opts.Migration.Ranked = true
+	migrating, err := RunScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedOpts := opts
+	pinnedOpts.Migration.Enabled = false
+	pinned, err := RunScenario(pinnedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	completed := map[string]int{}
+	ranked := 0
+	for _, name := range migrating.Fleet.Apps() {
+		recs := migrating.Fleet.App(name).Migrations
+		prev := 0.0
+		for i, m := range recs {
+			if m.App != name {
+				t.Errorf("%s record %d carries App=%q", name, i, m.App)
+			}
+			if m.DecidedAt <= 0 {
+				t.Errorf("%s record %d: DecidedAt=%v, want >0 (nothing migrates at admission)", name, i, m.DecidedAt)
+			}
+			if m.DecidedAt < prev {
+				t.Errorf("%s records out of decision order: %v after %v", name, m.DecidedAt, prev)
+			}
+			prev = m.DecidedAt
+			switch {
+			case m.Completed():
+				if m.CompletedAt <= m.DecidedAt {
+					t.Errorf("%s record %d: CompletedAt=%v not after DecidedAt=%v (draining takes time)",
+						name, i, m.CompletedAt, m.DecidedAt)
+				}
+				if m.Err != nil {
+					t.Errorf("%s record %d: completed but Err=%v", name, i, m.Err)
+				}
+				completed[name]++
+			default:
+				if m.CompletedAt != -1 {
+					t.Errorf("%s record %d: not completed but CompletedAt=%v, want -1", name, i, m.CompletedAt)
+				}
+				if m.Drained {
+					t.Errorf("%s record %d: not completed but Drained", name, i)
+				}
+			}
+			if m.Err != nil && m.Completed() {
+				t.Errorf("%s record %d: both Err and completion", name, i)
+			}
+			if m.Ranked {
+				ranked++
+				if m.TargetHealth < m.SourceHealth {
+					t.Errorf("%s record %d: ranked target measurably worse than source (%.3f < %.3f)",
+						name, i, m.TargetHealth, m.SourceHealth)
+				}
+			}
+		}
+	}
+	if ranked == 0 {
+		t.Fatal("ranked scenario produced no ranked records (region health index never warm?)")
+	}
+
+	// Summaries count exactly the completed records.
+	for _, s := range migrating.Summaries {
+		if s.Migrations != completed[s.Name] {
+			t.Errorf("%s summary counts %d migrations, records say %d completed",
+				s.Name, s.Migrations, completed[s.Name])
+		}
+	}
+
+	// ComparePairs carries the counts through to the pinned-vs-migrating view.
+	pairs := ComparePairs(pinned.Summaries, migrating.Summaries)
+	if len(pairs) != len(pinned.Summaries) {
+		t.Fatalf("ComparePairs dropped apps: %d pairs from %d summaries", len(pairs), len(pinned.Summaries))
+	}
+	total := 0
+	for _, p := range pairs {
+		if p.A.Migrations != 0 {
+			t.Errorf("%s migrated %d times in the pinned run", p.Name, p.A.Migrations)
+		}
+		if p.B.Migrations != completed[p.Name] {
+			t.Errorf("%s pair B counts %d migrations, want %d", p.Name, p.B.Migrations, completed[p.Name])
+		}
+		total += p.B.Migrations
+	}
+	if agg := Aggregate(migrating.Summaries); agg.Migrations != total {
+		t.Errorf("aggregate counts %d migrations, pairs sum to %d", agg.Migrations, total)
+	}
+	if total == 0 {
+		t.Fatal("region-collapse scenario completed no migrations")
+	}
+}

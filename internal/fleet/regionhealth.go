@@ -10,8 +10,10 @@ package fleet
 
 import (
 	"math"
+	"strconv"
 
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 )
 
 // RegionHealth maintains a measured health score per grid region (router),
@@ -142,6 +144,18 @@ func (rh *RegionHealth) tick() {
 			rh.violFrac[r] = rh.viol[r] / rh.reports[r]
 		} else {
 			rh.violFrac[r] = 0
+		}
+	}
+	if rh.f.tracer != nil {
+		// One region.health counter sample per measured region per tick, in
+		// region order (deterministic), rendered as counter tracks by the
+		// Chrome exporter: V1 = score, V2 = measured bandwidth.
+		for r := range rh.bw {
+			if rh.bw[r] < 0 {
+				continue
+			}
+			s, _ := rh.Score(r)
+			rh.f.tracer.Instant(obs.KindRegionHealth, 0, "", "region"+strconv.Itoa(r), s, rh.bw[r])
 		}
 	}
 	if !rh.inFlight && len(rh.srcs) > 0 {

@@ -94,6 +94,12 @@ type ScenarioOptions struct {
 	// without the controller.
 	Migration MigrationPolicy
 
+	// Trace attaches the run to the observability plane (Config.Trace): the
+	// finished ScenarioResult's Fleet.Tracer() holds the causal span tree,
+	// phase latencies and kernel counters, and summaries carry PhaseSets.
+	// Off (the default) the run is byte-identical to an untraced build.
+	Trace bool
+
 	// GlobalReflow forces the network's pre-incremental global solver (every
 	// flow recomputed on every change). Test/bench escape hatch: the solver
 	// equivalence test runs the same scenario both ways and requires
@@ -198,6 +204,7 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		HostCapacity:     opts.HostCapacity,
 		PerAppMonitoring: opts.PerAppMonitoring,
 		Migration:        opts.Migration,
+		Trace:            opts.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -24,6 +24,7 @@ package gauges
 import (
 	"archadapt/internal/bus"
 	"archadapt/internal/netsim"
+	"archadapt/internal/obs"
 	"archadapt/internal/probes"
 	"archadapt/internal/remos"
 	"archadapt/internal/sim"
@@ -46,8 +47,10 @@ type Gauge interface {
 	stop()
 }
 
-// report publishes one gauge report on the app's reporting shard.
-func report(sh *bus.Shard, src netsim.NodeID, gauge, target, kind, prop string, value float64) {
+// report publishes one gauge report on the app's reporting shard. parent is
+// the causal predecessor span (the gauge update that last fed the value);
+// zero when tracing is off.
+func report(sh *bus.Shard, src netsim.NodeID, gauge, target, kind, prop string, value float64, parent obs.SpanID) {
 	sh.Publish(bus.Message{
 		Topic:  TopicReport,
 		Src:    src,
@@ -56,6 +59,7 @@ func report(sh *bus.Shard, src netsim.NodeID, gauge, target, kind, prop string, 
 		Kind:   kind,
 		Prop:   prop,
 		V1:     value,
+		Parent: parent,
 	})
 }
 
@@ -81,6 +85,9 @@ type LatencyGauge struct {
 	sub      *bus.Subscription
 	stopTick func()
 	samples  []latSample
+	// lastUpd is the gauge-update span of the newest folded probe sample;
+	// the next report parents on it (zero when tracing is off).
+	lastUpd obs.SpanID
 }
 
 type latSample struct {
@@ -120,6 +127,9 @@ func (g *LatencyGauge) start() {
 	g.sub = g.Probe.Subscribe(g.host,
 		bus.TopicAndField(probes.TopicResponse, "client", g.client),
 		func(m bus.Message) {
+			if tr := g.Probe.Tracer(); tr != nil {
+				g.lastUpd = tr.Instant(obs.KindGaugeUpdate, m.Span, g.Probe.Label, g.name, m.V1, 0)
+			}
 			g.samples = append(g.samples, latSample{t: g.K.Now(), lat: m.V1})
 		})
 	g.stopTick = g.K.Ticker(g.K.Now()+g.Period, g.Period, func(now sim.Time) {
@@ -134,7 +144,7 @@ func (g *LatencyGauge) start() {
 		if len(g.samples) == 0 {
 			return
 		}
-		report(g.Report, g.host, g.name, g.client, "client", "averageLatency", g.Average())
+		report(g.Report, g.host, g.name, g.client, "client", "averageLatency", g.Average(), g.lastUpd)
 	})
 }
 
@@ -173,6 +183,7 @@ type LoadGauge struct {
 	stopTick func()
 	value    float64
 	seen     bool
+	lastUpd  obs.SpanID
 }
 
 // NewLoadGauge creates a load gauge for a group, running on host (the queue
@@ -197,6 +208,9 @@ func (g *LoadGauge) start() {
 	g.sub = g.Probe.Subscribe(g.host,
 		bus.TopicAndField(probes.TopicQueue, "group", g.group),
 		func(m bus.Message) {
+			if tr := g.Probe.Tracer(); tr != nil {
+				g.lastUpd = tr.Instant(obs.KindGaugeUpdate, m.Span, g.Probe.Label, g.name, m.V1, 0)
+			}
 			v := m.V1
 			if !g.seen || g.Smooth >= 1 {
 				g.value = v
@@ -209,7 +223,7 @@ func (g *LoadGauge) start() {
 		if !g.seen {
 			return
 		}
-		report(g.Report, g.host, g.name, g.group, "group", "load", g.value)
+		report(g.Report, g.host, g.name, g.group, "group", "load", g.value, g.lastUpd)
 	})
 }
 
@@ -302,7 +316,13 @@ func (g *BandwidthGauge) start() {
 			}
 			g.inFlight = false
 			g.last, g.seen = bw, true
-			report(g.Report, g.host, g.name, g.client, "clientRole", "bandwidth", bw)
+			// The bandwidth gauge's input is a Remos query, not a probe
+			// message, so its update span is a root (no probe parent).
+			var parent obs.SpanID
+			if tr := g.Report.Tracer(); tr != nil {
+				parent = tr.Instant(obs.KindGaugeUpdate, 0, g.Report.Label, g.name, bw, 0)
+			}
+			report(g.Report, g.host, g.name, g.client, "clientRole", "bandwidth", bw, parent)
 		})
 	})
 }

@@ -136,3 +136,64 @@ func TestSeriesProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.N() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatalf("empty Dist: N=%d mean=%v min=%v max=%v", d.N(), d.Mean(), d.Min(), d.Max())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := d.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v", p, got)
+		}
+	}
+	if got := PercentileSorted(nil, 50); got != 0 {
+		t.Fatalf("PercentileSorted(nil) = %v", got)
+	}
+}
+
+func TestDistSingleSample(t *testing.T) {
+	var d Dist
+	d.Add(7.5)
+	if d.N() != 1 || d.Mean() != 7.5 || d.Min() != 7.5 || d.Max() != 7.5 {
+		t.Fatalf("single Dist: N=%d mean=%v", d.N(), d.Mean())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := d.Percentile(p); got != 7.5 {
+			t.Fatalf("single Percentile(%v) = %v", p, got)
+		}
+	}
+}
+
+func TestDistMatchesSeriesPercentile(t *testing.T) {
+	vals := []float64{5, 1, 9, 3, 3, 8, 2, 7, 4, 6}
+	s := NewSeries("x")
+	var d Dist
+	for i, v := range vals {
+		s.Add(float64(i), v)
+		d.Add(v)
+	}
+	for p := 0.0; p <= 100; p += 5 {
+		if sv, dv := s.Percentile(p), d.Percentile(p); sv != dv {
+			t.Fatalf("p%v: Series=%v Dist=%v", p, sv, dv)
+		}
+	}
+	// Adding after a (sorting) query keeps later queries correct.
+	d.Add(0.5)
+	if got := d.Percentile(0); got != 0.5 {
+		t.Fatalf("post-sort Add: p0 = %v", got)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b Dist
+	a.Add(1)
+	a.Add(3)
+	b.Add(2)
+	a.Merge(&b)
+	a.Merge(nil)
+	a.Merge(&Dist{})
+	if a.N() != 3 || a.Percentile(50) != 2 || b.N() != 1 {
+		t.Fatalf("merge: aN=%d p50=%v bN=%d", a.N(), a.Percentile(50), b.N())
+	}
+}

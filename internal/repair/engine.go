@@ -57,6 +57,11 @@ type Engine struct {
 	OscillationMoves  int
 	DampFactor        float64
 	AlertFn           func(v constraint.Violation, reason string)
+	// Observer, when non-nil, receives every appended record — successful,
+	// failed and damped attempts alike — the moment the attempt resolves.
+	// The observability plane hangs its repair-decision spans off this hook;
+	// nil (the default) costs one comparison per attempt.
+	Observer func(rec *Record, v constraint.Violation, now float64)
 
 	strategies map[string]*Strategy
 	order      []string
@@ -112,6 +117,15 @@ func subjectName(v constraint.Violation) string {
 	return v.Subject.Name()
 }
 
+// finish notifies the observer of the just-appended record and returns it.
+func (e *Engine) finish(v constraint.Violation, now float64) *Record {
+	rec := e.LastRecord()
+	if e.Observer != nil {
+		e.Observer(rec, v, now)
+	}
+	return rec
+}
+
 // HandleViolation runs the bound strategy for one violation at time now.
 // It returns the record of the attempt, or nil when the violation was
 // suppressed (cooldown) or had no bound strategy.
@@ -146,7 +160,7 @@ func (e *Engine) HandleViolation(v constraint.Violation, now float64) *Record {
 			rec.Err = fmt.Errorf("repair: tactic %s: %w", tac.Name, err)
 			rec.Applied = nil
 			e.records = append(e.records, rec)
-			return e.LastRecord()
+			return e.finish(v, now)
 		}
 		if !applied {
 			continue
@@ -164,7 +178,7 @@ func (e *Engine) HandleViolation(v constraint.Violation, now float64) *Record {
 		if e.AlertFn != nil {
 			e.AlertFn(v, "no applicable tactic")
 		}
-		return e.LastRecord()
+		return e.finish(v, now)
 	}
 
 	// Propagate to the runtime layer; any failure aborts the model change so
@@ -176,7 +190,7 @@ func (e *Engine) HandleViolation(v constraint.Violation, now float64) *Record {
 				rec.Err = fmt.Errorf("repair: translate %s: %w", op, err)
 				rec.Applied = nil
 				e.records = append(e.records, rec)
-				return e.LastRecord()
+				return e.finish(v, now)
 			}
 		}
 	}
@@ -216,7 +230,7 @@ func (e *Engine) HandleViolation(v constraint.Violation, now float64) *Record {
 		e.cooldown[subj] = now + cool
 	}
 	e.records = append(e.records, rec)
-	return e.LastRecord()
+	return e.finish(v, now)
 }
 
 // HandleAll processes violations in order, stopping after the first

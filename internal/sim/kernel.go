@@ -90,6 +90,11 @@ type Kernel struct {
 	// handles never escaped the kernel land here, so reuse cannot alias a
 	// handle someone might still Cancel or Reschedule.
 	free []*Event
+
+	// FireHook, when non-nil, observes every fired event at its virtual
+	// time, before the callback runs — the observability plane's
+	// event-rate counter. It must not schedule or mutate kernel state.
+	FireHook func(at Time)
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -194,6 +199,9 @@ func (k *Kernel) AfterAnonArg(d float64, fn func(any), arg any) {
 // fire runs one popped event's callback, recycling anonymous events first so
 // nested scheduling from inside the callback can reuse the struct.
 func (k *Kernel) fire(e *Event) {
+	if k.FireHook != nil {
+		k.FireHook(e.At)
+	}
 	fn, fnArg, arg := e.fn, e.fnArg, e.arg
 	if e.anon {
 		e.fn, e.fnArg, e.arg, e.anon = nil, nil, nil, false
