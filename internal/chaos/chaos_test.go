@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"archadapt/internal/fleet"
+)
+
+// TestGenerateDeterministic pins the fuzzer's contract: the same seed always
+// yields the same scenario and the same migrate-mode policy, and nearby seeds
+// yield different ones (the generator actually consumes its entropy).
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 32; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate not deterministic:\n%s\nvs\n%s", seed, FormatOptions(a), FormatOptions(b))
+		}
+		if pa, pb := MigratePolicy(seed), MigratePolicy(seed); pa != pb {
+			t.Fatalf("seed %d: MigratePolicy not deterministic: %+v vs %+v", seed, pa, pb)
+		}
+	}
+	if reflect.DeepEqual(Generate(1), Generate(2)) {
+		t.Error("seeds 1 and 2 generated identical scenarios; the generator is ignoring its seed")
+	}
+}
+
+// TestGenerateBounds asserts every generated scenario stays inside the sizes
+// the package documents, across a seed sweep — the property that keeps a
+// soak run fast and the fault schedule's windows inside the scripted time.
+func TestGenerateBounds(t *testing.T) {
+	for seed := uint64(0); seed < 128; seed++ {
+		o := Generate(seed)
+		if o.Apps < 2 || o.Apps > 6 {
+			t.Fatalf("seed %d: Apps = %d outside [2,6]", seed, o.Apps)
+		}
+		if o.Duration < 240 || o.Duration > 480 {
+			t.Fatalf("seed %d: Duration = %g outside [240,480]", seed, o.Duration)
+		}
+		if len(o.Faults) < 3 {
+			t.Fatalf("seed %d: only %d faults", seed, len(o.Faults))
+		}
+		for i, flt := range o.Faults {
+			if flt.At < 0 || flt.At > o.Duration {
+				t.Fatalf("seed %d: fault %d fires at %g outside the %g s run", seed, i, flt.At, o.Duration)
+			}
+			if flt.Duration > 0 && flt.At+flt.Duration > o.Duration {
+				t.Fatalf("seed %d: fault %d restore at %g lands past the %g s run — the end state could not be clean",
+					seed, i, flt.At+flt.Duration, o.Duration)
+			}
+			if i > 0 && flt.At < o.Faults[i-1].At {
+				t.Fatalf("seed %d: fault schedule not sorted by At", seed)
+			}
+		}
+		p := MigratePolicy(seed)
+		if !p.Enabled || p.MaxConcurrent < 1 || p.MaxConcurrent > 3 {
+			t.Fatalf("seed %d: generated policy out of bounds: %+v", seed, p)
+		}
+	}
+}
+
+// TestScenarioOptionsJSONRoundTrip is the chaos-vocabulary portability test:
+// a generated scenario encodes to JSON, decodes back to a DeepEqual value,
+// and the decoded copy runs to a byte-identical fingerprint. This is what
+// lets a failing seed be reported, stored, and replayed as plain data.
+func TestScenarioOptionsJSONRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 41} {
+		opts := Generate(seed)
+		opts.Migration = MigratePolicy(seed)
+
+		blob, err := json.Marshal(opts)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		var decoded fleet.ScenarioOptions
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		if !reflect.DeepEqual(opts, decoded) {
+			t.Fatalf("seed %d: options changed across the JSON round-trip:\n%s\nvs\n%s",
+				seed, FormatOptions(opts), FormatOptions(decoded))
+		}
+
+		orig, err := fleet.RunScenario(opts)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		replay, err := fleet.RunScenario(decoded)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if f1, f2 := Fingerprint(orig), Fingerprint(replay); f1 != f2 {
+			t.Fatalf("seed %d: decoded scenario ran differently:\n--- original\n%s--- replay\n%s", seed, f1, f2)
+		}
+	}
+}
+
+// TestCheckSeedCleanRange soaks a short seed range in both modes — the same
+// check cmd/soak runs at scale — and requires every invariant to hold.
+func TestCheckSeedCleanRange(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		for _, v := range CheckSeed(seed) {
+			t.Errorf("%s", v)
+		}
+	}
+}
+
+// TestShrinkMinimizes drives ddmin with a synthetic predicate — the failure
+// is "the schedule still contains the marker fault" — and requires the
+// shrunk scenario to be minimal: exactly the marker, one app, no admission
+// churn, the duration floor.
+func TestShrinkMinimizes(t *testing.T) {
+	marker := fleet.Fault{At: 77, Kind: fleet.FaultRetire, App: 5}
+	opts := Generate(9)
+	opts.AdmitWaves, opts.RetireAfter, opts.AdmitStagger = 2, 100, 5
+	opts.Faults = append(opts.Faults, marker)
+
+	calls := 0
+	fails := func(o fleet.ScenarioOptions) bool {
+		calls++
+		for _, flt := range o.Faults {
+			if flt == marker {
+				return true
+			}
+		}
+		return false
+	}
+	got := Shrink(opts, fails, 0)
+
+	if len(got.Faults) != 1 || got.Faults[0] != marker {
+		t.Fatalf("shrunk schedule = %+v, want exactly the marker fault", got.Faults)
+	}
+	if got.Apps != 1 {
+		t.Errorf("Apps = %d, want 1", got.Apps)
+	}
+	if got.AdmitWaves != 0 || got.AdmitStagger != 0 || got.RetireAfter != 0 {
+		t.Errorf("admission churn survived the shrink: %+v", got)
+	}
+	if got.Duration != 120 {
+		t.Errorf("Duration = %g, want the 120 s floor", got.Duration)
+	}
+	if calls > 120 {
+		t.Errorf("shrink spent %d candidate runs, over the default budget", calls)
+	}
+	if !fails(got) {
+		t.Error("Shrink returned a candidate that does not fail")
+	}
+}
+
+// TestShrinkRespectsBudget: with a budget too small to make progress, Shrink
+// must still return a failing candidate (the original).
+func TestShrinkRespectsBudget(t *testing.T) {
+	opts := Generate(9)
+	alwaysTrue := func(fleet.ScenarioOptions) bool { return true }
+	got := Shrink(opts, alwaysTrue, 1)
+	if len(got.Faults) == 0 && len(opts.Faults) > 0 {
+		// With one probe the first ddmin chunk may be removed; what must
+		// never happen is returning a non-failing candidate.
+		t.Log("single-probe shrink removed a chunk — acceptable")
+	}
+	if !alwaysTrue(got) {
+		t.Error("Shrink returned a non-failing candidate")
+	}
+}
+
+// TestFormatOptionsLiteral checks the reproducer emitter: non-zero fields
+// appear with their fleet-qualified identifiers, zero fields are omitted,
+// and the output parses as the scenario it came from (spot-checked by
+// substring since we cannot compile it here).
+func TestFormatOptionsLiteral(t *testing.T) {
+	opts := fleet.ScenarioOptions{
+		Apps: 2, Seed: 7, Duration: 240, CrushStart: -1, Adaptive: true,
+		Migration: fleet.MigrationPolicy{Enabled: true, Ranked: true, CheckPeriod: 10},
+		Faults: []fleet.Fault{
+			{At: 50, Kind: fleet.FaultRegionFail, Router: 3, Duration: 60},
+			{At: 80, Kind: fleet.FaultBackbonePartialRestore, Fraction: 0.5},
+		},
+	}
+	got := FormatOptions(opts)
+	for _, want := range []string{
+		"Apps: 2", "Seed: 7", "Duration: 240", "CrushStart: -1", "Adaptive: true",
+		"Migration: fleet.MigrationPolicy{Enabled: true, Ranked: true, CheckPeriod: 10}",
+		"{At: 50, Kind: fleet.FaultRegionFail, Router: 3, Duration: 60}",
+		"{At: 80, Kind: fleet.FaultBackbonePartialRestore, Fraction: 0.5}",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("literal missing %q:\n%s", want, got)
+		}
+	}
+	for _, absent := range []string{"Routers:", "AdmitStagger:", "App: 0", "LeaveBps:"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("literal carries zero-valued field %q:\n%s", absent, got)
+		}
+	}
+}

@@ -113,6 +113,75 @@ func Catalog() []CatalogEntry {
 				Migration: MigrationPolicy{Enabled: true, Ranked: true, MaxConcurrent: 2},
 			},
 		},
+		{
+			// Promoted from the chaos fuzzer (internal/chaos, seed 247): the
+			// sustained-churn interleaving the hand-written entries never
+			// tried. The literal is chaos.Generate(247) + MigratePolicy(247)
+			// verbatim; TestFuzzerPromotedOutcomes pins the dynamics.
+			Name:     "fuzzed-drain-races",
+			Stresses: "sustained migration churn under a serialized drain pipeline (MaxConcurrent 1): overlapping region failures and backbone crushes keep re-degrading apps that just moved, and two drains race a failure of their own staged target region",
+			Expect:   "eleven migrations complete across the run; two drains abort mid-flight when their target region fails after the decision (records stamped aborted with the reason, reservations released); the end-of-run Stop aborts the last in-flight drain; slots and background load audit clean",
+			Opts: ScenarioOptions{
+				Apps: 5,
+				AppMix: []AppSpec{
+					{Groups: 3, ServersPerGroup: 1, SparesPerGroup: 1, Clients: 2, ClientRate: 2},
+					{Groups: 2, ServersPerGroup: 1, SparesPerGroup: 1, Clients: 3, ClientRate: 1.75},
+				},
+				Routers: 16, HostsPerRouter: 2, HostCapacity: 2,
+				Seed: 247, Duration: 480, CrushStart: -1, Adaptive: true,
+				Migration: MigrationPolicy{Enabled: true, CheckPeriod: 10, Patience: 2, Cooldown: 60, MaxConcurrent: 1},
+				Faults: []Fault{
+					{At: 45, Kind: FaultMigrate},
+					{At: 117, Kind: FaultBackboneCrush, Fraction: 0.2, LeaveBps: 40000, Duration: 90},
+					{At: 135, Kind: FaultRegionFail, Router: 4, Duration: 99},
+					{At: 159, Kind: FaultBackboneCrush, Fraction: 0.5, LeaveBps: 70000, Duration: 94},
+					{At: 165, Kind: FaultRegionFail, Router: 4, Duration: 99},
+					{At: 175, Kind: FaultRegionFail, Router: 2, Duration: 84},
+					{At: 271, Kind: FaultRegionFail, Router: 12, Duration: 134},
+					{At: 278, Kind: FaultRegionRestore, Router: 4},
+					{At: 313, Kind: FaultBackboneCrush, Fraction: 0.5, LeaveBps: 30000, Duration: 123},
+					{At: 341, Kind: FaultRetire, App: 3},
+					{At: 351, Kind: FaultRegionFail, Router: 1, Duration: 110},
+					{At: 391, Kind: FaultRegionPartialRestore, Router: 12, Fraction: 0.75},
+					{At: 397, Kind: FaultBackbonePartialRestore, Fraction: 0.5},
+				},
+			},
+		},
+		{
+			// Promoted from the chaos fuzzer (seed 187): ranked targeting
+			// under genuine capacity starvation — four overlapping region
+			// failures on a one-slot-per-host grid leave less spare capacity
+			// than any single app needs, so the controller must keep retrying
+			// until partial restores free just enough. The literal is
+			// chaos.Generate(187) + MigratePolicy(187) verbatim.
+			Name:     "fuzzed-capacity-squeeze",
+			Stresses: "ranked targeting under capacity starvation: four overlapping region failures (two raced by partial restores) squeeze free slots below what a re-placement needs, an early drain races its target region's failure, and placement failures must resolve as regions recover",
+			Expect:   "early migration attempts fail placement (\"no healthy capacity\") and one drain aborts when its target region fails mid-drain; once partial restores free capacity, seven migrations complete, every ranked record satisfies TargetHealth ≥ SourceHealth, and the end state audits clean",
+			Opts: ScenarioOptions{
+				Apps: 6,
+				AppMix: []AppSpec{
+					{Groups: 1, ServersPerGroup: 2, SparesPerGroup: 1, Clients: 3, ClientRate: 1.75},
+				},
+				Routers: 16, HostsPerRouter: 4, HostCapacity: 1,
+				Seed: 187, Duration: 360, CrushStart: -1, Adaptive: true,
+				Migration: MigrationPolicy{Enabled: true, Ranked: true, CheckPeriod: 10, Patience: 2, Cooldown: 60, MaxConcurrent: 2},
+				Faults: []Fault{
+					{At: 44, Kind: FaultCrushAll, App: 3, Duration: 87},
+					{At: 62, Kind: FaultRegionFail, Router: 11, Duration: 70},
+					{At: 84, Kind: FaultRegionFail, Router: 9, Duration: 87},
+					{At: 100, Kind: FaultRegionPartialRestore, Router: 11, Fraction: 0.5},
+					{At: 102, Kind: FaultRegionFail, Router: 10, Duration: 39},
+					{At: 105, Kind: FaultRegionFail, Router: 12, Duration: 116},
+					{At: 116, Kind: FaultRegionPartialRestore, Router: 10, Fraction: 0.5},
+					{At: 120, Kind: FaultRegionPartialRestore, Router: 9, Fraction: 0.5},
+					{At: 137, Kind: FaultCrushPrimary, App: 2, Duration: 124},
+					{At: 161, Kind: FaultRetire, App: 3},
+					{At: 179, Kind: FaultBackboneCrush, Fraction: 0.2, LeaveBps: 70000, Duration: 91},
+					{At: 201, Kind: FaultBackboneCrush, Fraction: 0.6000000000000001, LeaveBps: 80000, Duration: 96},
+					{At: 236, Kind: FaultBackbonePartialRestore, Fraction: 0.5},
+				},
+			},
+		},
 	}
 }
 

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFuzzerPromotedOutcomes pins the committed dynamics of the two
+// fuzzer-promoted catalog entries — the counts the Expect strings promise.
+// A deliberate change to scheduling, draining or the injectors may shift
+// these numbers; re-run the scenario, re-read the records, and update both
+// the counts here and the Expect text in the catalog and SCENARIOS.md.
+func TestFuzzerPromotedOutcomes(t *testing.T) {
+	type outcome struct {
+		completed     int // migrations that cut over
+		midDrainAbort int // drains aborted by a target-region failure
+		placementFail int // attempts that found no healthy capacity
+	}
+	want := map[string]outcome{
+		"fuzzed-drain-races":      {completed: 11, midDrainAbort: 2},
+		"fuzzed-capacity-squeeze": {completed: 7, midDrainAbort: 1, placementFail: 5},
+	}
+	for name, w := range want {
+		t.Run(name, func(t *testing.T) {
+			e, err := ScenarioByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunScenario(e.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := res.Fleet
+			var got outcome
+			for _, app := range f.Apps() {
+				for i, m := range f.App(app).Migrations {
+					switch {
+					case m.Completed():
+						got.completed++
+					case m.Err != nil && strings.Contains(m.Err.Error(), "failed mid-drain"):
+						got.midDrainAbort++
+					case m.Err != nil && strings.Contains(m.Err.Error(), "no healthy capacity"):
+						got.placementFail++
+					case m.Aborted():
+						// Retirement or end-of-run Stop: expected, not counted.
+					default:
+						t.Errorf("%s migration %d is non-terminal: %+v", app, i, m)
+					}
+					if m.Ranked && m.TargetHealth < m.SourceHealth {
+						t.Errorf("%s migration %d: ranked target measurably worse: %.4f -> %.4f",
+							app, i, m.SourceHealth, m.TargetHealth)
+					}
+				}
+			}
+			if got != w {
+				t.Errorf("outcomes = %+v, want %+v", got, w)
+			}
+			if err := f.AuditSlots(); err != nil {
+				t.Error(err)
+			}
+			cleanBackgrounds(t, f.Net)
+		})
+	}
+}

@@ -86,11 +86,15 @@ func TestMigrationPolicyValidate(t *testing.T) {
 		{"negative patience", MigrationPolicy{Patience: -2}, "Patience"},
 		{"violfrac above one", MigrationPolicy{ViolFrac: 1.5}, "ViolFrac"},
 		{"negative violfrac", MigrationPolicy{ViolFrac: -0.1}, "ViolFrac"},
+		{"NaN violfrac", MigrationPolicy{ViolFrac: math.NaN()}, "ViolFrac"},
 		{"negative cooldown", MigrationPolicy{Cooldown: -5}, "Cooldown"},
+		{"NaN cooldown", MigrationPolicy{Cooldown: math.NaN()}, "Cooldown"},
 		{"negative drain timeout", MigrationPolicy{DrainTimeout: -1}, "DrainTimeout"},
+		{"NaN drain timeout", MigrationPolicy{DrainTimeout: math.NaN()}, "DrainTimeout"},
 		{"negative max per app", MigrationPolicy{MaxPerApp: -1}, "MaxPerApp"},
 		{"negative max concurrent", MigrationPolicy{MaxConcurrent: -3}, "MaxConcurrent"},
 		{"negative region floor", MigrationPolicy{RegionFloorBps: -10}, "RegionFloorBps"},
+		{"NaN region floor", MigrationPolicy{RegionFloorBps: math.NaN()}, "RegionFloorBps"},
 		{"legacy oracle with ranking", MigrationPolicy{LegacyTargeting: true, Ranked: true}, "LegacyTargeting"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,394 @@
+// Grid-scale fault injection: the degradations the scenario catalog and the
+// chaos engine aim at a running fleet. Three families, all deterministic and
+// all built on the same refcounted link-contention bookkeeping so overlapping
+// injections compose instead of corrupting each other:
+//
+//   - per-application crushes (CrushPrimary, CrushServers): starve the access
+//     links of one app's active servers, Figure 7-style targeted competition;
+//   - backbone contention (CrushBackbone): load a fraction of the backbone
+//     chain, correlated cross-region degradation;
+//   - region failure (FailRegion): starve every access link under one router,
+//     whoever owns the processes there.
+//
+// Every injector has a restore, every restore validates its pairing —
+// restoring something that was never failed returns an error instead of
+// silently clearing link state another injector still owns — and the
+// backbone/region injectors refcount repeated failures, so a nested
+// FailRegion holds the region down until the matching number of restores.
+// Partial restores (RestoreBackboneFraction, RestoreRegionFraction) lift a
+// subset of a standing failure's links, the half-recovered grids the chaos
+// engine races drains against.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"archadapt/internal/netsim"
+)
+
+// --- per-application access-link contention ---
+
+// CrushPrimary starves the access links of an application's primary-group
+// servers that are active right now — including any spares repairs have
+// recruited — (Figure 7-style bandwidth competition, aimed at one
+// application), leaving ≈5 Kbps available — below the 10 Kbps floor, so the
+// bandwidth tactic must move the clients to another group. Links are
+// refcounted across applications: when apps share hosts, one app's restore
+// never lifts another's still-active contention.
+func (f *Fleet) CrushPrimary(name string) error {
+	a := f.apps[name]
+	if a == nil {
+		return fmt.Errorf("fleet: no application %q", name)
+	}
+	if !a.Live() {
+		return fmt.Errorf("fleet: application %q is retired", name)
+	}
+	if len(a.crushed) > 0 {
+		return nil // already crushed
+	}
+	// Batched: one reflow for the whole group's links, not one per link.
+	f.crushServersOf(a, []string{a.Opspec.Groups[0].Name})
+	return nil
+}
+
+// CrushServers starves the access links of every group's active servers —
+// the whole application's region degrades at once, so intra-app repair
+// (move the clients to another group) has nowhere good to go. This is the
+// degradation migration exists for; RestorePrimary lifts it.
+func (f *Fleet) CrushServers(name string) error {
+	a := f.apps[name]
+	if a == nil {
+		return fmt.Errorf("fleet: no application %q", name)
+	}
+	if !a.Live() {
+		return fmt.Errorf("fleet: application %q is retired", name)
+	}
+	if len(a.crushed) > 0 {
+		return nil // already crushed
+	}
+	f.crushServersOf(a, a.Sys.Groups())
+	return nil
+}
+
+// RestorePrimary lifts the competition installed by CrushPrimary or
+// CrushServers (whatever links were crushed for this application, wherever
+// it has since migrated to).
+func (f *Fleet) RestorePrimary(name string) {
+	a := f.apps[name]
+	if a == nil {
+		return
+	}
+	f.Net.Batch(func() {
+		for _, link := range a.crushed {
+			f.dropCrush(link)
+		}
+	})
+	a.crushed = nil
+}
+
+// crushServersOf starves the access links of the named groups' currently
+// active servers, leaving ≈5 Kbps available (below the 10 Kbps floor).
+// Links are refcounted across applications and region failures.
+func (f *Fleet) crushServersOf(a *App, groups []string) {
+	f.Net.Batch(func() {
+		for _, g := range groups {
+			for _, srv := range a.Sys.ActiveServersOf(g) {
+				link := f.Grid.AccessLink(a.Sys.Server(srv).Host)
+				f.addCrush(link)
+				a.crushed = append(a.crushed, link)
+			}
+		}
+	})
+}
+
+// addCrush refcounts contention on one access link, installing the
+// background load on the first reference.
+func (f *Fleet) addCrush(link netsim.LinkID) {
+	f.crushes[link]++
+	if f.crushes[link] == 1 {
+		f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
+	}
+}
+
+// dropCrush releases one reference, lifting the load on the last.
+func (f *Fleet) dropCrush(link netsim.LinkID) {
+	f.crushes[link]--
+	if f.crushes[link] <= 0 {
+		delete(f.crushes, link)
+		f.Net.SetBackgroundBoth(link, 0)
+	}
+}
+
+// --- backbone contention ---
+
+// CrushBackbone loads a fraction of the backbone links with background
+// traffic, leaving leaveBps available per direction — correlated
+// cross-region contention rather than a per-app access-link crush. Links are
+// taken in Grid.Backbone order (the chain first, then the chords), so
+// fraction 0.5 loads the first half of the chain. Repeated crushes nest: the
+// first call's fraction and leaveBps stay in force, and the contention lifts
+// only when RestoreBackbone has balanced every call.
+func (f *Fleet) CrushBackbone(fraction, leaveBps float64) {
+	f.backboneRefs++
+	if f.backboneRefs > 1 {
+		return // already crushed; the matching restore just unnests
+	}
+	n := int(fraction * float64(len(f.Grid.Backbone)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(f.Grid.Backbone) {
+		n = len(f.Grid.Backbone)
+	}
+	bg := f.Grid.Spec.BackboneBps - leaveBps
+	if bg < 0 {
+		bg = 0
+	}
+	f.Net.Batch(func() {
+		for _, link := range f.Grid.Backbone[:n] {
+			f.Net.SetBackgroundBoth(link, bg)
+			f.backboneCrushed = append(f.backboneCrushed, link)
+		}
+	})
+}
+
+// RestoreBackbone balances one CrushBackbone call, lifting the remaining
+// contention when every crush has been matched. Restoring a backbone that
+// was never crushed is an error and changes nothing — an unbalanced restore
+// must not clear link state some other injector still owns.
+func (f *Fleet) RestoreBackbone() error {
+	if f.backboneRefs == 0 {
+		return fmt.Errorf("fleet: backbone is not crushed")
+	}
+	f.backboneRefs--
+	if f.backboneRefs > 0 {
+		return nil // still nested inside an outer crush
+	}
+	f.Net.Batch(func() {
+		for _, link := range f.backboneCrushed {
+			f.Net.SetBackgroundBoth(link, 0)
+		}
+	})
+	f.backboneCrushed = nil
+	return nil
+}
+
+// RestoreBackboneFraction lifts the given fraction of the still-crushed
+// backbone links (rounded up, in crush order) without balancing the crush
+// itself — a partial recovery mid-failure. The remaining links stay loaded
+// until RestoreBackbone balances every CrushBackbone call.
+func (f *Fleet) RestoreBackboneFraction(fraction float64) error {
+	if f.backboneRefs == 0 {
+		return fmt.Errorf("fleet: backbone is not crushed")
+	}
+	n := int(math.Ceil(fraction * float64(len(f.backboneCrushed))))
+	if n < 0 {
+		n = 0
+	}
+	if n > len(f.backboneCrushed) {
+		n = len(f.backboneCrushed)
+	}
+	f.Net.Batch(func() {
+		for _, link := range f.backboneCrushed[:n] {
+			f.Net.SetBackgroundBoth(link, 0)
+		}
+	})
+	f.backboneCrushed = append([]netsim.LinkID(nil), f.backboneCrushed[n:]...)
+	return nil
+}
+
+// --- region failure ---
+
+// FailRegion starves every access link under router r (0-based index) —
+// region-wide failure injection: every process on the region's hosts,
+// whichever application owns it, loses its connectivity. Link contention is
+// refcounted with the per-app crushes, and repeated failures of the same
+// region nest: the region recovers only when RestoreRegion has balanced
+// every FailRegion call.
+func (f *Fleet) FailRegion(r int) error {
+	if r < 0 || r >= len(f.Grid.HostsByRouter) {
+		return fmt.Errorf("fleet: no router %d", r)
+	}
+	f.regionFailRefs[r]++
+	if f.regionFailRefs[r] > 1 {
+		return nil // already failed; the matching restore just unnests
+	}
+	f.regionFailedAt[r] = f.K.Now()
+	f.Net.Batch(func() {
+		for _, h := range f.Grid.HostsByRouter[r] {
+			link := f.Grid.AccessLink(h)
+			f.addCrush(link)
+			f.regionCrushed[r] = append(f.regionCrushed[r], link)
+		}
+	})
+	return nil
+}
+
+// RestoreRegion balances one FailRegion call, lifting the region's remaining
+// crushed links when every failure has been matched. Restoring a region that
+// is not failed is an error and changes nothing.
+func (f *Fleet) RestoreRegion(r int) error {
+	if f.regionFailRefs[r] == 0 {
+		return fmt.Errorf("fleet: region %d is not failed", r)
+	}
+	f.regionFailRefs[r]--
+	if f.regionFailRefs[r] > 0 {
+		return nil // still nested inside an outer failure
+	}
+	f.Net.Batch(func() {
+		for _, link := range f.regionCrushed[r] {
+			f.dropCrush(link)
+		}
+	})
+	delete(f.regionCrushed, r)
+	delete(f.regionFailRefs, r)
+	delete(f.regionFailedAt, r)
+	return nil
+}
+
+// RestoreRegionFraction lifts the given fraction of a failed region's
+// still-crushed access links (rounded up, in failure order) without
+// balancing the failure itself — a half-recovered region. The rest stay
+// starved until RestoreRegion balances every FailRegion call.
+func (f *Fleet) RestoreRegionFraction(r int, fraction float64) error {
+	if f.regionFailRefs[r] == 0 {
+		return fmt.Errorf("fleet: region %d is not failed", r)
+	}
+	links := f.regionCrushed[r]
+	n := int(math.Ceil(fraction * float64(len(links))))
+	if n < 0 {
+		n = 0
+	}
+	if n > len(links) {
+		n = len(links)
+	}
+	f.Net.Batch(func() {
+		for _, link := range links[:n] {
+			f.dropCrush(link)
+		}
+	})
+	f.regionCrushed[r] = append([]netsim.LinkID(nil), links[n:]...)
+	return nil
+}
+
+// targetFailedSince reports whether any host of a staged assignment sits in
+// a region whose current failure began after the given decision time — the
+// drain-race check: a migration must not cut over into a region that failed
+// underneath it, but a failure that predates the decision was already priced
+// in by targeting (LegacyTargeting deliberately places into failed regions;
+// the ranked index steers around them).
+func (f *Fleet) targetFailedSince(asg *Assignment, decidedAt float64) (int, bool) {
+	failed, region := false, -1
+	asg.hosts(func(h netsim.NodeID) {
+		if failed {
+			return
+		}
+		r := f.Grid.RouterIndex(h)
+		if r >= 0 && f.regionFailRefs[r] > 0 && f.regionFailedAt[r] > decidedAt {
+			failed, region = true, r
+		}
+	})
+	return region, failed
+}
+
+// --- the fault-schedule vocabulary (ScenarioOptions.Faults) ---
+
+// FaultKind names one injectable fault in a scenario's fault schedule.
+type FaultKind string
+
+const (
+	// FaultCrushPrimary crushes App's primary-group server links;
+	// FaultCrushAll crushes every group's. Duration > 0 schedules the
+	// matching RestorePrimary; FaultRestoreApp restores explicitly.
+	FaultCrushPrimary FaultKind = "crush-primary"
+	FaultCrushAll     FaultKind = "crush-all"
+	FaultRestoreApp   FaultKind = "restore-app"
+
+	// FaultBackboneCrush loads Fraction of the backbone down to LeaveBps;
+	// Duration > 0 schedules the matching RestoreBackbone.
+	// FaultBackbonePartialRestore lifts Fraction of the crushed links early.
+	FaultBackboneCrush          FaultKind = "backbone-crush"
+	FaultBackboneRestore        FaultKind = "backbone-restore"
+	FaultBackbonePartialRestore FaultKind = "backbone-partial-restore"
+
+	// FaultRegionFail starves region Router; Duration > 0 schedules the
+	// matching RestoreRegion. FaultRegionPartialRestore lifts Fraction of
+	// the failed links early.
+	FaultRegionFail           FaultKind = "region-fail"
+	FaultRegionRestore        FaultKind = "region-restore"
+	FaultRegionPartialRestore FaultKind = "region-partial-restore"
+
+	// FaultRetire retires App; FaultMigrate forces an operator migration of
+	// App (works in pinned mode too — the operator path needs no policy).
+	FaultRetire  FaultKind = "retire"
+	FaultMigrate FaultKind = "migrate"
+)
+
+// Fault is one scheduled event in a scenario's fault schedule — the
+// machine-writable form of the injector calls the hand-written scenarios
+// place directly on the kernel. All fields are plain values so a schedule
+// (and the options carrying it) round-trips through JSON.
+type Fault struct {
+	// At is the injection time in simulated seconds.
+	At   float64
+	Kind FaultKind
+	// App indexes the scenario's application (app00, app01, …) for the
+	// per-app kinds.
+	App int
+	// Router is the region index for the region kinds.
+	Router int
+	// Fraction and LeaveBps parameterize the backbone kinds; Fraction also
+	// sizes the partial restores.
+	Fraction float64
+	LeaveBps float64
+	// Duration > 0 auto-schedules the fault's matching restore at
+	// At+Duration. Ignored by the restore and one-shot kinds.
+	Duration float64
+}
+
+// apply injects one fault now. Injector errors are deliberately ignored:
+// chaos schedules legitimately race restores against each other and against
+// retirement, and an unbalanced call is defined to be a safe no-op.
+func (f *Fleet) applyFault(flt Fault, appName func(int) string) {
+	switch flt.Kind {
+	case FaultCrushPrimary:
+		_ = f.CrushPrimary(appName(flt.App))
+	case FaultCrushAll:
+		_ = f.CrushServers(appName(flt.App))
+	case FaultRestoreApp:
+		f.RestorePrimary(appName(flt.App))
+	case FaultBackboneCrush:
+		f.CrushBackbone(flt.Fraction, flt.LeaveBps)
+	case FaultBackboneRestore:
+		_ = f.RestoreBackbone()
+	case FaultBackbonePartialRestore:
+		_ = f.RestoreBackboneFraction(flt.Fraction)
+	case FaultRegionFail:
+		_ = f.FailRegion(flt.Router)
+	case FaultRegionRestore:
+		_ = f.RestoreRegion(flt.Router)
+	case FaultRegionPartialRestore:
+		_ = f.RestoreRegionFraction(flt.Router, flt.Fraction)
+	case FaultRetire:
+		if a := f.App(appName(flt.App)); a != nil && a.Live() {
+			_ = f.Retire(appName(flt.App))
+		}
+	case FaultMigrate:
+		_ = f.Migrate(appName(flt.App))
+	}
+}
+
+// restoreKind returns the restore paired with an injection kind (for
+// Fault.Duration auto-scheduling), or "" when the kind has no restore.
+func (k FaultKind) restoreKind() FaultKind {
+	switch k {
+	case FaultCrushPrimary, FaultCrushAll:
+		return FaultRestoreApp
+	case FaultBackboneCrush:
+		return FaultBackboneRestore
+	case FaultRegionFail:
+		return FaultRegionRestore
+	}
+	return ""
+}

@@ -269,10 +269,18 @@ type Fleet struct {
 	crushes    map[netsim.LinkID]int // contention refcount per link (apps may share hosts)
 	stopSample func()
 
-	stopMigrate     func()
-	stopped         bool
+	stopMigrate func()
+	stopped     bool
+	// Backbone/region failure bookkeeping (faults.go): refcounts nest
+	// repeated injections, the link lists hold what is still crushed (partial
+	// restores shrink them), and regionFailedAt records when each standing
+	// region failure began — the drain-race check compares it against a
+	// migration's decision time.
+	backboneRefs    int
 	backboneCrushed []netsim.LinkID
+	regionFailRefs  map[int]int
 	regionCrushed   map[int][]netsim.LinkID
+	regionFailedAt  map[int]float64
 
 	// tracer is the fleet's observability plane (nil unless Config.Trace).
 	tracer *obs.Tracer
@@ -310,10 +318,12 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 	}
 	f := &Fleet{
 		K: k, Grid: grid, Net: grid.Net, Cfg: cfg,
-		rng:           sim.NewRand(seed),
-		apps:          map[string]*App{},
-		crushes:       map[netsim.LinkID]int{},
-		regionCrushed: map[int][]netsim.LinkID{},
+		rng:            sim.NewRand(seed),
+		apps:           map[string]*App{},
+		crushes:        map[netsim.LinkID]int{},
+		regionFailRefs: map[int]int{},
+		regionCrushed:  map[int][]netsim.LinkID{},
+		regionFailedAt: map[int]float64{},
 	}
 	f.Sch = NewScheduler(grid, cfg.HostCapacity, nil)
 	rmHost, err := f.Sch.Reserve()
@@ -398,6 +408,38 @@ func (f *Fleet) Live() int {
 
 // Rejections returns failed admissions.
 func (f *Fleet) Rejections() []Rejection { return f.rejections }
+
+// AuditSlots cross-checks the scheduler's slot ledger against the fleet's
+// own books: the Remos collector's reserved slot, every live application's
+// assignment and every staged mid-drain reservation must account for exactly
+// the difference between grid capacity and FreeSlots, and no host may be
+// loaded outside [0, HostCapacity]. Any drift means a leaked or double-booked
+// reservation somewhere in the admit/retire/migrate machinery — the chaos
+// soak harness calls this after every run and on a mid-run ticker.
+func (f *Fleet) AuditSlots() error {
+	used := 1 // the Remos collector's reserved slot
+	for _, name := range f.order {
+		a := f.apps[name]
+		if a.Live() {
+			used += a.Assign.slots()
+		}
+		if a.pending != nil {
+			used += a.pending.Assignment().slots()
+		}
+	}
+	total := len(f.Grid.Hosts) * f.Sch.HostCapacity
+	if free := f.Sch.FreeSlots(); free != total-used {
+		return fmt.Errorf("fleet: slot ledger drift: %d free, want %d (%d of %d slots accounted for)",
+			free, total-used, used, total)
+	}
+	for _, h := range f.Grid.Hosts {
+		if l := f.Sch.Load(h); l < 0 || l > f.Sch.HostCapacity {
+			return fmt.Errorf("fleet: host %v carries %d committed slots, outside [0,%d]",
+				h, l, f.Sch.HostCapacity)
+		}
+	}
+	return nil
+}
 
 // Admit places and starts one application at the current virtual time. It
 // can be called before the run starts or mid-run (from kernel context): the
@@ -511,13 +553,8 @@ func (f *Fleet) Retire(name string) error {
 	if a.migrating {
 		// Retired mid-drain: abort the migration and return the staged
 		// reservation's slots. The drain poller sees migrating=false and
-		// stops.
-		a.pending.Release()
-		a.pending = nil
-		a.migrating = false
-		f.inFlight--
-		f.tracer.EndSpan(a.traceDrain)
-		a.traceDrain = 0
+		// stops; the clients stay paused — they are being retired.
+		f.abortDrain(a, nil, false)
 	}
 	if f.Cfg.PerAppMonitoring {
 		a.Mgr.Stop()
@@ -558,12 +595,7 @@ func (f *Fleet) Stop() {
 		a := f.apps[name]
 		if a.Live() {
 			if a.migrating {
-				a.pending.Release()
-				a.pending = nil
-				a.migrating = false
-				f.inFlight--
-				f.tracer.EndSpan(a.traceDrain)
-				a.traceDrain = 0
+				f.abortDrain(a, nil, false)
 			}
 			a.Mgr.Stop()
 			a.Sys.StopClients()
@@ -584,42 +616,6 @@ func (f *Fleet) sample(now float64) {
 			}
 		}
 	}
-}
-
-// CrushPrimary starves the access links of an application's primary-group
-// servers that are active right now — including any spares repairs have
-// recruited — (Figure 7-style bandwidth competition, aimed at one
-// application), leaving ≈5 Kbps available — below the 10 Kbps floor, so the
-// bandwidth tactic must move the clients to another group. Links are
-// refcounted across applications: when apps share hosts, one app's restore
-// never lifts another's still-active contention.
-func (f *Fleet) CrushPrimary(name string) error {
-	a := f.apps[name]
-	if a == nil {
-		return fmt.Errorf("fleet: no application %q", name)
-	}
-	if len(a.crushed) > 0 {
-		return nil // already crushed
-	}
-	// Batched: one reflow for the whole group's links, not one per link.
-	f.crushServersOf(a, []string{a.Opspec.Groups[0].Name})
-	return nil
-}
-
-// RestorePrimary lifts the competition installed by CrushPrimary or
-// CrushServers (whatever links were crushed for this application, wherever
-// it has since migrated to).
-func (f *Fleet) RestorePrimary(name string) {
-	a := f.apps[name]
-	if a == nil {
-		return
-	}
-	f.Net.Batch(func() {
-		for _, link := range a.crushed {
-			f.dropCrush(link)
-		}
-	})
-	a.crushed = nil
 }
 
 // AppSummary is one application's aggregate row.

@@ -168,8 +168,13 @@ type Migration struct {
 	// to moving the app.
 	DecidedAt float64
 	// CompletedAt is when the cutover finished; -1 while draining, and
-	// forever if the attempt failed (Err) or was aborted by retirement.
+	// forever if the attempt failed (Err) or was aborted. A record is
+	// terminal when Completed(), Aborted(), or Err is set.
 	CompletedAt float64
+	// AbortedAt is when a drain was abandoned — by retirement, by the end
+	// of the run, or because the staged target's region failed mid-drain
+	// (then Err carries the reason); -1 otherwise.
+	AbortedAt float64
 	// Drained reports whether every in-flight request completed before the
 	// cutover (false: DrainTimeout forced it).
 	Drained bool
@@ -191,6 +196,9 @@ type Migration struct {
 
 // Completed reports whether the migration finished its cutover.
 func (m Migration) Completed() bool { return m.CompletedAt >= 0 }
+
+// Aborted reports whether the drain was abandoned before cutover.
+func (m Migration) Aborted() bool { return m.AbortedAt >= 0 }
 
 // appHealth is the fleet's monitoring-plane view of one application, fed by
 // a fleet subscription on the app's report shard and consumed by the
@@ -409,7 +417,7 @@ func (f *Fleet) Migrate(name string) error {
 // without a whole spare region.
 func (f *Fleet) beginMigration(a *App, now float64) error {
 	rec := Migration{
-		App: a.Name, DecidedAt: now, CompletedAt: -1,
+		App: a.Name, DecidedAt: now, CompletedAt: -1, AbortedAt: -1,
 		FromManager: a.Assign.ManagerHost,
 	}
 	var newAssign *Assignment
@@ -472,8 +480,10 @@ func (f *Fleet) beginMigration(a *App, now float64) error {
 }
 
 // pollDrain waits for the paused application's in-flight requests to finish
-// (or for DrainTimeout) and then cuts over. Retirement mid-drain, or the end
-// of the run, aborts the migration cleanly.
+// (or for DrainTimeout) and then cuts over. Retirement mid-drain, the end of
+// the run, or a failure of the staged target's region after the decision
+// aborts the migration cleanly (a region already failed when the target was
+// chosen does not — that tradeoff was priced into the decision).
 func (f *Fleet) pollDrain(a *App, decidedAt float64) {
 	const pollPeriod = 1.0
 	var poll func()
@@ -482,6 +492,13 @@ func (f *Fleet) pollDrain(a *App, decidedAt float64) {
 			return // aborted: Retire or Stop released the staged reservation
 		}
 		now := f.K.Now()
+		if r, failed := f.targetFailedSince(a.pending.Assignment(), decidedAt); failed {
+			// The staged target's region failed after the decision: cutting
+			// over would move the app into the outage. Abort, release the
+			// reservation, resume on the old placement.
+			f.abortDrain(a, fmt.Errorf("fleet: target region %d failed mid-drain", r), true)
+			return
+		}
 		drained := a.obs.Outstanding() == 0
 		if !drained && now < decidedAt+f.Cfg.Migration.DrainTimeout {
 			f.K.At(now+pollPeriod, poll)
@@ -490,6 +507,30 @@ func (f *Fleet) pollDrain(a *App, decidedAt float64) {
 		f.cutover(a, drained)
 	}
 	f.K.At(f.K.Now()+pollPeriod, poll)
+}
+
+// abortDrain abandons an in-progress drain: the staged reservation is
+// released, the record is stamped aborted (reason, when there is one, lands
+// in Err), and with resume the clients continue on the old placement — the
+// mid-drain-failure path. Retirement and Stop abort without resuming.
+func (f *Fleet) abortDrain(a *App, reason error, resume bool) {
+	a.pending.Release()
+	a.pending = nil
+	a.migrating = false
+	f.inFlight--
+	rec := &a.Migrations[len(a.Migrations)-1]
+	rec.AbortedAt = f.K.Now()
+	rec.Err = reason
+	f.tracer.EndSpan(a.traceDrain)
+	a.traceDrain = 0
+	if resume {
+		a.Sys.ResumeClients()
+		if a.health != nil {
+			// A fresh verdict streak: the controller re-evaluates from
+			// scratch rather than instantly re-deciding into the outage.
+			a.health.streak = 0
+		}
+	}
 }
 
 // cutover executes the re-placement at one kernel instant: detach the
@@ -561,130 +602,4 @@ func (f *Fleet) cutover(a *App, drained bool) {
 			h.recoverAt = now
 		}
 	}
-}
-
-// --- grid-scale fault injection (the scenario catalog's degradations) ---
-
-// crushServersOf starves the access links of the named groups' currently
-// active servers, leaving ≈5 Kbps available (below the 10 Kbps floor).
-// Links are refcounted across applications and region failures.
-func (f *Fleet) crushServersOf(a *App, groups []string) {
-	f.Net.Batch(func() {
-		for _, g := range groups {
-			for _, srv := range a.Sys.ActiveServersOf(g) {
-				link := f.Grid.AccessLink(a.Sys.Server(srv).Host)
-				f.addCrush(link)
-				a.crushed = append(a.crushed, link)
-			}
-		}
-	})
-}
-
-// addCrush refcounts contention on one access link, installing the
-// background load on the first reference.
-func (f *Fleet) addCrush(link netsim.LinkID) {
-	f.crushes[link]++
-	if f.crushes[link] == 1 {
-		f.Net.SetBackgroundBoth(link, f.Grid.Spec.AccessBps-5e3)
-	}
-}
-
-// dropCrush releases one reference, lifting the load on the last.
-func (f *Fleet) dropCrush(link netsim.LinkID) {
-	f.crushes[link]--
-	if f.crushes[link] <= 0 {
-		delete(f.crushes, link)
-		f.Net.SetBackgroundBoth(link, 0)
-	}
-}
-
-// CrushServers starves the access links of every group's active servers —
-// the whole application's region degrades at once, so intra-app repair
-// (move the clients to another group) has nowhere good to go. This is the
-// degradation migration exists for; RestorePrimary lifts it.
-func (f *Fleet) CrushServers(name string) error {
-	a := f.apps[name]
-	if a == nil {
-		return fmt.Errorf("fleet: no application %q", name)
-	}
-	if len(a.crushed) > 0 {
-		return nil // already crushed
-	}
-	f.crushServersOf(a, a.Sys.Groups())
-	return nil
-}
-
-// CrushBackbone loads a fraction of the backbone links with background
-// traffic, leaving leaveBps available per direction — correlated
-// cross-region contention rather than a per-app access-link crush. Links are
-// taken in Grid.Backbone order (the chain first, then the chords), so
-// fraction 0.5 loads the first half of the chain. Idempotent until
-// RestoreBackbone.
-func (f *Fleet) CrushBackbone(fraction, leaveBps float64) {
-	if len(f.backboneCrushed) > 0 {
-		return
-	}
-	n := int(fraction * float64(len(f.Grid.Backbone)))
-	if n < 1 {
-		n = 1
-	}
-	if n > len(f.Grid.Backbone) {
-		n = len(f.Grid.Backbone)
-	}
-	bg := f.Grid.Spec.BackboneBps - leaveBps
-	if bg < 0 {
-		bg = 0
-	}
-	f.Net.Batch(func() {
-		for _, link := range f.Grid.Backbone[:n] {
-			f.Net.SetBackgroundBoth(link, bg)
-			f.backboneCrushed = append(f.backboneCrushed, link)
-		}
-	})
-}
-
-// RestoreBackbone lifts the contention installed by CrushBackbone.
-func (f *Fleet) RestoreBackbone() {
-	f.Net.Batch(func() {
-		for _, link := range f.backboneCrushed {
-			f.Net.SetBackgroundBoth(link, 0)
-		}
-	})
-	f.backboneCrushed = nil
-}
-
-// FailRegion starves every access link under router r (0-based index) —
-// region-wide failure injection: every process on the region's hosts,
-// whichever application owns it, loses its connectivity. Refcounted with
-// the per-app crushes, so overlapping injections compose. RestoreRegion
-// lifts it.
-func (f *Fleet) FailRegion(r int) error {
-	if r < 0 || r >= len(f.Grid.HostsByRouter) {
-		return fmt.Errorf("fleet: no router %d", r)
-	}
-	if len(f.regionCrushed[r]) > 0 {
-		return nil // already failed
-	}
-	f.Net.Batch(func() {
-		for _, h := range f.Grid.HostsByRouter[r] {
-			link := f.Grid.AccessLink(h)
-			f.addCrush(link)
-			f.regionCrushed[r] = append(f.regionCrushed[r], link)
-		}
-	})
-	return nil
-}
-
-// RestoreRegion lifts a region failure installed by FailRegion.
-func (f *Fleet) RestoreRegion(r int) {
-	links := f.regionCrushed[r]
-	if len(links) == 0 {
-		return
-	}
-	f.Net.Batch(func() {
-		for _, link := range links {
-			f.dropCrush(link)
-		}
-	})
-	delete(f.regionCrushed, r)
 }

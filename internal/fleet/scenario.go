@@ -82,6 +82,17 @@ type ScenarioOptions struct {
 	RegionFailDuration float64
 	RegionFailRouter   int
 
+	// Faults is an explicit fault schedule (faults.go) composing the
+	// injectors freely — overlapping region failures, partial restores,
+	// forced migrations, mid-run retirements — beyond what the single-event
+	// knobs above express. Events fire in At order (ties in list order,
+	// after any same-instant admissions); a Fault with Duration > 0
+	// auto-schedules its matching restore. Empty (the default) the run is
+	// byte-identical to a build without the schedule. This is the chaos
+	// engine's vocabulary: internal/chaos generates these, and shrunk
+	// reproducers paste back in as literals.
+	Faults []Fault
+
 	// Adaptive enables repairs (default via Config); Manager tunes each
 	// application's architecture manager.
 	Adaptive bool
@@ -187,9 +198,25 @@ type ScenarioResult struct {
 // Table renders the result's per-app table.
 func (r *ScenarioResult) Table() string { return Table(r.Summaries) }
 
-// RunScenario executes one fleet run to completion. Runs are deterministic:
-// the same options (including Seed) produce identical summaries.
-func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
+// ScenarioRun is a fully scheduled scenario that has not executed yet:
+// StartScenario builds the kernel, grid and fleet and places every admission,
+// fault and retirement on the kernel; Finish runs it to completion. The gap
+// between the two is where a harness installs its own observers — the chaos
+// checker hangs mid-run invariant tickers here before letting time run.
+type ScenarioRun struct {
+	Opts  ScenarioOptions
+	K     *sim.Kernel
+	Grid  *netsim.Grid
+	Fleet *Fleet
+}
+
+// ScenarioAppName returns the name RunScenario gives app index i.
+func ScenarioAppName(i int) string { return fmt.Sprintf("app%02d", i) }
+
+// StartScenario builds one fleet run and schedules its whole script —
+// admissions, retirements, the single-event crush knobs, and the explicit
+// Faults schedule — without running any virtual time.
+func StartScenario(opts ScenarioOptions) (*ScenarioRun, error) {
 	opts = opts.withDefaults()
 	k := sim.NewKernel()
 	grid := netsim.GenerateGrid(k, netsim.GridSpec{
@@ -215,7 +242,7 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 	}
 	for i := 0; i < opts.Apps; i++ {
 		spec := opts.specFor(i)
-		spec.Name = fmt.Sprintf("app%02d", i)
+		spec.Name = ScenarioAppName(i)
 		admitAt := float64(i%appsPerWave) * opts.AdmitStagger
 		if opts.AdmitWaves > 1 {
 			admitAt += float64(i/appsPerWave) * opts.WavePeriod
@@ -255,16 +282,44 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		k.At(opts.BackboneCrushStart, func() {
 			f.CrushBackbone(opts.BackboneFraction, opts.BackboneLeaveBps)
 		})
-		k.At(opts.BackboneCrushStart+opts.BackboneCrushDuration, f.RestoreBackbone)
+		k.At(opts.BackboneCrushStart+opts.BackboneCrushDuration, func() { _ = f.RestoreBackbone() })
 	}
 	if opts.RegionFailStart > 0 {
 		k.At(opts.RegionFailStart, func() { _ = f.FailRegion(opts.RegionFailRouter) })
 		k.At(opts.RegionFailStart+opts.RegionFailDuration, func() {
-			f.RestoreRegion(opts.RegionFailRouter)
+			_ = f.RestoreRegion(opts.RegionFailRouter)
 		})
 	}
-	k.Run(opts.Duration)
-	f.Stop()
-	k.Run(opts.Duration + 120) // drain in-flight transfers and gauge churn
-	return &ScenarioResult{Opts: opts, Grid: grid, Fleet: f, Summaries: f.Summaries()}, nil
+	// The explicit fault schedule, in list order (the kernel preserves
+	// insertion order at equal times). An injection with Duration > 0
+	// schedules its paired restore too.
+	for _, flt := range opts.Faults {
+		flt := flt
+		k.At(flt.At, func() { f.applyFault(flt, ScenarioAppName) })
+		if restore := flt.Kind.restoreKind(); restore != "" && flt.Duration > 0 {
+			lift := Fault{Kind: restore, App: flt.App, Router: flt.Router}
+			k.At(flt.At+flt.Duration, func() { f.applyFault(lift, ScenarioAppName) })
+		}
+	}
+	return &ScenarioRun{Opts: opts, K: k, Grid: grid, Fleet: f}, nil
+}
+
+// Finish runs a started scenario to completion: Duration seconds of
+// scripted time, fleet stop, then a 120 s drain of in-flight transfers and
+// gauge churn.
+func (r *ScenarioRun) Finish() *ScenarioResult {
+	r.K.Run(r.Opts.Duration)
+	r.Fleet.Stop()
+	r.K.Run(r.Opts.Duration + 120)
+	return &ScenarioResult{Opts: r.Opts, Grid: r.Grid, Fleet: r.Fleet, Summaries: r.Fleet.Summaries()}
+}
+
+// RunScenario executes one fleet run to completion. Runs are deterministic:
+// the same options (including Seed) produce identical summaries.
+func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
+	run, err := StartScenario(opts)
+	if err != nil {
+		return nil, err
+	}
+	return run.Finish(), nil
 }

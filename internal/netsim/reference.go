@@ -1,5 +1,33 @@
 package netsim
 
+import (
+	"fmt"
+	"math"
+)
+
+// VerifyReference re-solves the whole network with the retained global
+// oracle (ReferenceRates) and compares every active flow's incremental rate
+// against it, within relative tolerance tol. It is the component-
+// decomposition equivalence check the chaos soak harness spot-checks mid-run:
+// if the region-partitioned incremental solver ever drifts from the global
+// progressive-filling answer, the first diverging flow is reported.
+func (n *Network) VerifyReference(tol float64) error {
+	ref := n.ReferenceRates()
+	for _, f := range n.flows {
+		if len(f.path) == 0 {
+			continue
+		}
+		want := ref[f]
+		got := f.rate
+		scale := math.Max(math.Abs(got), math.Abs(want))
+		if math.Abs(got-want) > tol*math.Max(scale, 1) {
+			return fmt.Errorf("netsim: flow %d rate %g diverges from reference %g (rel err %.3g)",
+				f.id, got, want, math.Abs(got-want)/math.Max(scale, 1))
+		}
+	}
+	return nil
+}
+
 // ReferenceRates computes every active flow's max–min fair rate with the
 // original global progressive-filling algorithm — maps, fresh slices, all
 // flows and links considered on every call. It mutates nothing: rates are
