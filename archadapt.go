@@ -383,6 +383,13 @@ func FleetRankedMigrationBenchScenario(n int, seed uint64) FleetScenarioOptions 
 	return fleet.RankedMigrationBenchScenario(n, seed)
 }
 
+// FleetParallelBenchScenario is the canonical parallel-plane fixture
+// (simultaneous crushes, Workers-count sweep), shared by
+// BenchmarkFleetParallel and cmd/benchjson.
+func FleetParallelBenchScenario(n, workers int, seed uint64) FleetScenarioOptions {
+	return fleet.ParallelBenchScenario(n, workers, seed)
+}
+
 // FleetRegionRank is a measured health score per grid region, consumed by
 // FleetScheduler.PlaceRanked.
 type FleetRegionRank = fleet.RegionRank

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fleet [-apps N] [-mode both|control|adaptive|migrate] [-seed N]
+//	fleet [-apps N] [-mode both|control|adaptive|migrate] [-seed N] [-workers N]
 //	      [-duration S] [-routers N] [-hosts-per-router N] [-spare-routers N]
 //	      [-host-capacity N] [-admit-stagger S] [-admit-waves N] [-retire-after S]
 //	      [-crush-start S] [-crush-stagger S] [-crush-duration S]
@@ -72,6 +72,7 @@ func main() {
 	apps := flag.Int("apps", 32, "number of applications to admit")
 	mode := flag.String("mode", "both", "control | adaptive | both | migrate")
 	seed := flag.Uint64("seed", 1, "fleet seed (drives every stochastic stream)")
+	workers := flag.Int("workers", 1, "simulation worker pool size (1 = serial oracle; results are byte-identical at any setting)")
 	duration := flag.Float64("duration", 600, "run duration in simulated seconds")
 	routers := flag.Int("routers", 0, "backbone routers (0 = auto-size for -apps)")
 	hostsPerRouter := flag.Int("hosts-per-router", 0, "hosts per router (0 = auto)")
@@ -167,6 +168,8 @@ func main() {
 				base.Apps = *apps
 			case "seed":
 				base.Seed = *seed
+			case "workers":
+				base.Workers = *workers
 			case "duration":
 				base.Duration = *duration
 			case "migration":
@@ -186,6 +189,7 @@ func main() {
 		base = archadapt.FleetScenarioOptions{
 			Apps:           *apps,
 			Seed:           *seed,
+			Workers:        *workers,
 			Duration:       *duration,
 			Routers:        *routers,
 			HostsPerRouter: *hostsPerRouter,

@@ -107,6 +107,28 @@ func TestCheckSeedCleanRange(t *testing.T) {
 	}
 }
 
+// TestCheckParallelTwinClean exercises the parallel invariant's other
+// direction: a scenario that itself carries a worker pool is checked against
+// its Workers=1 serial twin, and a healthy engine keeps both byte-identical.
+func TestCheckParallelTwinClean(t *testing.T) {
+	opts := Generate(5)
+	opts.Workers = 3
+	for _, v := range Check(opts) {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestMinimalDivergingWorkersClean pins the divergence scanner's negative
+// result: on a healthy scenario every pooled run matches the serial oracle,
+// so the minimal diverging worker count is 0 (none found).
+func TestMinimalDivergingWorkersClean(t *testing.T) {
+	opts := Generate(2)
+	opts.Migration = MigratePolicy(2)
+	if w := MinimalDivergingWorkers(opts, 4); w != 0 {
+		t.Fatalf("MinimalDivergingWorkers = %d on a healthy scenario, want 0", w)
+	}
+}
+
 // TestShrinkMinimizes drives ddmin with a synthetic predicate — the failure
 // is "the schedule still contains the marker fault" — and requires the
 // shrunk scenario to be minimal: exactly the marker, one app, no admission

@@ -24,7 +24,7 @@ type Violation struct {
 	Seed uint64
 	Mode string
 	// Invariant names the failed class: determinism, slots, netsim, ranked,
-	// drains, or run (the scenario failed to start at all).
+	// drains, parallel, or run (the scenario failed to start at all).
 	Invariant string
 	Detail    string
 }
@@ -62,8 +62,8 @@ func Check(opts fleet.ScenarioOptions) []Violation {
 		vs = append(vs, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
 	}
 
-	run := func(spot bool) (*fleet.ScenarioResult, error) {
-		r, err := fleet.StartScenario(opts)
+	run := func(o fleet.ScenarioOptions, spot bool) (*fleet.ScenarioResult, error) {
+		r, err := fleet.StartScenario(o)
 		if err != nil {
 			return nil, err
 		}
@@ -89,20 +89,21 @@ func Check(opts fleet.ScenarioOptions) []Violation {
 		return r.Finish(), nil
 	}
 
-	res, err := run(true)
+	res, err := run(opts, true)
 	if err != nil {
 		add("run", "scenario failed to start: %v", err)
 		return vs
 	}
-	rerun, err := run(false)
+	rerun, err := run(opts, false)
 	if err != nil {
 		add("run", "re-run failed to start: %v", err)
 		return vs
 	}
 
 	// (1) Same-seed determinism, byte-identical.
-	if f1, f2 := Fingerprint(res), Fingerprint(rerun); f1 != f2 {
-		add("determinism", "same-seed runs diverge:\n--- run 1\n%s--- run 2\n%s", f1, f2)
+	baseFP := Fingerprint(res)
+	if f2 := Fingerprint(rerun); baseFP != f2 {
+		add("determinism", "same-seed runs diverge:\n--- run 1\n%s--- run 2\n%s", baseFP, f2)
 	}
 
 	f := res.Fleet
@@ -138,6 +139,25 @@ func Check(opts fleet.ScenarioOptions) []Violation {
 					name, i, m.CompletedAt, m.DecidedAt)
 			}
 		}
+	}
+
+	// (6) Parallel worker invariance: Workers is a pure throughput knob, so a
+	// pooled run must be byte-identical to the single-kernel oracle (and a
+	// scenario already carrying a pool must match its serial twin). On a
+	// divergence the detail names the minimal worker count that reproduces
+	// it, found by MinimalDivergingWorkers.
+	par := opts
+	if par.Workers > 1 {
+		par.Workers = 1
+	} else {
+		par.Workers = 2
+	}
+	if pres, perr := run(par, false); perr != nil {
+		add("parallel", "workers=%d twin failed to start: %v", par.Workers, perr)
+	} else if pf := Fingerprint(pres); pf != baseFP {
+		minW := MinimalDivergingWorkers(opts, 8)
+		add("parallel", "workers=%d run diverges from workers=%d (minimal diverging count %d):\n--- workers=%d\n%s--- workers=%d\n%s",
+			par.Workers, opts.Workers, minW, opts.Workers, baseFP, par.Workers, pf)
 	}
 	return vs
 }

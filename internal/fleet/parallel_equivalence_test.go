@@ -1,0 +1,104 @@
+package fleet_test
+
+import (
+	"reflect"
+	"testing"
+
+	"archadapt/internal/chaos"
+	"archadapt/internal/fleet"
+)
+
+// The parallel execution plane's contract: Workers is a pure throughput
+// knob. Every scenario in the catalog (SCENARIOS.md) — including the
+// fuzzer-promoted entries — must produce byte-identical summaries, migration
+// records and fingerprints at Workers ∈ {1, 2, 4}, with Workers=1 the
+// retained single-threaded oracle. This file lives in package fleet_test so
+// it can hold the runs to the chaos engine's Fingerprint, which folds in the
+// summary table, per-migration records, rejections, the slot ledger and the
+// migration high-water mark.
+
+var workerCounts = []int{1, 2, 4}
+
+// runAt runs one catalog entry's options at the given worker count.
+func runAt(t *testing.T, opts fleet.ScenarioOptions, workers int) *fleet.ScenarioResult {
+	t.Helper()
+	opts.Workers = workers
+	res, err := fleet.RunScenario(opts)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+func TestCatalogParallelEquivalence(t *testing.T) {
+	for _, e := range fleet.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			oracle := runAt(t, e.Opts, 1)
+			oracleFP := chaos.Fingerprint(oracle)
+			for _, w := range workerCounts[1:] {
+				res := runAt(t, e.Opts, w)
+				if !reflect.DeepEqual(res.Summaries, oracle.Summaries) {
+					t.Fatalf("workers=%d summaries diverge from the serial oracle:\noracle:\n%s\nparallel:\n%s",
+						w, oracle.Table(), res.Table())
+				}
+				if fp := chaos.Fingerprint(res); fp != oracleFP {
+					t.Fatalf("workers=%d fingerprint diverges from the serial oracle:\n--- oracle\n%s\n--- workers=%d\n%s",
+						w, oracleFP, w, fp)
+				}
+				for _, name := range oracle.Fleet.Apps() {
+					om := oracle.Fleet.App(name).Migrations
+					pm := res.Fleet.App(name).Migrations
+					if !reflect.DeepEqual(om, pm) {
+						t.Fatalf("workers=%d: %s migration records diverge:\n%+v\nvs\n%+v", w, name, om, pm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelWorkerAffinity pins the shard-to-worker affinity layout: app i
+// belongs to worker group i mod Workers, stable across the run, and a serial
+// fleet keeps everything in group 0.
+func TestParallelWorkerAffinity(t *testing.T) {
+	opts := fleet.ScenarioOptions{Apps: 6, Seed: 3, Duration: 60, Workers: 4, CrushStart: -1}
+	res, err := fleet.RunScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range res.Fleet.Apps() {
+		if got, want := res.Fleet.App(name).WorkerAffinity(), i%4; got != want {
+			t.Errorf("app %d affinity %d, want %d", i, got, want)
+		}
+	}
+	opts.Workers = 1
+	serial, err := fleet.RunScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range serial.Fleet.Apps() {
+		if got := serial.Fleet.App(name).WorkerAffinity(); got != 0 {
+			t.Errorf("serial fleet app %d affinity %d, want 0", i, got)
+		}
+	}
+}
+
+// TestParallelSolverExercised guards against the equivalence suite passing
+// vacuously: a parallel catalog-style run must actually dispatch
+// multi-component solves to the worker pool.
+func TestParallelSolverExercised(t *testing.T) {
+	opts := fleet.ScenarioOptions{
+		Apps: 6, Seed: 11, Duration: 240, Adaptive: true, Workers: 4,
+		CrushStart: 120, CrushStagger: 0, CrushDuration: 60,
+	}
+	run, err := fleet.StartScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Finish()
+	st := res.Fleet.Net.Stats()
+	if st.ParallelFills == 0 {
+		t.Fatalf("no multi-component solve hit the worker pool (stats %+v)", st)
+	}
+}

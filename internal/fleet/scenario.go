@@ -111,6 +111,13 @@ type ScenarioOptions struct {
 	// Off (the default) the run is byte-identical to an untraced build.
 	Trace bool
 
+	// Workers sizes the fleet's simulation worker pool (Config.Workers).
+	// 0 or 1 (the default) runs fully serial — the retained single-threaded
+	// oracle. Same-seed runs are byte-identical at every setting; the
+	// catalog-wide equivalence test and the chaos parallel invariant enforce
+	// exactly that.
+	Workers int
+
 	// GlobalReflow forces the network's pre-incremental global solver (every
 	// flow recomputed on every change). Test/bench escape hatch: the solver
 	// equivalence test runs the same scenario both ways and requires
@@ -232,6 +239,7 @@ func StartScenario(opts ScenarioOptions) (*ScenarioRun, error) {
 		PerAppMonitoring: opts.PerAppMonitoring,
 		Migration:        opts.Migration,
 		Trace:            opts.Trace,
+		Workers:          opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -306,12 +314,15 @@ func StartScenario(opts ScenarioOptions) (*ScenarioRun, error) {
 
 // Finish runs a started scenario to completion: Duration seconds of
 // scripted time, fleet stop, then a 120 s drain of in-flight transfers and
-// gauge churn.
+// gauge churn. The fleet's worker pool (if any) is released once the final
+// summaries are taken.
 func (r *ScenarioRun) Finish() *ScenarioResult {
 	r.K.Run(r.Opts.Duration)
 	r.Fleet.Stop()
 	r.K.Run(r.Opts.Duration + 120)
-	return &ScenarioResult{Opts: r.Opts, Grid: r.Grid, Fleet: r.Fleet, Summaries: r.Fleet.Summaries()}
+	res := &ScenarioResult{Opts: r.Opts, Grid: r.Grid, Fleet: r.Fleet, Summaries: r.Fleet.Summaries()}
+	r.Fleet.Close()
+	return res
 }
 
 // RunScenario executes one fleet run to completion. Runs are deterministic:

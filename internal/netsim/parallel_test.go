@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"testing"
+
+	"archadapt/internal/sim"
+)
+
+// Parallel per-component filling must be byte-identical to the serial path —
+// not merely close. The twins below share one kernel: `serial` runs with the
+// nil pool (the oracle), `par` with a worker pool attached. Both see the same
+// event sequence; after every step all live-flow rates must compare equal
+// with ==, and flow accounting must match exactly.
+
+type parTwins struct {
+	k           *sim.Kernel
+	serial, par *Network
+	nodes       []NodeID
+	links       []LinkID
+	caps        []float64
+	live        [][2]*Flow
+}
+
+// buildParTwins builds two identical chain networks of nHosts hosts. A chain
+// keeps short transfers on disjoint link sets, so batched events routinely
+// dirty several connected components at once — the parallel fill's case.
+func buildParTwins(pool *sim.WorkerPool, nHosts int) *parTwins {
+	tw := &parTwins{k: sim.NewKernel()}
+	tw.serial = New(tw.k)
+	tw.par = New(tw.k)
+	tw.par.Workers = pool
+	for i := 0; i < nHosts; i++ {
+		tw.nodes = append(tw.nodes, tw.serial.AddHost(string(rune('a'+i))))
+		tw.par.AddHost(string(rune('a' + i)))
+	}
+	for i := 1; i < nHosts; i++ {
+		c := 1e6 * float64(1+(i*7)%10)
+		tw.links = append(tw.links, tw.serial.Connect(tw.nodes[i-1], tw.nodes[i], c, 1e-3))
+		tw.par.Connect(tw.nodes[i-1], tw.nodes[i], c, 1e-3)
+		tw.caps = append(tw.caps, c)
+	}
+	return tw
+}
+
+// checkExact compares the twins with ==: any difference is a determinism bug.
+func (tw *parTwins) checkExact(t *testing.T) {
+	t.Helper()
+	if tw.serial.ActiveFlows() != tw.par.ActiveFlows() ||
+		tw.serial.CompletedFlows() != tw.par.CompletedFlows() {
+		t.Fatalf("flow accounting diverged: active %d vs %d, completed %d vs %d",
+			tw.serial.ActiveFlows(), tw.par.ActiveFlows(),
+			tw.serial.CompletedFlows(), tw.par.CompletedFlows())
+	}
+	for i, pair := range tw.live {
+		fs, fp := pair[0], pair[1]
+		if fs.index < 0 || fp.index < 0 {
+			continue // completed or cancelled
+		}
+		if fs.Rate() != fp.Rate() {
+			t.Fatalf("flow %d at t=%.4f: serial rate %v != parallel rate %v",
+				i, tw.k.Now(), fs.Rate(), fp.Rate())
+		}
+	}
+}
+
+func TestParallelFillByteIdentical(t *testing.T) {
+	pool := sim.NewWorkerPool(4)
+	defer pool.Close()
+	for seed := uint64(1); seed <= 6; seed++ {
+		rng := sim.NewRand(seed * 0x9e3779b97f4a7c15)
+		tw := buildParTwins(pool, 14)
+		nHosts := len(tw.nodes)
+		at := 0.0
+		for step := 0; step < 160; step++ {
+			at += rng.Float64() * 0.15
+			switch rng.Intn(4) {
+			case 0, 1: // short transfer between nearby hosts: disjoint regions
+				s := rng.Intn(nHosts)
+				d := s + 1 + rng.Intn(3)
+				if d >= nHosts {
+					d = nHosts - 1
+				}
+				if s == d {
+					continue
+				}
+				bits := 1e4 * float64(1+rng.Intn(400))
+				tw.k.At(at, func() {
+					var pair [2]*Flow
+					pair[0] = tw.serial.StartTransfer(tw.nodes[s], tw.nodes[d], bits, "par", nil)
+					pair[1] = tw.par.StartTransfer(tw.nodes[s], tw.nodes[d], bits, "par", nil)
+					tw.live = append(tw.live, pair)
+				})
+			case 2: // batched background changes on several scattered links:
+				// one solve, many dirty components, the parallel fill's case
+				li1 := rng.Intn(len(tw.links))
+				li2 := rng.Intn(len(tw.links))
+				li3 := rng.Intn(len(tw.links))
+				load1 := tw.caps[li1] * rng.Float64()
+				load2 := tw.caps[li2] * rng.Float64()
+				load3 := tw.caps[li3] * rng.Float64()
+				tw.k.At(at, func() {
+					tw.serial.Batch(func() {
+						tw.serial.SetBackgroundBoth(tw.links[li1], load1)
+						tw.serial.SetBackgroundBoth(tw.links[li2], load2)
+						tw.serial.SetBackgroundBoth(tw.links[li3], load3)
+					})
+					tw.par.Batch(func() {
+						tw.par.SetBackgroundBoth(tw.links[li1], load1)
+						tw.par.SetBackgroundBoth(tw.links[li2], load2)
+						tw.par.SetBackgroundBoth(tw.links[li3], load3)
+					})
+				})
+			case 3: // probe both; shares must be bit-equal too
+				s, d := rng.Intn(nHosts), rng.Intn(nHosts)
+				tw.k.At(at, func() {
+					a := tw.serial.BottleneckShare(tw.nodes[s], tw.nodes[d])
+					b := tw.par.BottleneckShare(tw.nodes[s], tw.nodes[d])
+					if a != b {
+						t.Fatalf("probe share diverged: serial %v != parallel %v", a, b)
+					}
+				})
+			}
+			tw.k.At(at, func() { tw.checkExact(t) })
+		}
+		tw.k.RunAll(0)
+		tw.checkExact(t)
+		if tw.serial.CompletedFlows() == 0 {
+			t.Fatalf("seed %d: no flow completed — the run proved nothing", seed)
+		}
+		// The parallel network must actually have exercised the pooled path —
+		// a multi-component solve dispatched to the workers.
+		if st := tw.par.Stats(); st.ParallelFills == 0 {
+			t.Fatalf("seed %d: no multi-component solve hit the worker pool (stats %+v)", seed, st)
+		}
+	}
+}
+
+// TestParallelFillComponentStats pins the component accounting: a batch that
+// dirties two disjoint link groups produces one solve with two components,
+// pooled only when Workers is attached.
+func TestParallelFillComponentStats(t *testing.T) {
+	pool := sim.NewWorkerPool(2)
+	defer pool.Close()
+	for _, attach := range []bool{false, true} {
+		k := sim.NewKernel()
+		n := New(k)
+		if attach {
+			n.Workers = pool
+		}
+		a, b := n.AddHost("a"), n.AddHost("b")
+		c, d := n.AddHost("c"), n.AddHost("d")
+		l1 := n.Connect(a, b, 1e6, 1e-3)
+		l2 := n.Connect(c, d, 1e6, 1e-3)
+		n.StartTransfer(a, b, 1e5, "s", nil)
+		n.StartTransfer(c, d, 1e5, "s", nil)
+		before := n.Stats()
+		n.Batch(func() {
+			n.SetBackgroundBoth(l1, 5e5)
+			n.SetBackgroundBoth(l2, 2.5e5)
+		})
+		st := n.Stats()
+		if got := st.Solves - before.Solves; got != 1 {
+			t.Fatalf("attach=%v: batch ran %d solves, want 1", attach, got)
+		}
+		if got := st.Components - before.Components; got != 2 {
+			t.Fatalf("attach=%v: batch filled %d components, want 2", attach, got)
+		}
+		gotPar := st.ParallelFills - before.ParallelFills
+		if attach && gotPar != 1 {
+			t.Fatalf("attach=true: %d parallel fills, want 1", gotPar)
+		}
+		if !attach && gotPar != 0 {
+			t.Fatalf("attach=false: %d parallel fills, want 0", gotPar)
+		}
+	}
+}

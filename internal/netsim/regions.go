@@ -63,6 +63,14 @@ import "slices"
 //     to that component. Same order ⇒ same rounding ⇒ byte-identical rates —
 //     the property the equivalence oracles assert, not merely "close".
 //
+// Because components are independent by the argument above, the solver fills
+// each dirty component separately — and, when Network.Workers is attached,
+// fills disjoint components concurrently on the worker pool. Parallelism
+// changes neither the arithmetic (each component's fill order is fixed by its
+// sorted member list) nor kernel event order (settlement and completion
+// rescheduling run serially afterwards, over all region flows in global
+// index order), so any worker count produces byte-identical runs.
+//
 // GlobalReflow forces a global recompute on every solve (over the same
 // lazy-settlement machinery) and anchors the equivalence tests;
 // ReferenceRates retains the original algorithm itself.
@@ -171,13 +179,19 @@ func (n *Network) flushDirty() {
 	}
 }
 
-// collectRegion expands the dirty set to its connected components, filling
-// n.regionFlows / n.regionRes (sorted into global order). With GlobalReflow
-// set, every flow and resource is collected regardless of dirt.
+// collectRegion expands the dirty set to its connected components. It fills
+// two views of the same membership: n.compFlows / n.compRes grouped by
+// component (each group sorted into global order, boundaries in n.compSpans)
+// for per-component filling, and n.regionFlows / n.regionRes sorted into one
+// global order for settlement. With GlobalReflow set, every flow and resource
+// is collected into a single component regardless of dirt.
 func (n *Network) collectRegion() {
 	n.epoch++
 	n.regionFlows = n.regionFlows[:0]
 	n.regionRes = n.regionRes[:0]
+	n.compFlows = n.compFlows[:0]
+	n.compRes = n.compRes[:0]
+	n.compSpans = n.compSpans[:0]
 	if n.GlobalReflow {
 		for _, ri := range n.dirtyRes {
 			n.res[ri].dirty = false
@@ -189,40 +203,70 @@ func (n *Network) collectRegion() {
 			}
 		}
 		n.regionFlows = append(n.regionFlows, n.flows...)
+		// One component covering everything, filled in the historical
+		// (unsorted) global-reflow order.
+		n.compFlows = append(n.compFlows, n.regionFlows...)
+		n.compRes = append(n.compRes, n.regionRes...)
+		n.compSpans = append(n.compSpans, compSpan{
+			flowLo: 0, flowHi: int32(len(n.compFlows)),
+			resLo: 0, resHi: int32(len(n.compRes)),
+		})
 		return
 	}
-	n.stack = n.stack[:0]
 	for _, ri := range n.dirtyRes {
-		r := &n.res[ri]
-		r.dirty = false
-		if r.seen != n.epoch {
-			r.seen = n.epoch
-			n.regionRes = append(n.regionRes, ri)
-			n.stack = append(n.stack, ri)
-		}
+		n.res[ri].dirty = false
 	}
-	n.dirtyRes = n.dirtyRes[:0]
-	for len(n.stack) > 0 {
-		ri := n.stack[len(n.stack)-1]
-		n.stack = n.stack[:len(n.stack)-1]
-		for _, fr := range n.res[ri].flows {
-			f := fr.f
-			if f.seen == n.epoch {
-				continue
-			}
-			f.seen = n.epoch
-			n.regionFlows = append(n.regionFlows, f)
-			for _, h := range f.path {
-				rj := resIndex(h)
-				r := &n.res[rj]
-				if r.seen != n.epoch {
-					r.seen = n.epoch
-					n.regionRes = append(n.regionRes, rj)
-					n.stack = append(n.stack, rj)
+	// Walk each dirty seed to its component's closure. Seeds landing in an
+	// already-collected component are skipped by the epoch check, so each
+	// component is collected exactly once, contiguously.
+	for _, seed := range n.dirtyRes {
+		if n.res[seed].seen == n.epoch {
+			continue
+		}
+		flowLo, resLo := int32(len(n.compFlows)), int32(len(n.compRes))
+		n.res[seed].seen = n.epoch
+		n.compRes = append(n.compRes, seed)
+		n.stack = append(n.stack[:0], seed)
+		for len(n.stack) > 0 {
+			ri := n.stack[len(n.stack)-1]
+			n.stack = n.stack[:len(n.stack)-1]
+			for _, fr := range n.res[ri].flows {
+				f := fr.f
+				if f.seen == n.epoch {
+					continue
+				}
+				f.seen = n.epoch
+				n.compFlows = append(n.compFlows, f)
+				for _, h := range f.path {
+					rj := resIndex(h)
+					r := &n.res[rj]
+					if r.seen != n.epoch {
+						r.seen = n.epoch
+						n.compRes = append(n.compRes, rj)
+						n.stack = append(n.stack, rj)
+					}
 				}
 			}
 		}
+		if int32(len(n.compFlows)) == flowLo {
+			// A dirtied resource with no crossing flows (e.g. the unused
+			// direction of a changed link): nothing to fill, no span. Its
+			// resources stay collected so scratch init covers them.
+			continue
+		}
+		// Sort the component's members into global order so the fill's
+		// floating-point operations run in the same order as a global
+		// recompute restricted to this component — byte-identical rates.
+		slices.Sort(n.compRes[resLo:])
+		slices.SortFunc(n.compFlows[flowLo:], func(a, b *Flow) int { return a.index - b.index })
+		n.compSpans = append(n.compSpans, compSpan{
+			flowLo: flowLo, flowHi: int32(len(n.compFlows)),
+			resLo: resLo, resHi: int32(len(n.compRes)),
+		})
 	}
+	n.dirtyRes = n.dirtyRes[:0]
+	n.regionFlows = append(n.regionFlows, n.compFlows...)
+	n.regionRes = append(n.regionRes, n.compRes...)
 	slices.Sort(n.regionRes)
 	slices.SortFunc(n.regionFlows, func(a, b *Flow) int { return a.index - b.index })
 }
@@ -249,12 +293,16 @@ const (
 )
 
 // solveDirty collects the dirtied regions and re-runs progressive filling
-// inside them.
+// inside them, one connected component at a time. Components share no flows
+// and no resources, so they fill independently — in parallel on n.Workers
+// when attached, serially otherwise — with byte-identical rates either way.
 func (n *Network) solveDirty(mode solveMode) {
 	if len(n.dirtyRes) == 0 {
 		return
 	}
 	n.collectRegion()
+	n.stats.Solves++
+	n.stats.Components += uint64(len(n.compSpans))
 	for _, ri := range n.regionRes {
 		r := &n.res[ri]
 		l := n.links[ri>>1]
@@ -268,15 +316,56 @@ func (n *Network) solveDirty(mode solveMode) {
 		}
 		f.rate = 0
 	}
-	// Progressive filling, restricted to the region: repeatedly find the most
-	// constrained resource, freeze the flows bottlenecked there at the equal
-	// share, remove that capacity, and continue. Saturated links still grant
-	// MinFlowRate so transfers always trickle (the paper's control run bottoms
-	// out near 1e-4 Mbps rather than zero).
-	unfrozen := len(n.regionFlows)
+	if n.Workers != nil && len(n.compSpans) > 1 {
+		n.stats.ParallelFills++
+		n.Workers.Do(len(n.compSpans), func(i int) {
+			sp := n.compSpans[i]
+			n.fillComponent(n.compFlows[sp.flowLo:sp.flowHi], n.compRes[sp.resLo:sp.resHi], epoch)
+		})
+	} else {
+		for _, sp := range n.compSpans {
+			n.fillComponent(n.compFlows[sp.flowLo:sp.flowHi], n.compRes[sp.resLo:sp.resHi], epoch)
+		}
+	}
+	if mode == solveProbe {
+		return
+	}
+	// Settle progress and move completions only for flows whose rate actually
+	// changed; stable flows keep their event and their lazily-settled state.
+	// (In solveRestore, prevRate is the pre-probe rate, which was also the
+	// rate in effect since `last` — the probe's transient rates existed for
+	// zero simulated time.)
+	now := n.K.Now()
+	for _, f := range n.regionFlows {
+		if f.rate == f.prevRate {
+			continue
+		}
+		if dt := now - f.last; dt > 0 {
+			f.remaining -= f.prevRate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+		n.rescheduleCompletion(f)
+	}
+}
+
+// fillComponent runs progressive filling over one connected component:
+// repeatedly find the most constrained resource, freeze the flows
+// bottlenecked there at the equal share, remove that capacity, and continue.
+// Saturated links still grant MinFlowRate so transfers always trickle (the
+// paper's control run bottoms out near 1e-4 Mbps rather than zero).
+//
+// The fill touches only the component's own flows (rate, frozen) and
+// resources (avail, count scratch) plus read-only network config, so disjoint
+// components may fill concurrently. Within a component the arithmetic order
+// is fixed by the sorted member order, independent of worker count.
+func (n *Network) fillComponent(flows []*Flow, resIdx []int32, epoch uint64) {
+	unfrozen := len(flows)
 	for unfrozen > 0 {
 		minShare := -1.0
-		for _, ri := range n.regionRes {
+		for _, ri := range resIdx {
 			r := &n.res[ri]
 			if r.count == 0 {
 				continue
@@ -293,7 +382,7 @@ func (n *Network) solveDirty(mode solveMode) {
 			minShare = n.MinFlowRate
 		}
 		progressed := false
-		for _, f := range n.regionFlows {
+		for _, f := range flows {
 			if f.frozen == epoch {
 				continue
 			}
@@ -324,7 +413,7 @@ func (n *Network) solveDirty(mode solveMode) {
 		}
 		if !progressed {
 			// Numerical corner: give every remaining flow the floor rate.
-			for _, f := range n.regionFlows {
+			for _, f := range flows {
 				if f.frozen != epoch {
 					f.rate = n.MinFlowRate
 					f.frozen = epoch
@@ -332,28 +421,6 @@ func (n *Network) solveDirty(mode solveMode) {
 				}
 			}
 		}
-	}
-	if mode == solveProbe {
-		return
-	}
-	// Settle progress and move completions only for flows whose rate actually
-	// changed; stable flows keep their event and their lazily-settled state.
-	// (In solveRestore, prevRate is the pre-probe rate, which was also the
-	// rate in effect since `last` — the probe's transient rates existed for
-	// zero simulated time.)
-	now := n.K.Now()
-	for _, f := range n.regionFlows {
-		if f.rate == f.prevRate {
-			continue
-		}
-		if dt := now - f.last; dt > 0 {
-			f.remaining -= f.prevRate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-		f.last = now
-		n.rescheduleCompletion(f)
 	}
 }
 

@@ -74,7 +74,10 @@ type Network struct {
 
 	// Incremental-solver state (see regions.go): per-(link,dir) resources
 	// with their crossing-flow lists, the pending dirty set, batching depth,
-	// the region-visit epoch, and reusable scratch buffers.
+	// the region-visit epoch, and reusable scratch buffers. compFlows/compRes
+	// hold the same region members grouped by connected component (each
+	// group sorted into global order), with compSpans marking the group
+	// boundaries — the unit of parallel filling.
 	res         []resource
 	dirtyRes    []int32
 	batching    int
@@ -82,6 +85,18 @@ type Network struct {
 	regionFlows []*Flow
 	regionRes   []int32
 	stack       []int32
+	compFlows   []*Flow
+	compRes     []int32
+	compSpans   []compSpan
+	stats       SolveStats
+
+	// Workers, when non-nil, fills the connected components of a multi-region
+	// solve in parallel. The fill touches only component-local state and every
+	// component's arithmetic runs in the same order at any worker count, so
+	// rates are byte-identical to the nil (serial) pool — the oracle path.
+	// Settlement and completion rescheduling stay serial, in global flow
+	// order, so kernel event sequencing never depends on the pool.
+	Workers *sim.WorkerPool
 
 	// GlobalReflow disables region partitioning and recomputes every flow on
 	// every solve — the pre-incremental behaviour. Retained as an escape
@@ -107,6 +122,26 @@ type Network struct {
 	dropRate float64
 	dropRNG  *sim.Rand
 }
+
+// compSpan marks one connected component's slice of the comp scratch arrays.
+type compSpan struct {
+	flowLo, flowHi int32
+	resLo, resHi   int32
+}
+
+// SolveStats counts solver work since the network was created.
+type SolveStats struct {
+	// Solves is the number of dirty-region solves.
+	Solves uint64
+	// Components is the total number of connected components filled.
+	Components uint64
+	// ParallelFills is the number of solves whose components were filled on
+	// the worker pool (multi-component solves with Workers attached).
+	ParallelFills uint64
+}
+
+// Stats returns a snapshot of the solver counters.
+func (n *Network) Stats() SolveStats { return n.stats }
 
 type hopTo struct {
 	to NodeID

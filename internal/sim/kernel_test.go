@@ -367,6 +367,99 @@ func TestAnonEventPoolRecycles(t *testing.T) {
 	}
 }
 
+// TestPooledEventTieBreakTable pins the (time, seq) contract across every
+// allocation path at once: however an event reaches the queue — fresh At, a
+// pooled AtAnon/AtAnonArg (fresh or recycled struct), Reuse of a fired
+// struct, or Reschedule of a pending one — same-time events fire in exactly
+// the order their *latest* scheduling happened. This is the ordering the
+// parallel plane's merged-injection step leans on (exchanged events are
+// injected before next-window locals and must stay ahead of them), so it is
+// pinned here as a table rather than left implicit in the pooling code.
+func TestPooledEventTieBreakTable(t *testing.T) {
+	cases := []struct {
+		name string
+		// build schedules events on a fresh kernel, logging each firing.
+		build func(k *Kernel, log func(string))
+		want  []string
+	}{
+		{
+			// Warmed pool: recycled anonymous structs must re-enter FIFO at
+			// their new scheduling position, not inherit stale sequence state.
+			name: "recycled anon structs keep scheduling order",
+			build: func(k *Kernel, log func(string)) {
+				k.AtAnon(1, func() { log("warm1") })
+				k.AtAnon(1, func() { log("warm2") })
+				k.Run(1) // both fire; their structs land in the free pool
+				k.At(10, func() { log("a") })
+				k.AtAnon(10, func() { log("b") }) // recycled struct
+				k.AtAnonArg(10, func(arg any) { log(arg.(string)) }, "c")
+				k.AtAnon(10, func() { log("d") })
+			},
+			want: []string{"warm1", "warm2", "a", "b", "c", "d"},
+		},
+		{
+			// A fired named event recycled via Reuse slots in by its Reuse
+			// call order, between the At before it and the AtAnon after it.
+			name: "reuse after fire re-enters FIFO at reuse time",
+			build: func(k *Kernel, log func(string)) {
+				e := k.At(1, func() { log("first-life") })
+				k.Run(1)
+				k.At(10, func() { log("x") })
+				k.Reuse(e, 10, func() { log("y") })
+				k.AtAnon(10, func() { log("z") })
+			},
+			want: []string{"first-life", "x", "y", "z"},
+		},
+		{
+			// Reschedule re-sequences: a pending event moved onto a contested
+			// time fires after everything already scheduled there, before
+			// anything scheduled later — exactly like a Cancel+At pair.
+			name: "reschedule re-sequences behind existing same-time events",
+			build: func(k *Kernel, log func(string)) {
+				e := k.At(2, func() { log("moved") })
+				k.At(10, func() { log("a") })
+				k.AtAnon(10, func() { log("b") })
+				k.Reschedule(e, 10)
+				k.AtAnon(10, func() { log("c") })
+			},
+			want: []string{"a", "b", "moved", "c"},
+		},
+		{
+			// The full churn cycle: schedule, reschedule, fire, then Reuse the
+			// same struct onto a contested time. The second life's position
+			// comes from the Reuse call alone; the earlier Reschedule must
+			// leave no trace in the tie-break.
+			name: "reuse after reschedule carries no stale sequence",
+			build: func(k *Kernel, log func(string)) {
+				e := k.At(1, func() { log("second") })
+				k.Reschedule(e, 2)
+				k.Run(2) // fires at 2, struct now free
+				late := k.At(12, func() { log("tail") })
+				k.AtAnon(10, func() { log("head") })
+				k.Reuse(e, 10, func() { log("mid") })
+				k.Reschedule(late, 10)
+			},
+			want: []string{"second", "head", "mid", "tail"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := NewKernel()
+			var got []string
+			tc.build(k, func(s string) { got = append(got, s) })
+			k.RunAll(0)
+			if len(got) != len(tc.want) {
+				t.Fatalf("fired %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("fired %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
 func TestReuseRecyclesFiredEvent(t *testing.T) {
 	k := NewKernel()
 	n := 0

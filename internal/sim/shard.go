@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Sharded execution: per-region worker kernels advancing in lockstep
+// time windows, with deterministic cross-shard event exchange at the
+// window boundaries.
+//
+// This is the conservative parallel-DES substrate for region-sharded fleet
+// execution. Each shard owns one Kernel and everything scheduled on it; a
+// window advances every shard to a common horizon in parallel (no shard can
+// observe another mid-window), and events aimed across the boundary are
+// buffered in per-shard outboxes and merged at the barrier. The merge is the
+// whole determinism story, so its ordering contract is stated once, here:
+//
+//	cross-shard events are delivered in (time, source shard, source send
+//	sequence) order, and are injected into the target kernel in exactly
+//	that order, so the target's own FIFO tie-break (kernel seq) reproduces
+//	it for events at equal times.
+//
+// The protocol is conservative, not speculative: a send's delivery time must
+// be at or after the horizon of the window that issued it (the sender's
+// lookahead — e.g. a network propagation delay — is the slack that makes
+// windows non-trivial). Sends violating the horizon panic at the merge.
+//
+// Worker count never changes results: within a window shards share no
+// mutable state, and the merge is serial and totally ordered. Running the
+// same shard set on the nil (serial) pool executes the same windows in shard
+// order — the oracle the parallel path is tested against, byte for byte.
+
+// Shards is a set of worker kernels advancing in lockstep windows.
+type Shards struct {
+	pool   *WorkerPool
+	shards []*ShardKernel
+	// horizon is the end of the last completed window: the earliest time a
+	// cross-shard send issued in the next window may be delivered.
+	horizon Time
+}
+
+// ShardKernel is one shard: a Kernel plus the shard's exchange outbox. Only
+// the shard's own events may touch it (one worker drives a shard per window).
+type ShardKernel struct {
+	*Kernel
+	set *Shards
+	id  int
+	seq uint64
+	out []xevent
+}
+
+// xevent is one cross-shard event in flight through the exchange.
+type xevent struct {
+	at  Time
+	src int
+	seq uint64
+	to  int
+	fn  func()
+}
+
+// NewShards creates n shard kernels sharing one worker pool. A nil pool runs
+// every window serially, in shard order — the reference execution.
+func NewShards(pool *WorkerPool, n int) *Shards {
+	if n < 1 {
+		panic("sim: NewShards needs at least one shard")
+	}
+	s := &Shards{pool: pool}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, &ShardKernel{Kernel: NewKernel(), set: s, id: i})
+	}
+	return s
+}
+
+// Len returns the shard count.
+func (s *Shards) Len() int { return len(s.shards) }
+
+// Shard returns shard i's kernel handle.
+func (s *Shards) Shard(i int) *ShardKernel { return s.shards[i] }
+
+// Horizon returns the end of the last completed window.
+func (s *Shards) Horizon() Time { return s.horizon }
+
+// ID returns the shard's index in its set.
+func (sk *ShardKernel) ID() int { return sk.id }
+
+// Send schedules fn at absolute time `at` on shard `to`. It may be called
+// from inside one of this shard's events during a window; delivery happens at
+// the next exchange. The conservative contract: `at` must be at or after the
+// end of the current window (the caller's lookahead across the boundary);
+// violations are detected at the merge and panic.
+func (sk *ShardKernel) Send(to int, at Time, fn func()) {
+	if to < 0 || to >= len(sk.set.shards) {
+		panic(fmt.Sprintf("sim: Send to unknown shard %d of %d", to, len(sk.set.shards)))
+	}
+	sk.out = append(sk.out, xevent{at: at, src: sk.id, seq: sk.seq, to: to, fn: fn})
+	sk.seq++
+}
+
+// RunWindow advances every shard to the horizon `until` in parallel, then
+// exchanges the cross-shard events issued during the window. It returns the
+// number of events executed across all shards.
+func (s *Shards) RunWindow(until Time) uint64 {
+	if until < s.horizon {
+		panic(fmt.Sprintf("sim: window horizon %.9f before previous horizon %.9f", until, s.horizon))
+	}
+	counts := make([]uint64, len(s.shards))
+	s.pool.Do(len(s.shards), func(i int) {
+		counts[i] = s.shards[i].Run(until)
+	})
+	s.horizon = until
+	s.exchange()
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// exchange merges every shard's outbox into the target kernels in the
+// protocol order: (time, source shard, source sequence). Injection happens in
+// that order, so the target kernel's FIFO tie-break preserves it at equal
+// times — including against events the target schedules itself in the next
+// window, which by construction carry later kernel sequence numbers.
+func (s *Shards) exchange() {
+	var pending []xevent
+	for _, sk := range s.shards {
+		pending = append(pending, sk.out...)
+		sk.out = sk.out[:0]
+	}
+	if len(pending) == 0 {
+		return
+	}
+	slices.SortFunc(pending, func(a, b xevent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.src != b.src {
+			return a.src - b.src
+		}
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for _, x := range pending {
+		if x.at < s.horizon {
+			panic(fmt.Sprintf("sim: cross-shard send from %d violates the exchange horizon: at=%.9f horizon=%.9f",
+				x.src, x.at, s.horizon))
+		}
+		s.shards[x.to].At(x.at, x.fn)
+	}
+}
+
+// Run advances the whole set to `until` in fixed-size windows (the exchange
+// horizon step), then runs one final window ending exactly at `until`. It
+// returns the total number of events executed.
+func (s *Shards) Run(until Time, window float64) uint64 {
+	if window <= 0 {
+		panic("sim: Run window must be positive")
+	}
+	var n uint64
+	for s.horizon+window < until {
+		n += s.RunWindow(s.horizon + window)
+	}
+	n += s.RunWindow(until)
+	return n
+}
+
+// Executed sums the executed-event counters across shards.
+func (s *Shards) Executed() uint64 {
+	var n uint64
+	for _, sk := range s.shards {
+		n += sk.Kernel.Executed()
+	}
+	return n
+}
+
+// Pending sums the queued events across shards (outbox events in transit to
+// the next exchange included).
+func (s *Shards) Pending() int {
+	n := 0
+	for _, sk := range s.shards {
+		n += sk.Kernel.Pending() + len(sk.out)
+	}
+	return n
+}

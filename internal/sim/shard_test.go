@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardTrace runs a deterministic cross-shard ping-pong on a shard set and
+// returns the per-shard execution logs. Each shard appends only to its own
+// log (no shared state inside a window), so the combined trace must be
+// byte-identical across pool sizes.
+func shardTrace(pool *WorkerPool, nShards int, windows int, window float64) string {
+	s := NewShards(pool, nShards)
+	logs := make([]*strings.Builder, nShards)
+	for i := range logs {
+		logs[i] = &strings.Builder{}
+	}
+	// Every shard ticks locally each window and forwards a token to the next
+	// shard with exactly one window of lookahead.
+	var hop func(sk *ShardKernel, token int) func()
+	hop = func(sk *ShardKernel, token int) func() {
+		return func() {
+			fmt.Fprintf(logs[sk.id], "t=%.2f shard=%d token=%d\n", sk.Now(), sk.id, token)
+			if token < windows*nShards {
+				sk.Send((sk.id+1)%nShards, sk.Now()+window, hop(s.Shard((sk.id+1)%nShards), token+1))
+			}
+		}
+	}
+	for i := 0; i < nShards; i++ {
+		sk := s.Shard(i)
+		sk.At(0, hop(sk, 0))
+		i := i
+		sk.Ticker(0.25, window, func(now Time) {
+			fmt.Fprintf(logs[i], "t=%.2f shard=%d tick\n", now, i)
+		})
+	}
+	for w := 0; w < windows; w++ {
+		s.RunWindow(float64(w+1) * window)
+	}
+	var b strings.Builder
+	for i, l := range logs {
+		fmt.Fprintf(&b, "--- shard %d\n%s", i, l.String())
+	}
+	return b.String()
+}
+
+func TestShardsDeterministicAcrossPoolSizes(t *testing.T) {
+	ref := shardTrace(nil, 4, 16, 1.0)
+	if !strings.Contains(ref, "token=3") {
+		t.Fatalf("trace never advanced the token:\n%s", ref)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		p := NewWorkerPool(workers)
+		got := shardTrace(p, 4, 16, 1.0)
+		p.Close()
+		if got != ref {
+			t.Fatalf("workers=%d trace diverges from the serial oracle:\n--- serial\n%s--- parallel\n%s",
+				workers, ref, got)
+		}
+	}
+}
+
+func TestShardsExchangeOrderContract(t *testing.T) {
+	// Three shards all send to shard 0 at the same delivery instant, in
+	// scrambled call order within each shard. The contract: delivery order is
+	// (time, source shard, source sequence), reproduced by the target
+	// kernel's FIFO tie-break.
+	s := NewShards(nil, 4)
+	var got []string
+	rec := func(tag string) func() { return func() { got = append(got, tag) } }
+	// Sends issued from inside window events (shard 3 first, then 1, then 2,
+	// interleaved at different times within the window).
+	s.Shard(3).At(0.7, func() {
+		s.Shard(3).Send(0, 2.0, rec("s3#0"))
+		s.Shard(3).Send(0, 2.0, rec("s3#1"))
+	})
+	s.Shard(1).At(0.9, func() {
+		s.Shard(1).Send(0, 2.0, rec("s1#0"))
+	})
+	s.Shard(2).At(0.1, func() {
+		s.Shard(2).Send(0, 2.5, rec("s2-late"))
+		s.Shard(2).Send(0, 2.0, rec("s2#1"))
+	})
+	s.RunWindow(1.0)
+	s.RunWindow(3.0)
+	want := []string{"s1#0", "s2#1", "s3#0", "s3#1", "s2-late"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("exchange delivered %v, want %v", got, want)
+	}
+}
+
+func TestShardsMergedEventsTieBreakBeforeNextWindowEvents(t *testing.T) {
+	// An exchanged event at time T is injected at the merge, so it carries an
+	// earlier kernel sequence than anything the target schedules for T during
+	// the next window — the exchanged event wins the FIFO tie.
+	s := NewShards(nil, 2)
+	var got []string
+	s.Shard(1).At(0.5, func() {
+		s.Shard(1).Send(0, 2.0, func() { got = append(got, "exchanged") })
+	})
+	s.Shard(0).At(1.5, func() {
+		s.Shard(0).At(2.0, func() { got = append(got, "local") })
+	})
+	s.RunWindow(1.0)
+	s.RunWindow(3.0)
+	want := []string{"exchanged", "local"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tie-break order %v, want %v", got, want)
+	}
+}
+
+func TestShardsHorizonViolationPanics(t *testing.T) {
+	s := NewShards(nil, 2)
+	s.Shard(0).At(0.5, func() {
+		// Delivery before the end of the issuing window: conservative
+		// contract violation.
+		s.Shard(0).Send(1, 0.6, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exchange-horizon violation")
+		}
+	}()
+	s.RunWindow(1.0)
+}
+
+func TestShardsRunWindows(t *testing.T) {
+	s := NewShards(nil, 3)
+	fired := 0
+	for i := 0; i < 3; i++ {
+		sk := s.Shard(i)
+		sk.Ticker(0.5, 1.0, func(Time) { fired++ })
+	}
+	n := s.Run(10.0, 2.5)
+	if n == 0 || fired != 30 {
+		t.Fatalf("Run executed %d events, %d ticks (want 30 ticks)", n, fired)
+	}
+	if s.Horizon() != 10.0 {
+		t.Fatalf("horizon %v, want 10", s.Horizon())
+	}
+	for i := 0; i < 3; i++ {
+		if now := s.Shard(i).Now(); now != 10.0 {
+			t.Fatalf("shard %d clock %v, want 10", i, now)
+		}
+	}
+}
+
+// stressCounts drives a shard set through heavy churn — every shard runs a
+// high-rate local ticker and every event fans out random cross-shard sends
+// with minimal lookahead (the very next window boundary), the admit/retire
+// handoff pattern racing the exchange horizon — and returns the per-shard
+// event counts. Each shard's RNG and counter are its own; the merge is the
+// only cross-shard channel, so counts must be identical at any pool size.
+func stressCounts(pool *WorkerPool, nShards int) []uint64 {
+	const window = 0.25
+	s := NewShards(pool, nShards)
+	rngs := make([]*Rand, nShards)
+	recv := make([]uint64, nShards)
+	for i := range rngs {
+		rngs[i] = NewRand(uint64(1000 + i))
+	}
+	// Each token hops a bounded number of times so the event population stays
+	// linear; tickers continuously seed fresh tokens so churn never dies out.
+	var churn func(sk *ShardKernel, hops int) func()
+	churn = func(sk *ShardKernel, hops int) func() {
+		return func() {
+			recv[sk.id]++
+			r := rngs[sk.id]
+			next := (float64(int(sk.Now()/window)) + 1) * window
+			if hops > 0 {
+				to := r.Intn(nShards)
+				sk.Send(to, next+r.Float64()*0.5, churn(s.Shard(to), hops-1))
+			}
+			// A local follow-up inside the same window, racing the barrier.
+			if sk.Now()+0.01 < next {
+				sk.AfterAnon(0.01, func() { recv[sk.id]++ })
+			}
+		}
+	}
+	for i := 0; i < nShards; i++ {
+		sk := s.Shard(i)
+		sk.At(0, churn(sk, 20))
+		seed := sk
+		sk.Ticker(0.05, 0.05, func(now Time) {
+			recv[seed.id]++
+			if int(now/0.2) != int((now-0.05)/0.2) {
+				seed.At(now, churn(seed, 20))
+			}
+		})
+	}
+	s.Run(8.0, window)
+	return recv
+}
+
+// TestShardsBarrierStress hammers the window barrier under the full worker
+// pool and pins two properties at once: under -race, that shard state inside
+// a window is only ever touched by one worker and outboxes are drained only
+// at the serial merge; and that the resulting per-shard event counts are
+// byte-identical to the nil-pool serial oracle.
+func TestShardsBarrierStress(t *testing.T) {
+	pool := NewWorkerPool(8)
+	defer pool.Close()
+	parallel := stressCounts(pool, 8)
+	serial := stressCounts(nil, 8)
+	var total uint64
+	for i, c := range serial {
+		if c == 0 {
+			t.Fatalf("serial shard %d executed nothing", i)
+		}
+		total += c
+	}
+	if total < 1000 {
+		t.Fatalf("stress run too small to mean anything: %d events", total)
+	}
+	if fmt.Sprint(parallel) != fmt.Sprint(serial) {
+		t.Fatalf("parallel counts %v diverge from serial oracle %v", parallel, serial)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPool is a fixed set of long-lived worker goroutines for deterministic
+// fork-join parallelism inside the simulation plane.
+//
+// The kernel's (time, seq) event order is the source of truth for every run;
+// parallelism is only admitted for work that is provably independent of
+// execution interleaving — per-component solver fills, per-application
+// sampling — so the observable result of a run never depends on how many
+// workers execute it. A nil *WorkerPool is valid everywhere and means
+// "serial": Do runs inline on the caller's goroutine, which is the retained
+// single-threaded oracle path.
+type WorkerPool struct {
+	size int
+	jobs chan poolJob
+	wg   sync.WaitGroup
+}
+
+// poolJob is one fan-out: tasks [0, n) pulled off a shared cursor.
+type poolJob struct {
+	n    int
+	next *atomic.Int64
+	fn   func(i int)
+	done *sync.WaitGroup
+}
+
+// NewWorkerPool starts a pool of n workers. n <= 1 returns nil — the serial
+// pool — so callers can unconditionally thread the pool through without
+// branching on worker count. n is taken literally, even beyond GOMAXPROCS:
+// results never depend on worker count, and pools wider than the machine
+// still interleave goroutines, which is exactly what the determinism and
+// race tests need on small runners. Callers chasing throughput should size
+// the pool near GOMAXPROCS themselves.
+func NewWorkerPool(n int) *WorkerPool {
+	if n <= 1 {
+		return nil
+	}
+	p := &WorkerPool{size: n, jobs: make(chan poolJob)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *WorkerPool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		for {
+			i := int(job.next.Add(1)) - 1
+			if i >= job.n {
+				break
+			}
+			job.fn(i)
+		}
+		job.done.Done()
+	}
+}
+
+// Size returns the number of workers (1 for the nil/serial pool).
+func (p *WorkerPool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// Do runs fn(0) … fn(n-1) and returns when every call has finished — a
+// barrier. Tasks are pulled dynamically, so callers must only submit tasks
+// whose mutable state is pairwise disjoint: under that contract the result is
+// byte-identical to running the loop serially, whatever the interleaving. On
+// the nil pool the loop simply runs inline, in index order.
+func (p *WorkerPool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var done sync.WaitGroup
+	workers := p.size
+	if workers > n {
+		workers = n
+	}
+	done.Add(workers)
+	job := poolJob{n: n, next: &next, fn: fn, done: &done}
+	for i := 0; i < workers; i++ {
+		p.jobs <- job
+	}
+	done.Wait()
+}
+
+// Close stops the workers. Do must not be in flight or called afterwards.
+// Closing the nil pool is a no-op.
+func (p *WorkerPool) Close() {
+	if p == nil {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+}

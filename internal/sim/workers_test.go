@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolSerialWhenSmall(t *testing.T) {
+	if p := NewWorkerPool(0); p != nil {
+		t.Fatal("NewWorkerPool(0) should be the nil serial pool")
+	}
+	if p := NewWorkerPool(1); p != nil {
+		t.Fatal("NewWorkerPool(1) should be the nil serial pool")
+	}
+	var p *WorkerPool
+	if got := p.Size(); got != 1 {
+		t.Fatalf("nil pool Size() = %d, want 1", got)
+	}
+	// Nil pool runs inline, in index order.
+	var order []int
+	p.Do(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Do order %v, want ascending", order)
+		}
+	}
+	p.Close() // no-op
+}
+
+func TestWorkerPoolRunsEveryTaskOnce(t *testing.T) {
+	p := NewWorkerPool(4)
+	defer p.Close()
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		counts := make([]atomic.Int64, n)
+		p.Do(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: task %d ran %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestWorkerPoolReusableAcrossCalls(t *testing.T) {
+	p := NewWorkerPool(3)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 100; round++ {
+		p.Do(17, func(i int) { total.Add(int64(i)) })
+	}
+	want := int64(100 * 17 * 16 / 2)
+	if got := total.Load(); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}
+
+func TestWorkerPoolDisjointResultsMatchSerial(t *testing.T) {
+	// The pool's contract: with pairwise-disjoint task state, results are
+	// byte-identical to the serial loop regardless of interleaving.
+	n := 512
+	serial := make([]float64, n)
+	var nilPool *WorkerPool
+	nilPool.Do(n, func(i int) { serial[i] = float64(i) * 1.0000001 })
+
+	p := NewWorkerPool(4)
+	defer p.Close()
+	parallel := make([]float64, n)
+	p.Do(n, func(i int) { parallel[i] = float64(i) * 1.0000001 })
+
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWorkerPoolSizeIsLiteral(t *testing.T) {
+	// Worker count is taken literally even beyond GOMAXPROCS, so determinism
+	// and race tests get real goroutine interleaving on single-core runners.
+	p := NewWorkerPool(8)
+	defer p.Close()
+	if got := p.Size(); got != 8 {
+		t.Fatalf("pool size %d, want 8", got)
+	}
+}
