@@ -359,6 +359,25 @@ type FleetMigrationPolicy = fleet.MigrationPolicy
 // FleetMigration records one re-placement of an application.
 type FleetMigration = fleet.Migration
 
+// FleetOpenLoopPolicy enables and tunes the open-loop heavy-traffic engine:
+// aggregated arrival-driven flow classes, replica autoscaling and fleet
+// admission control. The zero value disables it entirely.
+type FleetOpenLoopPolicy = fleet.OpenLoopPolicy
+
+// FleetScalePolicy tunes the open-loop replica autoscaler.
+type FleetScalePolicy = fleet.ScalePolicy
+
+// FleetAdmissionPolicy tunes the open-loop fleet admission controller.
+type FleetAdmissionPolicy = fleet.AdmissionPolicy
+
+// FleetArrivalSpec declaratively selects an application's open-loop arrival
+// process (Poisson, diurnal with bursts, or trace-driven).
+type FleetArrivalSpec = fleet.ArrivalSpec
+
+// FleetAdmissionLedger is the admission controller's balanced books (see
+// Fleet.OpenLoopLedger).
+type FleetAdmissionLedger = fleet.AdmissionLedger
+
 // FleetCatalogEntry is one named scenario in the fleet workload catalog.
 type FleetCatalogEntry = fleet.CatalogEntry
 
@@ -388,6 +407,13 @@ func FleetRankedMigrationBenchScenario(n int, seed uint64) FleetScenarioOptions 
 // BenchmarkFleetParallel and cmd/benchjson.
 func FleetParallelBenchScenario(n, workers int, seed uint64) FleetScenarioOptions {
 	return fleet.ParallelBenchScenario(n, workers, seed)
+}
+
+// FleetOpenLoopBenchScenario is the canonical open-loop fixture (constant
+// aggregate offered load per app, so cost must not scale with the modeled
+// population), shared by BenchmarkFleetOpenLoop and cmd/benchjson.
+func FleetOpenLoopBenchScenario(n, users int, seed uint64) FleetScenarioOptions {
+	return fleet.OpenLoopBenchScenario(n, users, seed)
 }
 
 // FleetRegionRank is a measured health score per grid region, consumed by

@@ -435,6 +435,41 @@ func BenchmarkFleetParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetOpenLoop measures the open-loop heavy-traffic engine on the
+// canonical fixture (shared with cmd/benchjson): every app offers a constant
+// 8 req/s aggregate regardless of the modeled population, so users is pure
+// bookkeeping — one aggregated flow class per (client-region, server-group)
+// pair carries them all. ms/app must therefore not scale with users (the
+// gate cmd/benchjson -check enforces); responses/app is the deterministic
+// behavior canary.
+func BenchmarkFleetOpenLoop(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		for _, users := range []int{10_000, 1_000_000} {
+			b.Run(fmt.Sprintf("N=%d/users=%d", n, users), func(b *testing.B) {
+				b.ReportAllocs()
+				var responses uint64
+				for i := 0; i < b.N; i++ {
+					res, err := RunFleetScenario(FleetOpenLoopBenchScenario(n, users, benchSeed(i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := len(res.Summaries); got != n {
+						b.Fatalf("admitted %d apps, want %d", got, n)
+					}
+					for _, s := range res.Summaries {
+						responses += s.Responses
+					}
+				}
+				if responses == 0 {
+					b.Fatal("no responses delivered")
+				}
+				b.ReportMetric(float64(b.Elapsed().Microseconds())/1e3/float64(b.N*n), "ms/app")
+				b.ReportMetric(float64(responses)/float64(b.N*n), "responses/app")
+			})
+		}
+	}
+}
+
 // BenchmarkFleetMigration measures the migration control loop end to end on
 // the canonical fixture (shared with cmd/benchjson): N apps, region-collapse
 // contention on the first quarter, migration enabled. migrations/app is the

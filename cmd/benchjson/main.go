@@ -37,6 +37,13 @@ type Baseline struct {
 	// fixed app count. Workers is a pure throughput knob, so repairs_per_app
 	// must be identical down the sweep — -check enforces it exactly.
 	FleetParallel []FleetRow `json:"fleet_parallel"`
+	// FleetOpenLoop mirrors BenchmarkFleetOpenLoop: the open-loop fixture
+	// (fleet.OpenLoopBenchScenario) at a fixed app count over population
+	// sizes. Each app offers a constant 8 req/s aggregate regardless of
+	// users, so ms_per_app must not scale with the population and
+	// responses_per_app must be identical down the sweep — -check enforces
+	// both.
+	FleetOpenLoop []FleetRow `json:"fleet_openloop"`
 }
 
 // ReflowBench mirrors BenchmarkMaxMinReflow: one background change against
@@ -60,6 +67,11 @@ type FleetRow struct {
 	// Workers is set only on fleet_parallel rows: the worker-pool size the
 	// row was measured at (1 = the serial oracle).
 	Workers int `json:"workers,omitempty"`
+	// Users and ResponsesPerApp are set only on fleet_openloop rows: the
+	// modeled population per app and the deterministic synthetic-response
+	// canary (population-independent by construction).
+	Users           int     `json:"users,omitempty"`
+	ResponsesPerApp float64 `json:"responses_per_app,omitempty"`
 }
 
 func benchReflow() ReflowBench {
@@ -113,9 +125,20 @@ func benchParallel(n, workers, iters int) (FleetRow, error) {
 	return row, err
 }
 
+// benchOpenLoop measures the open-loop fixture (shared with
+// BenchmarkFleetOpenLoop) at one population size.
+func benchOpenLoop(n, users, iters int) (FleetRow, error) {
+	row, err := benchScenario(n, iters, func(i int) fleet.ScenarioOptions {
+		return fleet.OpenLoopBenchScenario(n, users, uint64(i+1))
+	})
+	row.Users = users
+	return row, err
+}
+
 func benchScenario(n, iters int, opts func(i int) fleet.ScenarioOptions) (FleetRow, error) {
 	row := FleetRow{Apps: n}
 	var repairs, migrations int
+	var responses uint64
 	var ms runtimeMem
 	ms.start()
 	begin := time.Now()
@@ -130,6 +153,7 @@ func benchScenario(n, iters int, opts func(i int) fleet.ScenarioOptions) (FleetR
 		for _, s := range res.Summaries {
 			repairs += s.Repairs
 			migrations += s.Migrations
+			responses += s.Responses
 		}
 	}
 	elapsed := time.Since(begin)
@@ -140,6 +164,9 @@ func benchScenario(n, iters int, opts func(i int) fleet.ScenarioOptions) (FleetR
 	row.AllocsPerApp = float64(allocs) / den
 	row.MBPerApp = float64(bytes) / den / 1e6
 	row.MigrationsPerApp = float64(migrations) / den
+	if opts(0).OpenLoop.Enabled {
+		row.ResponsesPerApp = float64(responses) / den
+	}
 	return row, nil
 }
 
@@ -275,6 +302,59 @@ func check(baselinePath string, tolerance float64) {
 		}
 	}
 
+	// Open-loop gates: the modeled population is pure bookkeeping — one
+	// aggregated flow class per (client-region, server-group) pair carries
+	// however many users the row models — so every committed fleet_openloop
+	// row must report the identical responses/app, a fresh run must
+	// reproduce it exactly (the scenario is deterministic), allocs/app is
+	// held to the general tolerance, and ms/app must not scale with users:
+	// the most expensive fresh row may cost at most twice the cheapest
+	// (they are near-equal in practice; 2x absorbs wall-clock noise on
+	// same-machine sub-second runs).
+	if len(base.FleetOpenLoop) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline has no fleet_openloop rows — regenerate with scripts/bench.sh\n")
+		os.Exit(1)
+	}
+	olResponses := base.FleetOpenLoop[0].ResponsesPerApp
+	olMsMin, olMsMax := 0.0, 0.0
+	for _, committed := range base.FleetOpenLoop {
+		if committed.ResponsesPerApp != olResponses {
+			fmt.Fprintf(os.Stderr, "benchjson: committed fleet_openloop rows disagree on responses/app (users=%d: %.4f vs %.4f) — the baseline itself violates population invariance\n",
+				committed.Users, committed.ResponsesPerApp, olResponses)
+			failed = true
+			continue
+		}
+		fresh, err := benchOpenLoop(committed.Apps, committed.Users, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: openloop N=%d users=%d: %v\n", committed.Apps, committed.Users, err)
+			os.Exit(1)
+		}
+		limit := committed.AllocsPerApp * (1 + tolerance)
+		fmt.Fprintf(os.Stderr, "check openloop N=%d users=%d: responses/app %.4f (committed %.4f), allocs/app %.0f (limit %.0f), ms/app %.3f\n",
+			committed.Apps, committed.Users, fresh.ResponsesPerApp, committed.ResponsesPerApp, fresh.AllocsPerApp, limit, fresh.MsPerApp)
+		if fresh.ResponsesPerApp != committed.ResponsesPerApp {
+			fmt.Fprintf(os.Stderr, "benchjson: openloop users=%d responses/app drifted from the committed baseline — the scenario is deterministic; investigate before regenerating\n",
+				committed.Users)
+			failed = true
+		}
+		if fresh.AllocsPerApp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: openloop users=%d allocs/app regressed >%.0f%% vs %s\n",
+				committed.Users, 100*tolerance, baselinePath)
+			failed = true
+		}
+		if olMsMin == 0 || fresh.MsPerApp < olMsMin {
+			olMsMin = fresh.MsPerApp
+		}
+		if fresh.MsPerApp > olMsMax {
+			olMsMax = fresh.MsPerApp
+		}
+	}
+	if olMsMin > 0 && olMsMax > 2*olMsMin {
+		fmt.Fprintf(os.Stderr, "benchjson: openloop ms/app scales with the modeled population (%.3f vs %.3f, >2x) — aggregation must keep cost population-independent\n",
+			olMsMax, olMsMin)
+		failed = true
+	}
+
 	// Observability-plane gates against the ranked fixture:
 	//
 	//  1. trace-off overhead: with tracing disabled the plane must cost
@@ -319,7 +399,7 @@ func main() {
 	out := flag.String("out", "BENCH_fleet.json", "output file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "smoke mode: N=4 only, one iteration")
 	iters := flag.Int("iters", 3, "fleet scenario iterations per size point")
-	checkPath := flag.String("check", "", "compare fresh fleet N=32, (ranked) migration N=16 and parallel worker-sweep runs against this committed baseline; exit non-zero if allocs/app regressed >20%, migrations/app drifted, repairs/app differs across worker counts, disabled tracing costs >2% allocs, or tracing changes behavior")
+	checkPath := flag.String("check", "", "compare fresh fleet N=32, (ranked) migration N=16, parallel worker-sweep and open-loop population-sweep runs against this committed baseline; exit non-zero if allocs/app regressed >20%, migrations/app or responses/app drifted, repairs/app differs across worker counts, open-loop ms/app scales with users, disabled tracing costs >2% allocs, or tracing changes behavior")
 	flag.Parse()
 
 	if *checkPath != "" {
@@ -404,6 +484,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parallel N=%-3d workers=%d %7.3f ms/app  %5.2f repairs/app  %10.0f allocs/app\n",
 			parN, w, row.MsPerApp, row.RepairsPerApp, row.AllocsPerApp)
 		base.FleetParallel = append(base.FleetParallel, row)
+	}
+	// Open-loop population sweep: one seed-1 iteration per size, because
+	// responses_per_app is exactly gated by -check (and ms_per_app must not
+	// scale with users).
+	olN := 64
+	if *quick {
+		olN = 4
+	}
+	for _, users := range []int{10_000, 1_000_000} {
+		row, err := benchOpenLoop(olN, users, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: openloop N=%d users=%d: %v\n", olN, users, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "openloop N=%-3d users=%-7d %7.3f ms/app  %5.0f responses/app  %10.0f allocs/app\n",
+			olN, users, row.MsPerApp, row.ResponsesPerApp, row.AllocsPerApp)
+		base.FleetOpenLoop = append(base.FleetOpenLoop, row)
 	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")

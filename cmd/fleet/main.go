@@ -11,6 +11,7 @@
 //	      [-crush-apps N] [-crush-all-groups]
 //	      [-backbone-crush S] [-region-fail S] [-region-fail-router N]
 //	      [-migration] [-ranked] [-max-concurrent N] [-caching] [-settle S]
+//	      [-openloop] [-users N]
 //	      [-trace FILE] [-trace-format chrome|jsonl] [-pprof CPU[,HEAP]]
 //	fleet -scenario NAME [-mode ...] [-seed N]
 //	fleet -list
@@ -26,6 +27,13 @@
 // -migration, -ranked, -max-concurrent) override the entry's values —
 // e.g. `-scenario backbone-rescue -ranked=false` runs the avoid-set-only
 // control against the committed ranked entry.
+//
+// -openloop replaces the closed-loop request generators with the open-loop
+// heavy-traffic engine: arrival-driven aggregated flow classes carrying
+// -users modeled users per application (autoscaling enabled), at a cost
+// independent of the population size. With -scenario it overrides the
+// entry's open-loop policy — e.g. `-scenario flash-crowd -users 1000000`
+// reruns the committed flash crowd at a million users per app.
 //
 // -trace FILE attaches the deterministic observability plane to the run
 // under test (the adaptive run; the migrating run with -mode migrate) and
@@ -92,6 +100,8 @@ func main() {
 	migration := flag.Bool("migration", false, "enable the fleet-level migration controller")
 	ranked := flag.Bool("ranked", false, "measurement-driven migration targeting (region health index + PlaceRanked)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "cap on concurrently draining migrations (0 = policy default)")
+	openloop := flag.Bool("openloop", false, "drive apps with the open-loop heavy-traffic engine (autoscaling enabled)")
+	users := flag.Int("users", 0, "modeled users per app with -openloop (0 = one per client)")
 	caching := flag.Bool("caching", false, "enable gauge caching (§5.3 extension)")
 	settle := flag.Float64("settle", 0, "repair settle time in seconds")
 	scenario := flag.String("scenario", "", "run a named scenario from the catalog (see -list)")
@@ -161,6 +171,11 @@ func main() {
 		}
 		base = entry.Opts
 		base.Manager = cfg
+		explicitlySet := func(name string) bool {
+			set := false
+			flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+			return set
+		}
 		// Explicitly set flags override the catalog entry.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -178,6 +193,19 @@ func main() {
 				base.Migration.Ranked = *ranked
 			case "max-concurrent":
 				base.Migration.MaxConcurrent = *maxConcurrent
+			case "openloop":
+				base.OpenLoop.Enabled = *openloop
+				if *openloop && !base.OpenLoop.Scale.Enabled {
+					base.OpenLoop.Scale.Enabled = true
+				}
+			case "users":
+				// Overriding the population implies the engine unless
+				// -openloop=false said otherwise.
+				base.OpenLoop.Users = *users
+				if !explicitlySet("openloop") {
+					base.OpenLoop.Enabled = true
+					base.OpenLoop.Scale.Enabled = true
+				}
 			case "mode", "scenario", "caching", "settle", "list",
 				"trace", "trace-format", "pprof":
 				// orthogonal to the entry's shape
@@ -218,6 +246,13 @@ func main() {
 			Enabled: *migration || *ranked,
 			Ranked:  *ranked, MaxConcurrent: *maxConcurrent,
 		}
+		if *openloop || *users != 0 {
+			base.OpenLoop = archadapt.FleetOpenLoopPolicy{
+				Enabled: true,
+				Users:   *users,
+				Scale:   archadapt.FleetScalePolicy{Enabled: true},
+			}
+		}
 	}
 	// -mode migrate enables migration itself for the second run.
 	if !base.Migration.Enabled && *mode != "migrate" && (*ranked || *maxConcurrent != 0) {
@@ -238,6 +273,18 @@ func main() {
 			kind, res.Grid, len(res.Summaries), len(res.Fleet.Rejections()))
 		for _, rej := range res.Fleet.Rejections() {
 			fmt.Fprintf(os.Stderr, "  rejected %s at t=%.0f: %v\n", rej.Name, rej.Time, rej.Err)
+		}
+		if led, ok := res.Fleet.OpenLoopLedger(); ok && led != (archadapt.FleetAdmissionLedger{}) {
+			fmt.Fprintf(os.Stderr, "  open-loop admission: offered %d admitted %d shed %d queued %d (active %d, retired %d)\n",
+				led.Offered, led.Admitted, led.Shed, led.Queued, led.Active, led.Retired)
+		}
+		var ups, downs int
+		for _, s := range res.Summaries {
+			ups += s.ScaleUps
+			downs += s.ScaleDowns
+		}
+		if ups+downs > 0 {
+			fmt.Fprintf(os.Stderr, "  autoscaler: %d scale-ups, %d scale-downs\n", ups, downs)
 		}
 		for _, name := range res.Fleet.Apps() {
 			for _, m := range res.Fleet.App(name).Migrations {

@@ -2,11 +2,12 @@
 // becomes a random-but-deterministic fleet scenario — grid shape, app mix,
 // admission churn, and a fault schedule composing the injectors into
 // overlapping, repeated, restore-racing sequences — executed in both pinned
-// and migrate modes under the six standing invariants (same-seed determinism,
-// slot/reservation ledger audits, netsim solver-vs-oracle equivalence,
-// ranked-targeting sanity, no stuck drains, parallel/serial worker
-// invariance: a pooled run must fingerprint byte-identically to the
-// single-kernel oracle).
+// and migrate modes under the seven standing invariants (same-seed
+// determinism, slot/reservation ledger audits, netsim solver-vs-oracle
+// equivalence, ranked-targeting sanity, no stuck drains, parallel/serial
+// worker invariance — a pooled run must fingerprint byte-identically to the
+// single-kernel oracle — and, on seeds that enable the open-loop engine, a
+// balanced admission ledger with autoscaled replicas inside the policy cap).
 //
 // Usage:
 //

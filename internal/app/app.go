@@ -97,7 +97,10 @@ type Client struct {
 	OnSend []func(*Request)
 
 	responses uint64
-	sys       *System
+	// synth is the cached synthetic request handle behind DeliverSynthetic
+	// (openloop.go); nil until the open-loop engine first delivers.
+	synth *Request
+	sys   *System
 }
 
 // Responses returns the number of replies received.

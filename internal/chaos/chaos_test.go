@@ -61,6 +61,60 @@ func TestGenerateBounds(t *testing.T) {
 	}
 }
 
+// TestGenerateOpenLoopBounds sweeps seeds for the open-loop draw: a healthy
+// fraction of seeds enable the engine, every enabled policy validates (the
+// scenario would fail to start otherwise), and every fuzzed arrival spec
+// resolves to a process.
+func TestGenerateOpenLoopBounds(t *testing.T) {
+	enabled := 0
+	for seed := uint64(0); seed < 128; seed++ {
+		o := Generate(seed)
+		if !o.OpenLoop.Enabled {
+			for _, s := range o.AppMix {
+				if !reflect.DeepEqual(s.Arrivals, fleet.ArrivalSpec{}) {
+					t.Fatalf("seed %d: closed-loop scenario carries an arrival spec: %+v", seed, s.Arrivals)
+				}
+			}
+			continue
+		}
+		enabled++
+		p := o.OpenLoop
+		if p.Users < 1000 || p.Users > 10000 {
+			t.Fatalf("seed %d: Users = %d outside [1000,10000]", seed, p.Users)
+		}
+		if p.Scale.MaxReplicas < 1 || p.Scale.MaxReplicas > 4 {
+			t.Fatalf("seed %d: MaxReplicas = %d outside [1,4]", seed, p.Scale.MaxReplicas)
+		}
+		for i, s := range o.AppMix {
+			if reflect.DeepEqual(s.Arrivals, fleet.ArrivalSpec{}) {
+				t.Fatalf("seed %d: open-loop scenario shape %d has no arrival spec", seed, i)
+			}
+		}
+	}
+	if enabled < 16 {
+		t.Fatalf("only %d of 128 seeds enabled the open-loop engine; the draw is broken", enabled)
+	}
+}
+
+// TestCheckOpenLoopSeedClean runs the full invariant battery (both modes,
+// including the openloop ledger/replica-cap invariant) on the first few
+// seeds that enable the open-loop engine.
+func TestCheckOpenLoopSeedClean(t *testing.T) {
+	checked := 0
+	for seed := uint64(0); seed < 64 && checked < 3; seed++ {
+		if !Generate(seed).OpenLoop.Enabled {
+			continue
+		}
+		checked++
+		for _, v := range CheckSeed(seed) {
+			t.Errorf("%s", v)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no open-loop seed in 0..63")
+	}
+}
+
 // TestScenarioOptionsJSONRoundTrip is the chaos-vocabulary portability test:
 // a generated scenario encodes to JSON, decodes back to a DeepEqual value,
 // and the decoded copy runs to a byte-identical fingerprint. This is what
@@ -194,7 +248,14 @@ func TestShrinkRespectsBudget(t *testing.T) {
 func TestFormatOptionsLiteral(t *testing.T) {
 	opts := fleet.ScenarioOptions{
 		Apps: 2, Seed: 7, Duration: 240, CrushStart: -1, Adaptive: true,
+		AppMix: []fleet.AppSpec{
+			{Groups: 1, ServersPerGroup: 2, Clients: 2, ClientRate: 1,
+				Arrivals: fleet.ArrivalSpec{Kind: fleet.ArrivalDiurnal, Base: 0.002, Swing: 0.4, Period: 120}},
+		},
 		Migration: fleet.MigrationPolicy{Enabled: true, Ranked: true, CheckPeriod: 10},
+		OpenLoop: fleet.OpenLoopPolicy{Enabled: true, Users: 5000,
+			Scale:     fleet.ScalePolicy{Enabled: true, MaxReplicas: 3},
+			Admission: fleet.AdmissionPolicy{Enabled: true, Queue: true}},
 		Faults: []fleet.Fault{
 			{At: 50, Kind: fleet.FaultRegionFail, Router: 3, Duration: 60},
 			{At: 80, Kind: fleet.FaultBackbonePartialRestore, Fraction: 0.5},
@@ -204,6 +265,10 @@ func TestFormatOptionsLiteral(t *testing.T) {
 	for _, want := range []string{
 		"Apps: 2", "Seed: 7", "Duration: 240", "CrushStart: -1", "Adaptive: true",
 		"Migration: fleet.MigrationPolicy{Enabled: true, Ranked: true, CheckPeriod: 10}",
+		"Arrivals: fleet.ArrivalSpec{Kind: fleet.ArrivalDiurnal, Base: 0.002, Swing: 0.4, Period: 120}",
+		"OpenLoop: fleet.OpenLoopPolicy{Enabled: true, Users: 5000, " +
+			"Scale: fleet.ScalePolicy{Enabled: true, MaxReplicas: 3}, " +
+			"Admission: fleet.AdmissionPolicy{Enabled: true, Queue: true}}",
 		"{At: 50, Kind: fleet.FaultRegionFail, Router: 3, Duration: 60}",
 		"{At: 80, Kind: fleet.FaultBackbonePartialRestore, Fraction: 0.5}",
 	} {

@@ -24,7 +24,8 @@ type Violation struct {
 	Seed uint64
 	Mode string
 	// Invariant names the failed class: determinism, slots, netsim, ranked,
-	// drains, parallel, or run (the scenario failed to start at all).
+	// drains, parallel, openloop, or run (the scenario failed to start at
+	// all).
 	Invariant string
 	Detail    string
 }
@@ -159,6 +160,44 @@ func Check(opts fleet.ScenarioOptions) []Violation {
 		add("parallel", "workers=%d run diverges from workers=%d (minimal diverging count %d):\n--- workers=%d\n%s--- workers=%d\n%s",
 			par.Workers, opts.Workers, minW, opts.Workers, baseFP, par.Workers, pf)
 	}
+
+	// (7) Open-loop books: the admission ledger balances at both levels,
+	// the active count matches the live admitted population, and no server
+	// group carries more autoscaled replicas than the policy cap.
+	if led, ok := f.OpenLoopLedger(); ok {
+		if led.Offered != led.Admitted+led.Shed+led.Queued {
+			add("openloop", "ledger unbalanced: Offered %d != Admitted %d + Shed %d + Queued %d",
+				led.Offered, led.Admitted, led.Shed, led.Queued)
+		}
+		if led.Admitted != led.Active+led.Retired {
+			add("openloop", "admitted split unbalanced: Admitted %d != Active %d + Retired %d",
+				led.Admitted, led.Active, led.Retired)
+		}
+		if f.Cfg.OpenLoop.Admission.Enabled {
+			live := 0
+			for _, name := range f.Apps() {
+				if f.App(name).Live() {
+					live++
+				}
+			}
+			if led.Active != live {
+				add("openloop", "ledger counts %d active apps, fleet holds %d live", led.Active, live)
+			}
+			if led.Admitted != len(f.Apps()) {
+				add("openloop", "ledger counts %d admitted apps, fleet admitted %d", led.Admitted, len(f.Apps()))
+			}
+		}
+		maxReps := f.Cfg.OpenLoop.Scale.MaxReplicas
+		for _, name := range f.Apps() {
+			a := f.App(name)
+			for _, g := range a.Sys.Groups() {
+				if n := a.AutoscaledOf(g); n > maxReps {
+					add("openloop", "%s group %s carries %d autoscaled replicas, over the cap %d",
+						name, g, n, maxReps)
+				}
+			}
+		}
+	}
 	return vs
 }
 
@@ -179,6 +218,15 @@ func Fingerprint(res *fleet.ScenarioResult) string {
 	}
 	for _, rej := range f.Rejections() {
 		fmt.Fprintf(&b, "rej %s t=%.3f: %v\n", rej.Name, rej.Time, rej.Err)
+	}
+	if led, ok := f.OpenLoopLedger(); ok {
+		fmt.Fprintf(&b, "openloop offered=%d admitted=%d shed=%d queued=%d active=%d retired=%d\n",
+			led.Offered, led.Admitted, led.Shed, led.Queued, led.Active, led.Retired)
+		for _, name := range f.Apps() {
+			if ups, downs := f.App(name).ScaleActions(); ups+downs > 0 {
+				fmt.Fprintf(&b, "scale %s ups=%d downs=%d\n", name, ups, downs)
+			}
+		}
 	}
 	fmt.Fprintf(&b, "free-slots=%d peak-migrations=%d\n", f.Sch.FreeSlots(), f.PeakConcurrentMigrations())
 	return b.String()

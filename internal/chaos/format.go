@@ -22,8 +22,8 @@ func FormatOptions(o fleet.ScenarioOptions) string {
 		if i == 0 {
 			b.WriteString("\tAppMix: []fleet.AppSpec{\n")
 		}
-		fmt.Fprintf(&b, "\t\t{Groups: %d, ServersPerGroup: %d, SparesPerGroup: %d, Clients: %d, ClientRate: %g},\n",
-			s.Groups, s.ServersPerGroup, s.SparesPerGroup, s.Clients, s.ClientRate)
+		fmt.Fprintf(&b, "\t\t{Groups: %d, ServersPerGroup: %d, SparesPerGroup: %d, Clients: %d, ClientRate: %g%s},\n",
+			s.Groups, s.ServersPerGroup, s.SparesPerGroup, s.Clients, s.ClientRate, arrivalsLiteral(s.Arrivals))
 		if i == len(o.AppMix)-1 {
 			b.WriteString("\t},\n")
 		}
@@ -84,6 +84,45 @@ func FormatOptions(o fleet.ScenarioOptions) string {
 		}
 		b.WriteString("},\n")
 	}
+	if p := o.OpenLoop; p.Enabled {
+		fmt.Fprintf(&b, "\tOpenLoop: fleet.OpenLoopPolicy{Enabled: true")
+		if p.Users != 0 {
+			fmt.Fprintf(&b, ", Users: %d", p.Users)
+		}
+		if p.AdjustPeriod != 0 {
+			fmt.Fprintf(&b, ", AdjustPeriod: %g", p.AdjustPeriod)
+		}
+		if s := p.Scale; s.Enabled {
+			fmt.Fprintf(&b, ", Scale: fleet.ScalePolicy{Enabled: true")
+			if s.UpAt != 0 {
+				fmt.Fprintf(&b, ", UpAt: %g", s.UpAt)
+			}
+			if s.DownAt != 0 {
+				fmt.Fprintf(&b, ", DownAt: %g", s.DownAt)
+			}
+			if s.Cooldown != 0 {
+				fmt.Fprintf(&b, ", Cooldown: %g", s.Cooldown)
+			}
+			if s.MaxReplicas != 0 {
+				fmt.Fprintf(&b, ", MaxReplicas: %d", s.MaxReplicas)
+			}
+			b.WriteString("}")
+		}
+		if a := p.Admission; a.Enabled {
+			fmt.Fprintf(&b, ", Admission: fleet.AdmissionPolicy{Enabled: true")
+			if a.MaxUtilization != 0 {
+				fmt.Fprintf(&b, ", MaxUtilization: %g", a.MaxUtilization)
+			}
+			if a.Queue {
+				b.WriteString(", Queue: true")
+			}
+			if a.RetryPeriod != 0 {
+				fmt.Fprintf(&b, ", RetryPeriod: %g", a.RetryPeriod)
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("},\n")
+	}
 	for i, flt := range o.Faults {
 		if i == 0 {
 			b.WriteString("\tFaults: []fleet.Fault{\n")
@@ -109,6 +148,62 @@ func FormatOptions(o fleet.ScenarioOptions) string {
 		if i == len(o.Faults)-1 {
 			b.WriteString("\t},\n")
 		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// arrivalsLiteral renders an AppSpec's arrival process as a ", Arrivals:
+// ..." literal suffix, or "" for the zero spec.
+func arrivalsLiteral(s fleet.ArrivalSpec) string {
+	var b strings.Builder
+	zero := fleet.ArrivalSpec{}
+	if s.Kind == zero.Kind && s.Lambda == zero.Lambda && s.Base == zero.Base &&
+		s.Swing == zero.Swing && s.Period == zero.Period && s.Phase == zero.Phase &&
+		s.BurstAt == zero.BurstAt && s.BurstDuration == zero.BurstDuration &&
+		s.BurstFactor == zero.BurstFactor && len(s.Times) == 0 && len(s.Rates) == 0 {
+		return ""
+	}
+	b.WriteString(", Arrivals: fleet.ArrivalSpec{")
+	first := true
+	w := func(format string, args ...any) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+	switch s.Kind {
+	case fleet.ArrivalPoisson:
+		w("Kind: fleet.ArrivalPoisson")
+	case fleet.ArrivalDiurnal:
+		w("Kind: fleet.ArrivalDiurnal")
+	case fleet.ArrivalTrace:
+		w("Kind: fleet.ArrivalTrace")
+	case "":
+	default:
+		w("Kind: %q", s.Kind)
+	}
+	if s.Lambda != 0 {
+		w("Lambda: %g", s.Lambda)
+	}
+	if s.Base != 0 {
+		w("Base: %g", s.Base)
+	}
+	if s.Swing != 0 {
+		w("Swing: %g", s.Swing)
+	}
+	if s.Period != 0 {
+		w("Period: %g", s.Period)
+	}
+	if s.Phase != 0 {
+		w("Phase: %g", s.Phase)
+	}
+	if s.BurstFactor != 0 {
+		w("BurstAt: %g, BurstDuration: %g, BurstFactor: %g", s.BurstAt, s.BurstDuration, s.BurstFactor)
+	}
+	if len(s.Times) > 0 {
+		w("Times: %#v, Rates: %#v", s.Times, s.Rates)
 	}
 	b.WriteString("}")
 	return b.String()

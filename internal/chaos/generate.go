@@ -15,7 +15,14 @@
 //  4. ranked — no ranked migration ever records a target measurably worse
 //     than its source (TargetHealth ≥ SourceHealth);
 //  5. drains — no stuck drains: every migration record reaches a cutover,
-//     a recorded abort, or a placement error.
+//     a recorded abort, or a placement error;
+//  6. parallel — a pooled run fingerprints byte-identically to the
+//     single-kernel oracle (Workers is a pure throughput knob);
+//  7. openloop — when the seed enables the open-loop engine, the admission
+//     ledger balances (Offered = Admitted + Shed + Queued; Admitted =
+//     Active + Retired, with Active matching the live population) and no
+//     server group ever carries more autoscaled replicas than the policy
+//     cap.
 //
 // On failure, Shrink bisects the fault schedule (ddmin) and trims the
 // scenario to a minimal reproducer, and FormatOptions renders it as a
@@ -163,6 +170,49 @@ func Generate(seed uint64) fleet.ScenarioOptions {
 	}
 	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
 	opts.Faults = faults
+
+	// Open-loop fuzzing draws from its own fork, so every pre-open-loop
+	// field of every seed is exactly what it was before the engine existed
+	// (promoted catalog literals stay faithful to their seeds). A third of
+	// seeds run open-loop: fuzzed population, per-shape arrival processes
+	// spanning all three kinds, and sometimes the autoscaler and/or the
+	// admission gate on top of the fault schedule.
+	ol := sim.NewRand(seed).Fork("chaos:openloop")
+	if ol.Intn(3) == 0 {
+		users := 1000 * (1 + ol.Intn(10))
+		opts.OpenLoop = fleet.OpenLoopPolicy{
+			Enabled: true,
+			Users:   users,
+			Scale:   fleet.ScalePolicy{Enabled: ol.Intn(2) == 0, MaxReplicas: 1 + ol.Intn(4)},
+		}
+		if ol.Intn(2) == 0 {
+			opts.OpenLoop.Admission = fleet.AdmissionPolicy{Enabled: true, Queue: ol.Intn(2) == 0}
+		}
+		// Aggregate offered load between 0.3x and 1.1x of each shape's
+		// service capacity, spread over the modeled users.
+		const mu = 1 / (0.05 + 0.16) // service rate at the default RespBits
+		for i := range opts.AppMix {
+			s := &opts.AppMix[i]
+			ratio := 0.3 + 0.1*float64(ol.Intn(9))
+			perUser := ratio * float64(s.Groups*s.ServersPerGroup) * mu / float64(users)
+			switch ol.Intn(3) {
+			case 0:
+				s.Arrivals = fleet.ArrivalSpec{Lambda: perUser}
+			case 1:
+				s.Arrivals = fleet.ArrivalSpec{Kind: fleet.ArrivalDiurnal,
+					Base: perUser, Swing: 0.2 + 0.1*float64(ol.Intn(4)), Period: duration / 2}
+				if ol.Intn(2) == 0 {
+					s.Arrivals.BurstAt = math.Round(duration * 0.3)
+					s.Arrivals.BurstDuration = 60
+					s.Arrivals.BurstFactor = float64(2 + ol.Intn(4))
+				}
+			case 2:
+				s.Arrivals = fleet.ArrivalSpec{Kind: fleet.ArrivalTrace,
+					Times: []float64{0, math.Round(duration * 0.3), math.Round(duration * 0.6)},
+					Rates: []float64{perUser * 0.5, perUser * 1.5, perUser * 0.8}}
+			}
+		}
+	}
 	return opts
 }
 

@@ -80,6 +80,20 @@ func Shrink(opts fleet.ScenarioOptions, fails func(fleet.ScenarioOptions) bool, 
 			cur = cand
 		}
 	}
+	if cur.OpenLoop.Enabled {
+		// Try dropping the open-loop engine entirely (arrival specs too):
+		// if the failure survives, it was never an open-loop bug.
+		cand := cur
+		cand.OpenLoop = fleet.OpenLoopPolicy{}
+		cand.AppMix = append([]fleet.AppSpec{}, cur.AppMix...)
+		for i := range cand.AppMix {
+			cand.AppMix[i].Arrivals = fleet.ArrivalSpec{}
+		}
+		cand.App.Arrivals = fleet.ArrivalSpec{}
+		if try(cand) {
+			cur = cand
+		}
+	}
 	for cur.Duration > 120 {
 		cand := cur
 		cand.Duration = math.Round(cur.Duration * 0.7)

@@ -117,7 +117,9 @@ func Catalog() []CatalogEntry {
 			// Promoted from the chaos fuzzer (internal/chaos, seed 247): the
 			// sustained-churn interleaving the hand-written entries never
 			// tried. The literal is chaos.Generate(247) + MigratePolicy(247)
-			// verbatim; TestFuzzerPromotedOutcomes pins the dynamics.
+			// as generated before open-loop fuzzing existed (the open-loop
+			// draws come from a separate RNG fork, so every field here still
+			// matches its seed); TestFuzzerPromotedOutcomes pins the dynamics.
 			Name:     "fuzzed-drain-races",
 			Stresses: "sustained migration churn under a serialized drain pipeline (MaxConcurrent 1): overlapping region failures and backbone crushes keep re-degrading apps that just moved, and two drains race a failure of their own staged target region",
 			Expect:   "eleven migrations complete across the run; two drains abort mid-flight when their target region fails after the decision (records stamped aborted with the reason, reservations released); the end-of-run Stop aborts the last in-flight drain; slots and background load audit clean",
@@ -180,6 +182,51 @@ func Catalog() []CatalogEntry {
 					{At: 201, Kind: FaultBackboneCrush, Fraction: 0.6000000000000001, LeaveBps: 80000, Duration: 96},
 					{At: 236, Kind: FaultBackbonePartialRestore, Fraction: 0.5},
 				},
+			},
+		},
+		{
+			Name:     "flash-crowd",
+			Stresses: "the open-loop engine end to end: 100k modeled users per app on a diurnal envelope, an 8x flash crowd saturating every primary group at once, and the replica autoscaler absorbing it",
+			Expect:   "pre-burst the fleet idles around half utilization; the burst saturates SG1 everywhere, autoscaled replicas grow each group until utilization falls below the up-threshold, and after the burst the same replicas drain back out (ScaleUps and ScaleDowns both nonzero, slots audit clean)",
+			Opts: ScenarioOptions{
+				Apps: 8, Seed: 19, Duration: 900, Adaptive: true,
+				SpareRouters: 16, // slot headroom the autoscaler grows into
+				CrushStart:   -1, // the flash crowd is the event
+				App: AppSpec{Arrivals: ArrivalSpec{Kind: ArrivalDiurnal,
+					Base: 5e-5, Swing: 0.3, Period: 900,
+					BurstAt: 300, BurstDuration: 180, BurstFactor: 8}},
+				OpenLoop: OpenLoopPolicy{Enabled: true, Users: 100_000,
+					Scale: ScalePolicy{Enabled: true}},
+			},
+		},
+		{
+			Name:     "overload-shed",
+			Stresses: "the fleet admission controller: a mix of light and heavy open-loop apps offered against a gate that admits only while aggregate offered load stays under 95% of fleet service capacity",
+			Expect:   "light apps admit; heavy candidates whose load would tip the fleet past the ceiling are shed at offer time (rejections recorded, no placement attempted), and the admission ledger balances: Offered = Admitted + Shed, no queueing",
+			Opts: ScenarioOptions{
+				Apps: 12, Seed: 23, Duration: 600, Adaptive: true,
+				CrushStart: -1,
+				AppMix: []AppSpec{
+					{Groups: 2, ServersPerGroup: 2, Clients: 2, Arrivals: ArrivalSpec{Lambda: 8e-5}},
+					{Groups: 2, ServersPerGroup: 2, Clients: 2, Arrivals: ArrivalSpec{Lambda: 4e-4}},
+				},
+				OpenLoop: OpenLoopPolicy{Enabled: true, Users: 100_000,
+					Admission: AdmissionPolicy{Enabled: true}},
+			},
+		},
+		{
+			Name:     "autoscale-race",
+			Stresses: "the autoscaler racing the migration controller: overloaded groups grow autoscaled replicas while region-collapse contention drives fleet-level re-placements, so replicas must be torn down at decision time and regrown against the new placement",
+			Expect:   "every group scales up early (offered utilization starts past the up-threshold); the crushed apps migrate into spare-router headroom with their autoscaled replicas dropped before the drain and re-added after cutover; slots audit clean at the end",
+			Opts: ScenarioOptions{
+				Apps: 6, Seed: 29, Duration: 900, Adaptive: true,
+				SpareRouters:   8, // headroom both the autoscaler and migration bid for
+				CrushAllGroups: true, CrushApps: 2,
+				CrushStart: 150, CrushStagger: 30, CrushDuration: 300,
+				Migration: MigrationPolicy{Enabled: true},
+				App:       AppSpec{Arrivals: ArrivalSpec{Lambda: 1.2e-4}},
+				OpenLoop: OpenLoopPolicy{Enabled: true, Users: 100_000,
+					Scale: ScalePolicy{Enabled: true}},
 			},
 		},
 	}
@@ -246,4 +293,20 @@ func RankedMigrationBenchScenario(n int, seed uint64) ScenarioOptions {
 	opts := MigrationBenchScenario(n, seed)
 	opts.Migration.Ranked = true
 	return opts
+}
+
+// OpenLoopBenchScenario is the canonical open-loop benchmark fixture: n
+// apps, users modeled users each, Poisson arrivals sized so every app
+// offers the same aggregate load regardless of population (8 req/s) — the
+// engine's cost is per class, not per user, so ms/app across the users axis
+// is the aggregation-efficiency canary behind BenchmarkFleetOpenLoop and
+// the fleet_openloop rows in BENCH_fleet.json.
+func OpenLoopBenchScenario(n, users int, seed uint64) ScenarioOptions {
+	return ScenarioOptions{
+		Apps: n, Seed: seed, Duration: 300, Adaptive: true,
+		CrushStart: -1,
+		App:        AppSpec{Arrivals: ArrivalSpec{Lambda: 8.0 / float64(users)}},
+		OpenLoop: OpenLoopPolicy{Enabled: true, Users: users,
+			Scale: ScalePolicy{Enabled: true}},
+	}
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -144,12 +145,12 @@ func TestAppSpecWithDefaults(t *testing.T) {
 		ClientRate: 1, RespBits: 8 * 8192,
 		MaxLatency: 2, MaxServerLoad: 6, MinBandwidth: 10e3,
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("zero AppSpec:\n got %+v\nwant %+v", got, want)
 	}
 	neg := AppSpec{Groups: -1, ServersPerGroup: -1, SparesPerGroup: -4, Clients: -1,
 		ClientRate: -1, RespBits: -1, MaxLatency: -1, MaxServerLoad: -1, MinBandwidth: -1}.withDefaults()
-	if neg != want {
+	if !reflect.DeepEqual(neg, want) {
 		t.Errorf("negative AppSpec not clamped to defaults:\n got %+v\nwant %+v", neg, want)
 	}
 }

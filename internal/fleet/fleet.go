@@ -47,6 +47,7 @@ import (
 	"strings"
 
 	"archadapt/internal/app"
+	"archadapt/internal/arrivals"
 	"archadapt/internal/bus"
 	"archadapt/internal/core"
 	"archadapt/internal/gauges"
@@ -81,6 +82,12 @@ type Config struct {
 	// (migration.go). The zero value disables it; enabling it requires the
 	// fleet-shared monitoring plane (not PerAppMonitoring).
 	Migration MigrationPolicy
+	// OpenLoop enables and tunes the open-loop heavy-traffic engine
+	// (openloop.go): aggregated flow classes driven by arrival processes,
+	// replica autoscaling and fleet admission control. The zero value
+	// disables it and the fleet is byte-identical to a build without the
+	// engine.
+	OpenLoop OpenLoopPolicy
 	// Trace attaches the whole control loop — kernel, monitoring plane,
 	// per-app managers, migration controller, region health — to one
 	// deterministic observability tracer (internal/obs). Off (the default)
@@ -136,6 +143,12 @@ type AppSpec struct {
 	MaxLatency    float64
 	MaxServerLoad float64
 	MinBandwidth  float64
+
+	// Arrivals selects the application's open-loop arrival process
+	// (openloop.go); read only when Config.OpenLoop is enabled. The zero
+	// value is Poisson at ClientRate per modeled user, which makes the
+	// open-loop run the load-equivalent of the closed-loop one.
+	Arrivals ArrivalSpec
 }
 
 func (s AppSpec) withDefaults() AppSpec {
@@ -237,6 +250,9 @@ type App struct {
 	migrating bool
 	pending   *Reservation
 	health    *appHealth
+	// ol is the app's open-loop engine state (openloop.go); nil unless
+	// Config.OpenLoop is enabled.
+	ol *openApp
 	// probe/report are the app's leased shards on the fleet monitoring
 	// plane (nil under PerAppMonitoring); released back to the bus pools at
 	// retirement.
@@ -314,6 +330,10 @@ type Fleet struct {
 	// per-tick affinity-partition scratch.
 	pool         *sim.WorkerPool
 	sampleGroups [][]*App
+
+	// ol is the open-loop engine (openloop.go); nil unless Config.OpenLoop
+	// is enabled.
+	ol *openLoop
 }
 
 // Rejection records a failed admission (grid full or placement error).
@@ -332,6 +352,12 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 		return nil, err
 	}
 	cfg.Migration = cfg.Migration.withDefaults()
+	if err := cfg.OpenLoop.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OpenLoop.Enabled {
+		cfg.OpenLoop = cfg.OpenLoop.withDefaults()
+	}
 	if cfg.Migration.Enabled && cfg.PerAppMonitoring {
 		return nil, fmt.Errorf("fleet: migration requires the fleet-shared monitoring plane (disable PerAppMonitoring)")
 	}
@@ -393,6 +419,9 @@ func New(k *sim.Kernel, grid *netsim.Grid, seed uint64, cfg Config) (*Fleet, err
 		}
 		f.stopMigrate = k.Ticker(k.Now()+p.CheckPeriod, p.CheckPeriod, f.migrationTick)
 	}
+	if cfg.OpenLoop.Enabled {
+		f.startOpenLoop()
+	}
 	return f, nil
 }
 
@@ -446,6 +475,9 @@ func (f *Fleet) AuditSlots() error {
 		a := f.apps[name]
 		if a.Live() {
 			used += a.Assign.slots()
+			if a.ol != nil {
+				used += a.ol.scaledSlots()
+			}
 		}
 		if a.pending != nil {
 			used += a.pending.Assignment().slots()
@@ -468,7 +500,16 @@ func (f *Fleet) AuditSlots() error {
 // Admit places and starts one application at the current virtual time. It
 // can be called before the run starts or mid-run (from kernel context): the
 // application's clients, gauges and control loop all schedule from Now.
+// With the open-loop admission controller enabled a saturated fleet sheds
+// the candidate (or queues it for retry) before placement is attempted.
 func (f *Fleet) Admit(spec AppSpec) (*App, error) {
+	return f.admit(spec, false)
+}
+
+// admit is Admit plus the retry flag: a retry re-offers a spec already on
+// the admission queue, so the ledger's Offered/Queued counters (charged at
+// the original offer) are not charged again.
+func (f *Fleet) admit(spec AppSpec, retry bool) (*App, error) {
 	spec = spec.withDefaults()
 	if spec.Name == "" {
 		spec.Name = fmt.Sprintf("app%02d", len(f.order)+len(f.rejections))
@@ -476,9 +517,49 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 	if _, dup := f.apps[spec.Name]; dup {
 		return nil, fmt.Errorf("fleet: duplicate application %q", spec.Name)
 	}
+	var olProc arrivals.Process
+	var olUsers float64
+	olGated := false
+	if f.ol != nil {
+		var err error
+		olProc, err = spec.Arrivals.process(spec.ClientRate)
+		if err != nil {
+			f.rejections = append(f.rejections, Rejection{Name: spec.Name, Time: f.K.Now(), Err: err})
+			return nil, err
+		}
+		olUsers = float64(f.ol.p.Users)
+		if f.ol.p.Users <= 0 {
+			olUsers = float64(spec.Clients)
+		}
+		if f.ol.p.Admission.Enabled {
+			olGated = true
+			if !retry {
+				f.ol.ledger.Offered++
+			}
+			if !f.openLoopAdmissible(spec, olProc, olUsers, f.K.Now()) {
+				if f.ol.p.Admission.Queue {
+					if !retry {
+						f.ol.ledger.Queued++
+						f.ol.queued = append(f.ol.queued, spec)
+					}
+					return nil, fmt.Errorf("fleet: %q: %w", spec.Name, errAdmissionQueued)
+				}
+				err := fmt.Errorf("fleet: admission shed %q: offered load would saturate the fleet", spec.Name)
+				f.ol.ledger.Shed++
+				f.rejections = append(f.rejections, Rejection{Name: spec.Name, Time: f.K.Now(), Err: err})
+				return nil, err
+			}
+			if retry {
+				f.ol.ledger.Queued-- // leaving the queue: admitted or shed at placement
+			}
+		}
+	}
 	opspec := spec.Spec()
 	assign, err := f.Sch.Place(opspec)
 	if err != nil {
+		if olGated {
+			f.ol.ledger.Shed++
+		}
 		f.rejections = append(f.rejections, Rejection{Name: spec.Name, Time: f.K.Now(), Err: err})
 		return nil, err
 	}
@@ -490,19 +571,27 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 		RetiredAt:  -1,
 	}
 
+	// Internal admission failures below release the placement; they count
+	// as sheds so the admission ledger stays balanced.
+	fail := func(err error) (*App, error) {
+		f.Sch.Release(assign)
+		if olGated {
+			f.ol.ledger.Shed++
+		}
+		return nil, err
+	}
+
 	// Application processes on the shared network.
 	sys := app.New(f.K, f.Net, assign.QueueHost)
 	for _, g := range opspec.Groups {
 		if err := sys.CreateQueue(g.Name); err != nil {
-			f.Sch.Release(assign)
-			return nil, err
+			return fail(err)
 		}
 		for i, srv := range g.Servers {
-			sys.AddServer(srv, assign.ServerHosts[srv], g.Name, 0.05, 0.4/(20*8192))
+			sys.AddServer(srv, assign.ServerHosts[srv], g.Name, olServiceBase, olServicePerBit)
 			if i < g.ActiveCount {
 				if err := sys.Activate(srv); err != nil {
-					f.Sch.Release(assign)
-					return nil, err
+					return fail(err)
 				}
 			}
 		}
@@ -519,8 +608,7 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 	// Private architectural model and manager over the shared kernel/Remos.
 	mdl, err := operators.Build(opspec)
 	if err != nil {
-		f.Sch.Release(assign)
-		return nil, err
+		return fail(err)
 	}
 	a.Model = mdl
 	cfg := f.Cfg.Manager
@@ -531,8 +619,7 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 		// Lease the app a slice of the fleet-shared monitoring plane.
 		lease, err := f.Gauges.Lease(spec.Name, assign.ManagerHost)
 		if err != nil {
-			f.Sch.Release(assign)
-			return nil, err
+			return fail(err)
 		}
 		a.probe = f.ProbeBus.Acquire()
 		a.report = f.ReportBus.Acquire()
@@ -568,6 +655,9 @@ func (f *Fleet) Admit(spec AppSpec) (*App, error) {
 	if f.Cfg.Migration.Enabled {
 		f.attachHealth(a)
 	}
+	if f.ol != nil {
+		f.openLoopRegister(a, olProc, olUsers, olGated)
+	}
 	return a, nil
 }
 
@@ -602,6 +692,10 @@ func (f *Fleet) Retire(name string) error {
 		a.health = nil
 	}
 	a.Sys.StopClients()
+	if a.ol != nil {
+		f.openLoopTeardown(a, false)
+		f.openLoopRetired(a)
+	}
 	f.RestorePrimary(name)
 	f.Sch.Release(a.Assign)
 	a.RetiredAt = f.K.Now()
@@ -623,6 +717,7 @@ func (f *Fleet) Stop() {
 		f.stopMigrate()
 		f.stopMigrate = nil
 	}
+	f.stopOpenLoop()
 	for _, name := range f.order {
 		a := f.apps[name]
 		if a.Live() {
@@ -713,6 +808,10 @@ type AppSummary struct {
 	// Migrations counts completed fleet-level re-placements of this app.
 	Migrations int
 
+	// ScaleUps and ScaleDowns count the open-loop autoscaler's replica
+	// additions and removals for this app. Zero on closed-loop runs.
+	ScaleUps, ScaleDowns int
+
 	// Phases holds the app's adaptation phase-latency distributions
 	// (detect/decide/drain/recover), collected by the observability plane.
 	// Nil when the fleet ran untraced; non-nil (possibly empty) on every
@@ -769,6 +868,9 @@ func (a *App) Summarize() AppSummary {
 			s.Migrations++
 		}
 	}
+	if a.ol != nil {
+		s.ScaleUps, s.ScaleDowns = a.ol.ups, a.ol.downs
+	}
 	return s
 }
 
@@ -802,6 +904,7 @@ type Totals struct {
 	Responses, Dropped     uint64
 	Repairs, Moves, Alerts int
 	Migrations             int
+	ScaleUps, ScaleDowns   int
 	// WorstFracAboveBound is the worst per-app violation fraction — the
 	// fleet's SLO headline.
 	WorstFracAboveBound float64
@@ -823,6 +926,8 @@ func Aggregate(sums []AppSummary) Totals {
 		t.Moves += s.Moves
 		t.Alerts += s.Alerts
 		t.Migrations += s.Migrations
+		t.ScaleUps += s.ScaleUps
+		t.ScaleDowns += s.ScaleDowns
 		if s.FracAboveBound > t.WorstFracAboveBound {
 			t.WorstFracAboveBound = s.FracAboveBound
 		}

@@ -468,6 +468,12 @@ func (f *Fleet) beginMigration(a *App, now float64) error {
 			f.tracer.RecordPhase(a.Name, obs.PhaseDecide, now-h.streakStart)
 		}
 	}
+	if a.ol != nil {
+		// Drop autoscaled replicas and cancel class flows before the drain:
+		// the cutover's Rehost must cover exactly the spec's processes, and
+		// the engine rebuilds classes against the new placement afterwards.
+		f.openLoopTeardown(a, true)
+	}
 	a.migrating = true
 	a.pending = f.Sch.Stage(newAssign)
 	f.inFlight++

@@ -291,7 +291,9 @@ func TestCatalogScenariosRun(t *testing.T) {
 			if len(res.Summaries) == 0 {
 				t.Fatal("no applications admitted")
 			}
-			if rej := res.Fleet.Rejections(); len(rej) != 0 && e.Name != "diurnal" {
+			// diurnal oversubscribes its small grid on purpose;
+			// overload-shed's admission gate rejects heavy apps by design.
+			if rej := res.Fleet.Rejections(); len(rej) != 0 && e.Name != "diurnal" && e.Name != "overload-shed" {
 				t.Fatalf("rejections: %+v", rej)
 			}
 			if e.Name == "region-collapse" {

@@ -1,0 +1,700 @@
+// Open-loop heavy-traffic engine: the fleet's aggregated workload plane.
+//
+// The closed-loop clients the paper ran cap offered load at the client
+// count — each waits for its reply before sending again, so the grid can
+// degrade but never truly overload. This file adds the open-loop regime:
+// arrival processes (internal/arrivals) offer load as a pure function of
+// time, and each application's population — up to 10^6 modeled users — is
+// aggregated into a handful of flow classes, one demand-capped netsim flow
+// per (client-region, server-group) pair. An M/M/m model
+// (internal/queueing) converts each group's offered load into a latency
+// verdict, a fluid network model adds queueing and transfer time along the
+// class's real (congested) path, and the verdicts are delivered back
+// through the ordinary client response pipeline — so probes, gauges and the
+// per-app repair loop run unchanged, at any population size.
+//
+// The engine closes two new control loops of its own:
+//
+//   - ScalePolicy grows and shrinks server groups against offered
+//     utilization, reserving and releasing scheduler slots one replica at a
+//     time. Autoscaled replicas live below the architectural model (the
+//     repair engine never sees them, like background capacity) and are torn
+//     down before a migration re-places the app.
+//   - AdmissionPolicy sheds or queues whole applications when the fleet's
+//     aggregate offered load would saturate its service capacity, with a
+//     balanced ledger (Offered = Admitted + Shed + Queued; Admitted =
+//     Active + Retired) the chaos harness audits as an invariant.
+//
+// Everything here is off by default and byte-identical-off: with
+// OpenLoopPolicy.Enabled false the fleet schedules no extra events, admits
+// along the unchanged path, and produces summaries identical to a build
+// without this file.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"archadapt/internal/app"
+	"archadapt/internal/arrivals"
+	"archadapt/internal/netsim"
+	"archadapt/internal/queueing"
+)
+
+// Server service-time constants shared with Admit's closed-loop servers:
+// base + perBit·respBits seconds per request.
+const (
+	olServiceBase   = 0.05
+	olServicePerBit = 0.4 / (20 * 8192)
+)
+
+// verdictCeiling bounds synthetic latency verdicts (an hour) so summaries
+// of saturated runs stay finite and printable; anything near it is far past
+// every latency bound that matters.
+const verdictCeiling = 3600.0
+
+// Arrival process kinds for ArrivalSpec.Kind.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalDiurnal = "diurnal"
+	ArrivalTrace   = "trace"
+)
+
+// ArrivalSpec declaratively selects an application's open-loop arrival
+// process — a plain struct (not an interface) so scenario literals,
+// including chaos-shrunk reproducers, can spell it out. Rates are per
+// modeled user, in requests/sec. The zero value is Poisson at the app's
+// ClientRate, which makes the default open-loop run the load-equivalent of
+// the closed-loop one.
+type ArrivalSpec struct {
+	// Kind is "", ArrivalPoisson, ArrivalDiurnal or ArrivalTrace.
+	Kind string
+
+	// Lambda is the Poisson rate (default: the app's ClientRate).
+	Lambda float64
+
+	// Diurnal envelope: Base (default ClientRate), Swing in [0,1], Period
+	// seconds per cycle, Phase as a fraction of a period — plus one
+	// optional flash-crowd burst multiplying the rate by BurstFactor during
+	// [BurstAt, BurstAt+BurstDuration).
+	Base, Swing, Period, Phase          float64
+	BurstAt, BurstDuration, BurstFactor float64
+
+	// Trace-driven step schedule (right-continuous; zero before Times[0]).
+	Times, Rates []float64
+}
+
+// process resolves the spec into an arrivals.Process, defaulting
+// unspecified rates to defaultRate.
+func (s ArrivalSpec) process(defaultRate float64) (arrivals.Process, error) {
+	switch s.Kind {
+	case "", ArrivalPoisson:
+		lambda := s.Lambda
+		if lambda <= 0 {
+			lambda = defaultRate
+		}
+		return arrivals.Poisson{Lambda: lambda}, nil
+	case ArrivalDiurnal:
+		base := s.Base
+		if base <= 0 {
+			base = defaultRate
+		}
+		d := arrivals.Diurnal{Base: base, Swing: s.Swing, Period: s.Period, Phase: s.Phase}
+		if s.BurstFactor > 0 && s.BurstDuration > 0 {
+			d.Bursts = []arrivals.Burst{{At: s.BurstAt, Duration: s.BurstDuration, Factor: s.BurstFactor}}
+		}
+		return d, nil
+	case ArrivalTrace:
+		if len(s.Times) == 0 || len(s.Times) != len(s.Rates) {
+			return nil, fmt.Errorf("fleet: ArrivalSpec trace needs equal-length non-empty Times/Rates (%d/%d)",
+				len(s.Times), len(s.Rates))
+		}
+		return arrivals.Trace{Times: s.Times, Rates: s.Rates}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown ArrivalSpec.Kind %q", s.Kind)
+	}
+}
+
+// ScalePolicy tunes the open-loop replica autoscaler: per server group, the
+// engine compares offered utilization ρ = λ/(m·μ) against the thresholds
+// every adjust tick and grows or shrinks the group one autoscaled replica
+// at a time, reserving/releasing scheduler slots as it goes.
+type ScalePolicy struct {
+	Enabled bool
+	// UpAt/DownAt are the ρ thresholds (defaults 0.8 and 0.3). Scaling up
+	// requires free grid capacity; a full grid silently defers.
+	UpAt, DownAt float64
+	// Cooldown is the minimum time between scale actions on the same group
+	// (default 30 s).
+	Cooldown float64
+	// MaxReplicas caps autoscaled replicas per group (default 8).
+	MaxReplicas int
+}
+
+// AdmissionPolicy tunes the fleet admission controller: when the aggregate
+// open-loop offered load (including the candidate) would push fleet
+// utilization past MaxUtilization, the candidate is shed — or queued, and
+// retried every RetryPeriod as capacity frees up.
+type AdmissionPolicy struct {
+	Enabled bool
+	// MaxUtilization is the fleet ρ ceiling (default 0.95).
+	MaxUtilization float64
+	// Queue holds rejected candidates for retry instead of shedding them.
+	Queue bool
+	// RetryPeriod is the queue retry interval (default 30 s).
+	RetryPeriod float64
+}
+
+// OpenLoopPolicy enables and tunes the open-loop engine. The zero value
+// disables it entirely: no tickers, no per-app state, byte-identical
+// summaries to a fleet without the engine.
+type OpenLoopPolicy struct {
+	Enabled bool
+	// Users is the modeled population per application (default: one user
+	// per client, making the open-loop run the load-equivalent of the
+	// closed-loop one).
+	Users int
+	// AdjustPeriod is the engine tick: demands recomputed, verdicts
+	// delivered, scale decisions taken (default 5 s).
+	AdjustPeriod float64
+	Scale        ScalePolicy
+	Admission    AdmissionPolicy
+}
+
+func (p OpenLoopPolicy) validate() error {
+	bad := func(field string, v float64) error {
+		return fmt.Errorf("fleet: OpenLoopPolicy.%s = %v is invalid (zero means default)", field, v)
+	}
+	switch {
+	case p.Users < 0:
+		return fmt.Errorf("fleet: OpenLoopPolicy.Users = %d is invalid (zero means one per client)", p.Users)
+	case p.AdjustPeriod < 0 || math.IsNaN(p.AdjustPeriod):
+		return bad("AdjustPeriod", p.AdjustPeriod)
+	case p.Scale.UpAt < 0 || math.IsNaN(p.Scale.UpAt):
+		return bad("Scale.UpAt", p.Scale.UpAt)
+	case p.Scale.DownAt < 0 || math.IsNaN(p.Scale.DownAt):
+		return bad("Scale.DownAt", p.Scale.DownAt)
+	case p.Scale.UpAt > 0 && p.Scale.DownAt > 0 && p.Scale.DownAt >= p.Scale.UpAt:
+		return fmt.Errorf("fleet: OpenLoopPolicy.Scale.DownAt %v must be below UpAt %v", p.Scale.DownAt, p.Scale.UpAt)
+	case p.Scale.Cooldown < 0 || math.IsNaN(p.Scale.Cooldown):
+		return bad("Scale.Cooldown", p.Scale.Cooldown)
+	case p.Scale.MaxReplicas < 0:
+		return fmt.Errorf("fleet: OpenLoopPolicy.Scale.MaxReplicas = %d is invalid (zero means default)", p.Scale.MaxReplicas)
+	case p.Admission.MaxUtilization < 0 || p.Admission.MaxUtilization > 1 || math.IsNaN(p.Admission.MaxUtilization):
+		return bad("Admission.MaxUtilization", p.Admission.MaxUtilization)
+	case p.Admission.RetryPeriod < 0 || math.IsNaN(p.Admission.RetryPeriod):
+		return bad("Admission.RetryPeriod", p.Admission.RetryPeriod)
+	}
+	return nil
+}
+
+func (p OpenLoopPolicy) withDefaults() OpenLoopPolicy {
+	if p.AdjustPeriod <= 0 {
+		p.AdjustPeriod = 5
+	}
+	if p.Scale.UpAt <= 0 {
+		p.Scale.UpAt = 0.8
+	}
+	if p.Scale.DownAt <= 0 {
+		p.Scale.DownAt = 0.3
+	}
+	if p.Scale.Cooldown <= 0 {
+		p.Scale.Cooldown = 30
+	}
+	if p.Scale.MaxReplicas < 1 {
+		p.Scale.MaxReplicas = 8
+	}
+	if p.Admission.MaxUtilization <= 0 {
+		p.Admission.MaxUtilization = 0.95
+	}
+	if p.Admission.RetryPeriod <= 0 {
+		p.Admission.RetryPeriod = 30
+	}
+	return p
+}
+
+// AdmissionLedger is the admission controller's balanced books. Two
+// invariants hold at every instant (the chaos harness audits both):
+//
+//	Offered  = Admitted + Shed + Queued
+//	Admitted = Active + Retired
+type AdmissionLedger struct {
+	// Offered counts externally offered applications (each spec once,
+	// however many retries it takes); Admitted the ones that made it in;
+	// Shed the ones rejected for saturation or placement failure; Queued
+	// the ones currently waiting for capacity.
+	Offered, Admitted, Shed, Queued int
+	// Active and Retired split Admitted by lifecycle.
+	Active, Retired int
+}
+
+// errAdmissionQueued marks an Admit that parked the spec on the retry
+// queue rather than rejecting it outright.
+var errAdmissionQueued = errors.New("fleet: admission queued: grid near saturation")
+
+// openLoop is the fleet-level engine state (Fleet.ol; nil when disabled).
+type openLoop struct {
+	p                   OpenLoopPolicy
+	ledger              AdmissionLedger
+	queued              []AppSpec
+	stopTick, stopRetry func()
+}
+
+// scaledReplica is one autoscaled server and the slot it holds.
+type scaledReplica struct {
+	name string
+	host netsim.NodeID
+}
+
+// openApp is one application's open-loop state (App.ol; nil when disabled).
+type openApp struct {
+	proc  arrivals.Process
+	users float64
+	gated bool // admitted through the admission gate (ledger accounting)
+
+	classes  []*app.FlowClass
+	assign   *Assignment // assignment identity at the last tick (cutover detection)
+	lastTick float64
+
+	// backlog is the per-group server fluid queue in requests; lastScale
+	// the per-group cooldown anchor; scaled the live autoscaled replicas.
+	backlog   map[string]float64
+	lastScale map[string]float64
+	scaled    map[string][]scaledReplica
+	seq       int
+	ups       int
+	downs     int
+
+	// Tick scratch, reused across ticks: per-class member rates, per-class
+	// offered load, per-class completion counts, per-group aggregates.
+	rates  []float64
+	lam    []float64
+	counts []uint64
+	glam   map[string]float64
+	gout   map[string]float64
+	gwait  map[string]float64
+}
+
+// scaledSlots returns the scheduler slots the app's autoscaled replicas
+// hold (AuditSlots accounting).
+func (ol *openApp) scaledSlots() int {
+	n := 0
+	for _, reps := range ol.scaled {
+		n += len(reps)
+	}
+	return n
+}
+
+// appServiceRate returns μ, a server's request service rate under the
+// spec's median reply size.
+func appServiceRate(spec AppSpec) float64 {
+	return 1 / (olServiceBase + olServicePerBit*spec.RespBits)
+}
+
+// startOpenLoop wires the engine into a freshly constructed fleet.
+func (f *Fleet) startOpenLoop() {
+	p := f.Cfg.OpenLoop
+	f.ol = &openLoop{p: p}
+	f.ol.stopTick = f.K.Ticker(f.K.Now()+p.AdjustPeriod, p.AdjustPeriod, f.openLoopTick)
+	if p.Admission.Enabled && p.Admission.Queue {
+		f.ol.stopRetry = f.K.Ticker(f.K.Now()+p.Admission.RetryPeriod, p.Admission.RetryPeriod, f.openLoopRetry)
+	}
+}
+
+// stopOpenLoop halts the engine tickers (fleet Stop).
+func (f *Fleet) stopOpenLoop() {
+	if f.ol == nil {
+		return
+	}
+	if f.ol.stopTick != nil {
+		f.ol.stopTick()
+		f.ol.stopTick = nil
+	}
+	if f.ol.stopRetry != nil {
+		f.ol.stopRetry()
+		f.ol.stopRetry = nil
+	}
+}
+
+// OpenLoopLedger returns the admission controller's ledger; ok is false
+// when the open-loop engine is disabled.
+func (f *Fleet) OpenLoopLedger() (AdmissionLedger, bool) {
+	if f.ol == nil {
+		return AdmissionLedger{}, false
+	}
+	return f.ol.ledger, true
+}
+
+// ScaleActions returns the app's autoscaler action counts (zero unless the
+// open-loop engine ran).
+func (a *App) ScaleActions() (ups, downs int) {
+	if a.ol == nil {
+		return 0, 0
+	}
+	return a.ol.ups, a.ol.downs
+}
+
+// AutoscaledOf returns the group's live autoscaled replica count.
+func (a *App) AutoscaledOf(group string) int {
+	if a.ol == nil {
+		return 0
+	}
+	return len(a.ol.scaled[group])
+}
+
+// openLoopOffered returns the fleet's aggregate open-loop offered load and
+// service capacity in requests/sec, over live open-loop applications.
+func (f *Fleet) openLoopOffered(now float64) (lambda, capacity float64) {
+	for _, name := range f.order {
+		a := f.apps[name]
+		if !a.Live() || a.ol == nil {
+			continue
+		}
+		lambda += a.ol.users * a.ol.proc.Rate(now)
+		mu := appServiceRate(a.Spec)
+		for _, g := range a.Sys.Groups() {
+			capacity += float64(len(a.Sys.ActiveServersOf(g))) * mu
+		}
+	}
+	return lambda, capacity
+}
+
+// openLoopAdmissible applies the admission gate: would the fleet's offered
+// utilization, candidate included, stay within MaxUtilization?
+func (f *Fleet) openLoopAdmissible(spec AppSpec, proc arrivals.Process, users, now float64) bool {
+	lambda, capacity := f.openLoopOffered(now)
+	lambda += users * proc.Rate(now)
+	capacity += float64(spec.Groups*spec.ServersPerGroup) * appServiceRate(spec)
+	if capacity <= 0 {
+		return false
+	}
+	return lambda/capacity <= f.ol.p.Admission.MaxUtilization
+}
+
+// openLoopRetry re-offers queued specs; still-saturated ones stay queued.
+func (f *Fleet) openLoopRetry(now float64) {
+	if f.stopped || len(f.ol.queued) == 0 {
+		return
+	}
+	kept := f.ol.queued[:0]
+	for _, spec := range f.ol.queued {
+		if _, err := f.admit(spec, true); errors.Is(err, errAdmissionQueued) {
+			kept = append(kept, spec)
+		}
+	}
+	f.ol.queued = kept
+}
+
+// openLoopRegister attaches per-app engine state at admission.
+func (f *Fleet) openLoopRegister(a *App, proc arrivals.Process, users float64, gated bool) {
+	a.ol = &openApp{
+		proc: proc, users: users, gated: gated,
+		assign: a.Assign, lastTick: f.K.Now(),
+		backlog:   map[string]float64{},
+		lastScale: map[string]float64{},
+		scaled:    map[string][]scaledReplica{},
+		glam:      map[string]float64{},
+		gout:      map[string]float64{},
+		gwait:     map[string]float64{},
+	}
+	if gated {
+		f.ol.ledger.Admitted++
+		f.ol.ledger.Active++
+	}
+	// The arrival process replaces the closed-loop generators from t=0:
+	// clients check paused at arrival-event time, so no real request fires.
+	a.Sys.PauseClients()
+}
+
+// openLoopTeardown cancels the app's class flows and releases its
+// autoscaled replicas' slots. removeServers additionally unregisters the
+// replicas from the application — required before a migration's Rehost,
+// which must cover exactly the spec's processes.
+func (f *Fleet) openLoopTeardown(a *App, removeServers bool) {
+	ol := a.ol
+	if ol == nil {
+		return
+	}
+	f.Net.Batch(func() {
+		for _, fc := range ol.classes {
+			if fc.Flow != nil {
+				fc.Flow.Cancel()
+			}
+		}
+	})
+	ol.classes = nil
+	for _, g := range a.Sys.Groups() {
+		for _, rep := range ol.scaled[g] {
+			if removeServers {
+				_ = a.Sys.RemoveServer(rep.name)
+			}
+			f.Sch.ReleaseHost(rep.host)
+		}
+		delete(ol.scaled, g)
+	}
+}
+
+// openLoopRetired folds a retirement into the ledger.
+func (f *Fleet) openLoopRetired(a *App) {
+	if a.ol != nil && a.ol.gated {
+		f.ol.ledger.Active--
+		f.ol.ledger.Retired++
+	}
+}
+
+// openLoopTick advances every live, non-draining application. Draining
+// apps were torn down at migration decision time and resume at the first
+// tick after their cutover.
+func (f *Fleet) openLoopTick(now float64) {
+	if f.stopped {
+		return
+	}
+	for _, name := range f.order {
+		a := f.apps[name]
+		if a.Live() && !a.migrating {
+			f.openLoopApp(a, now)
+		}
+	}
+}
+
+// openLoopApp is one adjust tick for one application:
+//
+//  1. settle the past interval's network accounting per class,
+//  2. reconcile classes with current membership and anchors,
+//  3. aggregate offered load per group, advance the server fluid queues,
+//     and compute each group's M/M/m latency verdict,
+//  4. take scale decisions,
+//  5. push new demands to the class flows (one batched solve), and
+//  6. deliver per-class verdicts and completion counts to the members.
+func (f *Fleet) openLoopApp(a *App, now float64) {
+	ol := a.ol
+	if ol.assign != a.Assign {
+		// A migration cutover re-placed the app since the last tick; the
+		// old flows and replicas were torn down at decision time. Rebuild
+		// from the new placement.
+		ol.assign = a.Assign
+		ol.classes = nil
+	}
+	// Closed-loop generation stays off. PauseClients is idempotent, and
+	// re-asserting it here re-pauses clients a cutover's ResumeClients
+	// briefly woke.
+	a.Sys.PauseClients()
+	dt := now - ol.lastTick
+	ol.lastTick = now
+	if dt <= 0 {
+		return
+	}
+	respBits := a.Spec.RespBits
+	mu := appServiceRate(a.Spec)
+	adjust := f.ol.p.AdjustPeriod
+
+	// (1) Reconcile classes: repairs move clients between groups and
+	// migrations re-place hosts, so membership and anchors are recomputed
+	// every tick; accounting state and flows carry over by (region, group)
+	// as long as the endpoints held still. A class whose endpoints moved
+	// restarts its flow (bits in flight at the switch are dropped — the
+	// fluid model's cost of a re-anchoring, not worth tracking).
+	type ckey struct {
+		region int
+		group  string
+	}
+	fresh := app.BuildFlowClasses(a.Sys, f.Grid.RouterIndex)
+	prev := make(map[ckey]*app.FlowClass, len(ol.classes))
+	for _, fc := range ol.classes {
+		prev[ckey{fc.Region, fc.Group}] = fc
+	}
+	for _, fc := range fresh {
+		k := ckey{fc.Region, fc.Group}
+		old, ok := prev[k]
+		if !ok {
+			continue
+		}
+		delete(prev, k)
+		fc.NetBacklog, fc.EmitRate, fc.Credit = old.NetBacklog, old.EmitRate, old.Credit
+		if old.Src == fc.Src && old.Dst == fc.Dst {
+			fc.Flow = old.Flow
+			fc.LastDelivered = old.LastDelivered
+		} else if old.Flow != nil {
+			old.Flow.Cancel()
+		}
+	}
+	for _, fc := range ol.classes {
+		if prev[ckey{fc.Region, fc.Group}] == fc && fc.Flow != nil {
+			fc.Flow.Cancel()
+		}
+	}
+	ol.classes = fresh
+
+	// (2) Settle the past interval per class: bits the network delivered
+	// against bits the servers emitted, and the completed-response count.
+	ol.counts = ol.counts[:0]
+	for _, fc := range ol.classes {
+		delta := 0.0
+		if fc.Flow != nil {
+			d := fc.Flow.Delivered()
+			delta = d - fc.LastDelivered
+			fc.LastDelivered = d
+		}
+		fc.NetBacklog += fc.EmitRate*dt - delta
+		if fc.NetBacklog < 1e-9 {
+			fc.NetBacklog = 0
+		}
+		whole := delta/respBits + fc.Credit
+		n := math.Floor(whole)
+		fc.Credit = whole - n
+		ol.counts = append(ol.counts, uint64(n))
+	}
+	counts := ol.counts
+
+	// (3) Offered load per class (compensated member sum) and per group.
+	perUser := ol.proc.Rate(now)
+	usersPerClient := ol.users / float64(len(a.Opspec.Clients))
+	perMember := usersPerClient * perUser
+	ol.lam = ol.lam[:0]
+	for g := range ol.glam {
+		delete(ol.glam, g)
+	}
+	for _, fc := range ol.classes {
+		ol.rates = ol.rates[:0]
+		for range fc.Members {
+			ol.rates = append(ol.rates, perMember)
+		}
+		lam := arrivals.SumExact(ol.rates)
+		ol.lam = append(ol.lam, lam)
+		ol.glam[fc.Group] += lam
+	}
+
+	// Server fluid queues and M/M/m verdicts per group.
+	for _, g := range a.Sys.Groups() {
+		lamG := ol.glam[g]
+		m := len(a.Sys.ActiveServersOf(g))
+		capG := float64(m) * mu
+		b := ol.backlog[g]
+		out := lamG + b/dt
+		if out > capG {
+			out = capG
+		}
+		b += (lamG - out) * dt
+		if b < 1e-9 {
+			b = 0
+		}
+		ol.backlog[g] = b
+		ol.gout[g] = out
+
+		var w float64
+		q := queueing.MMm{Lambda: lamG, Mu: mu, M: m}
+		switch {
+		case capG <= 0:
+			// No servers at all: the wait is the age of the backlog.
+			if lamG > 1e-12 {
+				w = b / lamG
+			}
+		case q.Valid():
+			w = q.MeanResponse() + b/capG
+		default:
+			// Saturated: the M/M/m wait is +Inf; the finite fluid verdict
+			// — drain the standing backlog, then one service time — still
+			// blows far past any latency bound, which is what the repair
+			// and scale loops need to see.
+			w = 1/mu + b/capG
+		}
+		ol.gwait[g] = w
+
+		// (4) Scale decisions against offered utilization.
+		if f.ol.p.Scale.Enabled {
+			f.openLoopScale(a, g, lamG, capG, now)
+		}
+	}
+
+	// (5) New demands: what the servers emit (bounded by group capacity,
+	// shared within the group in proportion to offered load) plus a
+	// backlog-draining term, pushed in one batched solve.
+	f.Net.Batch(func() {
+		for i, fc := range ol.classes {
+			share := 0.0
+			if gl := ol.glam[fc.Group]; gl > 0 {
+				share = ol.lam[i] / gl
+			}
+			fc.EmitRate = share * ol.gout[fc.Group] * respBits
+			demand := fc.EmitRate + fc.NetBacklog/adjust
+			if fc.Flow == nil {
+				fc.Flow = f.Net.StartClassFlow(fc.Src, fc.Dst, demand, a.Name+":"+fc.Group)
+			} else {
+				fc.Flow.SetDemand(demand)
+			}
+		}
+	})
+
+	// (6) Verdicts: group wait + network time along the class's real path,
+	// delivered through the ordinary response pipeline. Counts spread
+	// evenly over members (remainder to the earliest-registered).
+	for i, fc := range ol.classes {
+		tnet := 1e-5
+		if fc.Src != fc.Dst {
+			avail := f.Net.AvailBandwidth(fc.Src, fc.Dst)
+			if avail < f.Net.MinFlowRate {
+				avail = f.Net.MinFlowRate
+			}
+			rate := fc.Flow.Rate()
+			if rate < f.Net.MinFlowRate {
+				rate = f.Net.MinFlowRate
+			}
+			tnet = respBits/avail + fc.NetBacklog/rate
+		}
+		verdict := ol.gwait[fc.Group] + tnet
+		if verdict > verdictCeiling {
+			verdict = verdictCeiling
+		}
+		members := uint64(len(fc.Members))
+		base, rem := counts[i]/members, counts[i]%members
+		for mi, name := range fc.Members {
+			n := base
+			if uint64(mi) < rem {
+				n++
+			}
+			a.Sys.Client(name).DeliverSynthetic(now, verdict, n)
+		}
+	}
+	ol.counts = counts
+}
+
+// openLoopScale applies the scale policy to one group: one replica up on
+// sustained ρ above UpAt (slot permitting), one down below DownAt.
+func (f *Fleet) openLoopScale(a *App, g string, lamG, capG, now float64) {
+	ol := a.ol
+	p := f.ol.p.Scale
+	if last, ok := ol.lastScale[g]; ok && now-last < p.Cooldown {
+		return
+	}
+	rho := math.Inf(1)
+	if capG > 0 {
+		rho = lamG / capG
+	}
+	reps := ol.scaled[g]
+	switch {
+	case rho > p.UpAt && len(reps) < p.MaxReplicas:
+		h, err := f.Sch.Reserve()
+		if err != nil {
+			return // grid full: nothing to scale into, retry next tick
+		}
+		ol.seq++
+		name := fmt.Sprintf("%s_auto%d", g, ol.seq)
+		a.Sys.AddServer(name, h, g, olServiceBase, olServicePerBit)
+		if err := a.Sys.Activate(name); err != nil {
+			_ = a.Sys.RemoveServer(name)
+			f.Sch.ReleaseHost(h)
+			return
+		}
+		ol.scaled[g] = append(reps, scaledReplica{name: name, host: h})
+		ol.ups++
+		ol.lastScale[g] = now
+	case rho < p.DownAt && len(reps) > 0:
+		rep := reps[len(reps)-1]
+		ol.scaled[g] = reps[:len(reps)-1]
+		_ = a.Sys.RemoveServer(rep.name)
+		f.Sch.ReleaseHost(rep.host)
+		ol.downs++
+		ol.lastScale[g] = now
+	}
+}

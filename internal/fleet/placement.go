@@ -94,6 +94,15 @@ func (s *Scheduler) Reserve() (netsim.NodeID, error) {
 	return h, nil
 }
 
+// ReleaseHost returns a single committed slot on a host — the inverse of
+// Reserve for slots taken one at a time (the open-loop autoscaler's
+// per-replica reservations).
+func (s *Scheduler) ReleaseHost(h netsim.NodeID) {
+	if s.load[h] > 0 {
+		s.load[h]--
+	}
+}
+
 // pick returns the admissible host with the lowest (load, -score, index)
 // rank. score lets callers express preferences (bandwidth, spreading);
 // admissible filters hosts out entirely. Ties break on grid host order, so

@@ -105,6 +105,10 @@ type ScenarioOptions struct {
 	// without the controller.
 	Migration MigrationPolicy
 
+	// OpenLoop enables and tunes the open-loop heavy-traffic engine. Zero
+	// value: disabled, byte-identical to a fleet without the engine.
+	OpenLoop OpenLoopPolicy
+
 	// Trace attaches the run to the observability plane (Config.Trace): the
 	// finished ScenarioResult's Fleet.Tracer() holds the causal span tree,
 	// phase latencies and kernel counters, and summaries carry PhaseSets.
@@ -238,6 +242,7 @@ func StartScenario(opts ScenarioOptions) (*ScenarioRun, error) {
 		HostCapacity:     opts.HostCapacity,
 		PerAppMonitoring: opts.PerAppMonitoring,
 		Migration:        opts.Migration,
+		OpenLoop:         opts.OpenLoop,
 		Trace:            opts.Trace,
 		Workers:          opts.Workers,
 	})

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"archadapt/internal/sim"
+)
+
+func approx(t *testing.T, label string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", label, got, want, tol)
+	}
+}
+
+// A demand-capped class never takes more than its offered rate; the freed
+// capacity goes to the elastic flows sharing its links.
+func TestClassFlowDemandCap(t *testing.T) {
+	k, n, a, b, _, _ := line(t)
+	cf := n.StartClassFlow(a, b, 2e6, "class")
+	doneAt := -1.0
+	n.StartTransfer(a, b, 8e6, "bulk", func(*Flow) { doneAt = k.Now() })
+	// Fair share on the 10 Mbps path would be 5 Mbps each; the class wants
+	// only 2 Mbps, so the bulk flow gets the remaining 8 Mbps.
+	approx(t, "class rate", cf.Rate(), 2e6, 1)
+	k.Run(1.5)
+	approx(t, "bulk done", doneAt, 1.0, 1e-6)
+	// After the bulk completes the class still takes exactly its demand.
+	approx(t, "class rate after", cf.Rate(), 2e6, 1)
+	approx(t, "delivered", cf.Delivered(), 2e6*1.5, 1)
+}
+
+// A class whose demand exceeds its fair share behaves like an elastic flow
+// and is held at the bottleneck share.
+func TestClassFlowBottleneckedAtFairShare(t *testing.T) {
+	k, n, a, b, _, _ := line(t)
+	cf := n.StartClassFlow(a, b, 20e6, "class")
+	n.StartTransfer(a, b, 100e6, "bulk", nil)
+	approx(t, "class rate", cf.Rate(), 5e6, 1)
+	k.Run(2)
+	approx(t, "delivered", cf.Delivered(), 10e6, 1)
+}
+
+func TestSetDemandAdjustsAllocation(t *testing.T) {
+	k, n, a, b, _, _ := line(t)
+	cf := n.StartClassFlow(a, b, 8e6, "class")
+	approx(t, "initial rate", cf.Rate(), 8e6, 1)
+	k.Run(1)
+	cf.SetDemand(3e6)
+	approx(t, "lowered rate", cf.Rate(), 3e6, 1)
+	k.Run(2)
+	// 8 Mbps for 1 s, then 3 Mbps for 1 s.
+	approx(t, "delivered", cf.Delivered(), 8e6+3e6, 1)
+	cf.SetDemand(0)
+	approx(t, "zero-demand rate", cf.Rate(), 0, 1e-9)
+	k.Run(3)
+	approx(t, "delivered stalled", cf.Delivered(), 11e6, 1)
+}
+
+func TestSameHostClassFlow(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddHost("a")
+	cf := n.StartClassFlow(a, a, 4e6, "local")
+	approx(t, "local rate", cf.Rate(), 4e6, 1e-9)
+	k.Run(2)
+	cf.SetDemand(1e6)
+	k.Run(3)
+	approx(t, "delivered", cf.Delivered(), 2*4e6+1e6, 1)
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("local class flows must not register with the solver")
+	}
+}
+
+// Cancelling a class flow returns its capacity and freezes Delivered.
+func TestClassFlowCancel(t *testing.T) {
+	k, n, a, b, _, _ := line(t)
+	cf := n.StartClassFlow(a, b, 4e6, "class")
+	var bulk *Flow
+	bulk = n.StartTransfer(a, b, 100e6, "bulk", nil)
+	approx(t, "bulk rate with class", bulk.Rate(), 6e6, 1)
+	k.Run(1)
+	cf.Cancel()
+	approx(t, "bulk rate after cancel", bulk.Rate(), 10e6, 1)
+	d := cf.Delivered()
+	approx(t, "delivered frozen", d, 4e6, 1)
+	k.Run(2)
+	if cf.Delivered() != d {
+		t.Fatalf("Delivered moved after Cancel: %v -> %v", d, cf.Delivered())
+	}
+	if cf.Rate() != 0 {
+		t.Fatalf("cancelled class rate = %v, want 0", cf.Rate())
+	}
+}
+
+// The incremental solver with mixed class + elastic flows must agree with
+// the global reference oracle (which mirrors the demand pre-pass).
+func TestClassFlowVerifyReference(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddHost("a")
+	r1 := n.AddRouter("r1")
+	r2 := n.AddRouter("r2")
+	b := n.AddHost("b")
+	c := n.AddHost("c")
+	n.Connect(a, r1, 10e6, 1e-3)
+	l := n.Connect(r1, r2, 20e6, 2e-3)
+	n.Connect(r2, b, 10e6, 1e-3)
+	n.Connect(r2, c, 5e6, 1e-3)
+
+	check := func(stage string) {
+		t.Helper()
+		if err := n.VerifyReference(1e-6); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+	cf1 := n.StartClassFlow(a, b, 3e6, "c1")
+	check("one class")
+	cf2 := n.StartClassFlow(a, c, 50e6, "c2") // far over capacity: elastic behavior
+	check("two classes")
+	n.StartTransfer(a, b, 200e6, "bulk1", nil)
+	n.StartTransfer(a, c, 200e6, "bulk2", nil)
+	check("classes + bulk")
+	k.Run(1)
+	cf1.SetDemand(9e6)
+	check("after SetDemand")
+	n.SetBackgroundBoth(l, 15e6)
+	check("after background")
+	cf2.SetDemand(0.5e6)
+	check("after second SetDemand")
+	k.Run(3)
+	cf1.Cancel()
+	check("after cancel")
+}
+
+// Batch defers SetDemand re-solves like any other mutation.
+func TestSetDemandBatched(t *testing.T) {
+	_, n, a, b, _, _ := line(t)
+	cf := n.StartClassFlow(a, b, 1e6, "class")
+	cf2 := n.StartClassFlow(a, b, 1e6, "class2")
+	before := n.Stats().Solves
+	n.Batch(func() {
+		cf.SetDemand(2e6)
+		cf2.SetDemand(3e6)
+	})
+	if got := n.Stats().Solves - before; got != 1 {
+		t.Fatalf("batched SetDemand ran %d solves, want 1", got)
+	}
+	approx(t, "rate 1", cf.Rate(), 2e6, 1)
+	approx(t, "rate 2", cf2.Rate(), 3e6, 1)
+}

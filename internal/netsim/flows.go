@@ -31,6 +31,16 @@ type Flow struct {
 	cancelled  bool
 	seen       uint64 // region-visit epoch
 	frozen     uint64 // progressive-filling freeze epoch
+
+	// Class-flow state (StartClassFlow). A persistent flow never completes:
+	// instead of draining `remaining` it accumulates `delivered` bits. A
+	// limited flow's max–min allocation is capped at `demand` bits/sec, with
+	// the residual capacity redistributed to the elastic flows sharing its
+	// links.
+	persistent bool
+	limited    bool
+	demand     float64
+	delivered  float64 // bits delivered as of `last` (settled lazily)
 }
 
 // ID returns the flow's unique id (creation order).
@@ -119,12 +129,17 @@ func (f *Flow) Cancel() {
 	}
 	f.cancelled = true
 	// Freeze the handle's progress at the cancellation instant: once the
-	// flow leaves the network, Remaining() must stop extrapolating.
+	// flow leaves the network, Remaining()/Delivered() must stop
+	// extrapolating.
 	now := f.net.K.Now()
 	if dt := now - f.last; dt > 0 {
-		f.remaining -= f.rate * dt
-		if f.remaining < 0 {
-			f.remaining = 0
+		if f.persistent {
+			f.delivered += f.rate * dt
+		} else {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
 		}
 	}
 	f.last = now

@@ -46,12 +46,14 @@ func (n *Network) ReferenceRates() map[*Flow]float64 {
 	}
 	rates := make(map[*Flow]float64, len(n.flows))
 	active := make([]*Flow, 0, len(n.flows))
+	hasLimited := false
 	for _, f := range n.flows {
 		rates[f] = 0
 		if len(f.path) == 0 {
 			continue
 		}
 		active = append(active, f)
+		hasLimited = hasLimited || f.limited
 		for _, h := range f.path {
 			resources[int(h.link)*2+int(h.dir)].count++
 		}
@@ -74,6 +76,32 @@ func (n *Network) ReferenceRates() map[*Flow]float64 {
 		}
 		if minShare < n.MinFlowRate {
 			minShare = n.MinFlowRate
+		}
+		// Demand pre-pass, mirroring fillComponentDemand: class flows whose
+		// demand is within the fair share freeze at exactly their demand.
+		// Skipped entirely when no class flows exist so the oracle's
+		// arithmetic matches the original algorithm bit-for-bit.
+		if hasLimited {
+			capped := false
+			for _, f := range active {
+				if frozen[f] || !f.limited || f.demand > minShare {
+					continue
+				}
+				rates[f] = f.demand
+				frozen[f] = true
+				capped = true
+				for _, h := range f.path {
+					idx := int(h.link)*2 + int(h.dir)
+					resources[idx].avail -= f.demand
+					if resources[idx].avail < 0 {
+						resources[idx].avail = 0
+					}
+					resources[idx].count--
+				}
+			}
+			if capped {
+				continue // re-derive the share over the freed capacity
+			}
 		}
 		progressed := false
 		for _, f := range active {
@@ -105,10 +133,15 @@ func (n *Network) ReferenceRates() map[*Flow]float64 {
 			}
 		}
 		if !progressed {
-			// Numerical corner: give every remaining flow the floor rate.
+			// Numerical corner: give every remaining flow the floor rate
+			// (capped at demand for class flows).
 			for _, f := range active {
 				if !frozen[f] {
-					rates[f] = n.MinFlowRate
+					rate := n.MinFlowRate
+					if f.limited && f.demand < rate {
+						rate = f.demand
+					}
+					rates[f] = rate
 					frozen[f] = true
 				}
 			}

@@ -23,19 +23,35 @@ type MMm struct {
 	M int
 }
 
-// Valid reports whether the system is stable (utilization < 1).
+// Valid reports whether the system is stable (utilization < 1). A zero
+// arrival rate is trivially stable; a group with no servers or no service
+// capacity never is.
 func (q MMm) Valid() bool {
-	return q.Lambda > 0 && q.Mu > 0 && q.M > 0 && q.Utilization() < 1
+	return q.Lambda >= 0 && q.Mu > 0 && q.M > 0 && q.Utilization() < 1
 }
 
-// Utilization returns ρ = λ/(mμ).
+// Utilization returns ρ = λ/(mμ). Degenerate groups (m ≤ 0 or μ ≤ 0) are
+// reported as saturated (+Inf) rather than NaN so callers can branch on
+// ρ ≥ 1 without NaN-poisoning downstream arithmetic.
 func (q MMm) Utilization() float64 {
+	if q.M <= 0 || q.Mu <= 0 {
+		return math.Inf(1)
+	}
 	return q.Lambda / (float64(q.M) * q.Mu)
 }
 
+// Saturated reports whether the group cannot drain its offered load
+// (ρ ≥ 1, or a degenerate m/μ). Saturated groups have infinite mean wait.
+func (q MMm) Saturated() bool {
+	return q.Lambda > 0 && !q.Valid()
+}
+
 // ErlangC returns the probability an arriving request waits (all servers
-// busy).
+// busy). An empty system (λ=0) never waits; a saturated one always does.
 func (q MMm) ErlangC() float64 {
+	if q.Lambda <= 0 {
+		return 0
+	}
 	if !q.Valid() {
 		return 1
 	}
@@ -57,7 +73,8 @@ func (q MMm) ErlangC() float64 {
 	return top / (sum + top)
 }
 
-// MeanQueueLength returns Lq, the mean number of waiting requests.
+// MeanQueueLength returns Lq, the mean number of waiting requests. It is 0
+// for an empty system and +Inf (never NaN) when saturated.
 func (q MMm) MeanQueueLength() float64 {
 	if !q.Valid() {
 		return math.Inf(1)
@@ -66,7 +83,8 @@ func (q MMm) MeanQueueLength() float64 {
 	return q.ErlangC() * rho / (1 - rho)
 }
 
-// MeanWait returns Wq, the mean time spent waiting in queue (seconds).
+// MeanWait returns Wq, the mean time spent waiting in queue (seconds). It
+// is 0 for an empty system and +Inf (never NaN) when saturated.
 func (q MMm) MeanWait() float64 {
 	if !q.Valid() {
 		return math.Inf(1)
@@ -75,8 +93,13 @@ func (q MMm) MeanWait() float64 {
 }
 
 // MeanResponse returns W = Wq + 1/μ, the mean end-to-end service latency
-// excluding network transfer time.
+// excluding network transfer time. Saturated or degenerate groups return
+// +Inf, never NaN — callers compare W against a latency bound and a NaN
+// would silently pass every comparison.
 func (q MMm) MeanResponse() float64 {
+	if q.Mu <= 0 {
+		return math.Inf(1)
+	}
 	return q.MeanWait() + 1/q.Mu
 }
 

@@ -41,6 +41,60 @@ func TestUnstableSystem(t *testing.T) {
 	}
 }
 
+// TestEdgeCases pins the degenerate corners surfaced by the open-loop
+// engine, which evaluates MeanResponse on whatever (λ, μ, m) the fleet is
+// currently in — including saturated and empty groups. Every corner must
+// yield a comparable float (0 or +Inf), never NaN.
+func TestEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name            string
+		q               MMm
+		valid, sat      bool
+		rho, wq, w, erc float64 // expected; NaN entries are disallowed outputs
+	}{
+		{"empty system", MMm{Lambda: 0, Mu: 2, M: 3}, true, false, 0, 0, 0.5, 0},
+		{"exactly critical", MMm{Lambda: 6, Mu: 2, M: 3}, false, true, 1, inf, inf, 1},
+		{"overloaded", MMm{Lambda: 10, Mu: 1, M: 3}, false, true, 10.0 / 3, inf, inf, 1},
+		{"zero servers", MMm{Lambda: 1, Mu: 2, M: 0}, false, true, inf, inf, inf, 1},
+		{"zero service rate", MMm{Lambda: 1, Mu: 0, M: 3}, false, true, inf, inf, inf, 1},
+		{"all zero", MMm{}, false, false, inf, inf, inf, 0},
+		{"negative lambda", MMm{Lambda: -1, Mu: 2, M: 3}, false, false, -1.0 / 6, inf, inf, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.q.Valid(); got != c.valid {
+				t.Errorf("Valid=%v, want %v", got, c.valid)
+			}
+			if got := c.q.Saturated(); got != c.sat {
+				t.Errorf("Saturated=%v, want %v", got, c.sat)
+			}
+			checks := []struct {
+				label     string
+				got, want float64
+			}{
+				{"Utilization", c.q.Utilization(), c.rho},
+				{"MeanWait", c.q.MeanWait(), c.wq},
+				{"MeanResponse", c.q.MeanResponse(), c.w},
+				{"ErlangC", c.q.ErlangC(), c.erc},
+			}
+			for _, ch := range checks {
+				if math.IsNaN(ch.got) {
+					t.Errorf("%s is NaN; degenerate inputs must map to 0 or +Inf", ch.label)
+					continue
+				}
+				if math.IsInf(ch.want, 1) {
+					if !math.IsInf(ch.got, 1) {
+						t.Errorf("%s=%v, want +Inf", ch.label, ch.got)
+					}
+				} else if math.Abs(ch.got-ch.want) > 1e-12 {
+					t.Errorf("%s=%v, want %v", ch.label, ch.got, ch.want)
+				}
+			}
+		})
+	}
+}
+
 func TestPaperSizing(t *testing.T) {
 	// The paper's design inputs: six clients at ~1 req/s each (λ≈6/s),
 	// replies around 20 KB with service time ≈0.3–0.45 s (μ≈2.2–3.3/s),
