@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutinesSettle polls until the live goroutine count drops back to the
+// baseline (the runtime may retire helpers asynchronously) and returns the
+// last observed count.
+func goroutinesSettle(baseline int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 50 && n > baseline; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// The worker pool's goroutines must not outlive the fleet. WorkerPool.Close
+// waits on the workers (wg.Wait), so after Fleet.Close returns the count must
+// be back at baseline — for a full run, for a fleet closed without ever
+// running, and for a double Close.
+func TestFleetCloseReleasesWorkerGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// Full lifecycle: create, run, Close (Finish closes the fleet).
+	res, err := RunScenario(ScenarioOptions{
+		Apps: 4, Seed: 1, Duration: 60, Workers: 8, CrushStart: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goroutinesSettle(baseline); got > baseline {
+		t.Fatalf("after run+Close: %d goroutines, baseline %d — worker pool leaked", got, baseline)
+	}
+
+	// Close without ever running virtual time.
+	run, err := StartScenario(ScenarioOptions{
+		Apps: 4, Seed: 1, Duration: 60, Workers: 8, CrushStart: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Fleet.Close()
+	if got := goroutinesSettle(baseline); got > baseline {
+		t.Fatalf("after Close-without-run: %d goroutines, baseline %d", got, baseline)
+	}
+	// Close is idempotent — a second Close must not panic or hang.
+	run.Fleet.Close()
+
+	_ = res
+}

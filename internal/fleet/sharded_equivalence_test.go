@@ -1,0 +1,82 @@
+package fleet_test
+
+import (
+	"reflect"
+	"testing"
+
+	"archadapt/internal/chaos"
+	"archadapt/internal/fleet"
+)
+
+// The region-sharded execution plane's contract: Shards is a pure hosting
+// knob. Every scenario in the catalog must produce byte-identical summaries,
+// migration records and fingerprints with event execution hosted on per-region
+// shard kernels (Shards ∈ {1, -1: one per region}) as on the retained
+// single-kernel oracle (Shards = 0). Like the parallel-plane suite, the runs
+// are held to chaos.Fingerprint, which folds in the summary table,
+// per-migration records, rejections, the slot ledger and the migration
+// high-water mark.
+
+var shardCounts = []int{1, -1}
+
+func runSharded(t *testing.T, opts fleet.ScenarioOptions, shards int) *fleet.ScenarioResult {
+	t.Helper()
+	opts.Shards = shards
+	res, err := fleet.RunScenario(opts)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return res
+}
+
+func TestCatalogShardedEquivalence(t *testing.T) {
+	for _, e := range fleet.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			oracle := runSharded(t, e.Opts, 0)
+			oracleFP := chaos.Fingerprint(oracle)
+			for _, s := range shardCounts {
+				res := runSharded(t, e.Opts, s)
+				if !reflect.DeepEqual(res.Summaries, oracle.Summaries) {
+					t.Fatalf("shards=%d summaries diverge from the single-kernel oracle:\noracle:\n%s\nsharded:\n%s",
+						s, oracle.Table(), res.Table())
+				}
+				if fp := chaos.Fingerprint(res); fp != oracleFP {
+					t.Fatalf("shards=%d fingerprint diverges from the single-kernel oracle:\n--- oracle\n%s\n--- shards=%d\n%s",
+						s, oracleFP, s, fp)
+				}
+				for _, name := range oracle.Fleet.Apps() {
+					om := oracle.Fleet.App(name).Migrations
+					sm := res.Fleet.App(name).Migrations
+					if !reflect.DeepEqual(om, sm) {
+						t.Fatalf("shards=%d: %s migration records diverge:\n%+v\nvs\n%+v", s, name, om, sm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRoutingExercised guards against the equivalence suite passing
+// vacuously: a per-region sharded run must actually host events on more than
+// one shard kernel and route cross-region deliveries through the exchange.
+func TestShardedRoutingExercised(t *testing.T) {
+	opts := fleet.ScenarioOptions{
+		Apps: 6, Seed: 11, Duration: 240, Adaptive: true, Shards: -1,
+		CrushStart: 120, CrushStagger: 0, CrushDuration: 60,
+	}
+	run, err := fleet.StartScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Shards == nil || run.Shards.Len() < 2 {
+		t.Fatalf("expected a multi-shard run, got %+v", run.Shards)
+	}
+	if err := run.Grid.VerifyShardHosting(); err != nil {
+		t.Fatal(err)
+	}
+	res := run.Finish()
+	if got := res.Fleet.Net.CompletedFlows(); got == 0 {
+		t.Fatalf("sharded run completed no flows")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"slices"
 )
@@ -38,6 +39,19 @@ type Shards struct {
 	// horizon is the end of the last completed window: the earliest time a
 	// cross-shard send issued in the next window may be delivered.
 	horizon Time
+
+	// Sequenced mode (NewSeqShards): every shard kernel shares shard 0's
+	// clock and sequence counter, and RunWindow fires the globally minimal
+	// (time, seq) event across all shards instead of running shards
+	// back-to-back. heads is a binary heap of shard ids keyed by each shard's
+	// queue head; pos[i] is shard i's position in heads. Every kernel
+	// operation that can move a queue head repairs the heap immediately via
+	// the sched notification — one single-element fix at a time, which is the
+	// only regime in which heap.Fix-style repair is sound (batching several
+	// changed heads and fixing them one by one is not).
+	seq   bool
+	heads []int32
+	pos   []int32
 }
 
 // ShardKernel is one shard: a Kernel plus the shard's exchange outbox. Only
@@ -52,11 +66,13 @@ type ShardKernel struct {
 
 // xevent is one cross-shard event in flight through the exchange.
 type xevent struct {
-	at  Time
-	src int
-	seq uint64
-	to  int
-	fn  func()
+	at    Time
+	src   int
+	seq   uint64
+	to    int
+	fn    func()
+	fnArg func(any)
+	arg   any
 }
 
 // NewShards creates n shard kernels sharing one worker pool. A nil pool runs
@@ -71,6 +87,46 @@ func NewShards(pool *WorkerPool, n int) *Shards {
 	}
 	return s
 }
+
+// NewSeqShards creates n shard kernels in sequenced mode: all kernels share
+// shard 0's clock and sequence counter, and RunWindow executes each window by
+// repeatedly firing the globally minimal (time, seq) event across every
+// shard's queue. Because sequence numbers are drawn from one shared counter
+// in schedule-call order, the fire order — and therefore every observable
+// result — is byte-identical to scheduling the same calls on one Kernel,
+// regardless of how events are routed to shards. The windows still enforce
+// the full conservative contract (Send outboxes, barrier exchange, horizon
+// panics), so the region routing and lookahead are continuously validated;
+// what sequenced mode gives up is intra-window parallelism, which shared
+// fleet state rules out anyway under the byte-identical-oracle contract.
+func NewSeqShards(n int) *Shards {
+	if n < 1 {
+		panic("sim: NewSeqShards needs at least one shard")
+	}
+	s := &Shards{seq: true}
+	for i := 0; i < n; i++ {
+		sk := &ShardKernel{Kernel: NewKernel(), set: s, id: i}
+		if i > 0 {
+			k0 := s.shards[0].Kernel
+			sk.Kernel.clock = k0.clock
+			sk.Kernel.seqp = k0.seqp
+		}
+		id := int32(i)
+		sk.Kernel.sched = func() { s.fixHead(s.pos[id]) }
+		s.shards = append(s.shards, sk)
+	}
+	s.heads = make([]int32, n)
+	s.pos = make([]int32, n)
+	for i := range s.heads {
+		s.heads[i] = int32(i)
+		s.pos[i] = int32(i)
+	}
+	return s
+}
+
+// Sequenced reports whether the set runs in sequenced (oracle-identical)
+// mode.
+func (s *Shards) Sequenced() bool { return s.seq }
 
 // Len returns the shard count.
 func (s *Shards) Len() int { return len(s.shards) }
@@ -90,19 +146,50 @@ func (sk *ShardKernel) ID() int { return sk.id }
 // end of the current window (the caller's lookahead across the boundary);
 // violations are detected at the merge and panic.
 func (sk *ShardKernel) Send(to int, at Time, fn func()) {
+	sk.send(to, at, fn, nil, nil)
+}
+
+// SendArg is Send in the closure-free form (a static function plus its
+// receiver), mirroring Kernel.AtAnonArg for cross-shard deliveries.
+func (sk *ShardKernel) SendArg(to int, at Time, fn func(any), arg any) {
+	sk.send(to, at, nil, fn, arg)
+}
+
+func (sk *ShardKernel) send(to int, at Time, fn func(), fnArg func(any), arg any) {
 	if to < 0 || to >= len(sk.set.shards) {
 		panic(fmt.Sprintf("sim: Send to unknown shard %d of %d", to, len(sk.set.shards)))
 	}
-	sk.out = append(sk.out, xevent{at: at, src: sk.id, seq: sk.seq, to: to, fn: fn})
-	sk.seq++
+	seq := sk.seq
+	if sk.set.seq {
+		// Sequenced mode: consume the shared kernel sequence at call time, so
+		// the exchange can inject the event carrying exactly the sequence a
+		// single kernel would have assigned here.
+		seq = sk.Kernel.nextSeq()
+	} else {
+		sk.seq++
+	}
+	sk.out = append(sk.out, xevent{at: at, src: sk.id, seq: seq, to: to, fn: fn, fnArg: fnArg, arg: arg})
 }
 
 // RunWindow advances every shard to the horizon `until` in parallel, then
 // exchanges the cross-shard events issued during the window. It returns the
 // number of events executed across all shards.
+//
+// Zero-width windows (until == Horizon()) are permitted and have pinned
+// "flush" semantics: events already queued at exactly the horizon fire
+// (window execution is horizon-inclusive, same as Kernel.Run), then the
+// exchange runs. Outbox events the exchange delivers — including ones timed
+// exactly at the horizon — are only injected, never fired, by the call that
+// delivered them; they fire at the start of the next window or flush. This
+// is identical to where a non-degenerate step would fire them, so a flush
+// can be inserted anywhere (e.g. to drain outboxes between Run calls)
+// without changing results.
 func (s *Shards) RunWindow(until Time) uint64 {
 	if until < s.horizon {
 		panic(fmt.Sprintf("sim: window horizon %.9f before previous horizon %.9f", until, s.horizon))
+	}
+	if s.seq {
+		return s.runSeqWindow(until)
 	}
 	counts := make([]uint64, len(s.shards))
 	s.pool.Do(len(s.shards), func(i int) {
@@ -114,6 +201,89 @@ func (s *Shards) RunWindow(until Time) uint64 {
 	for _, c := range counts {
 		n += c
 	}
+	return n
+}
+
+// headLess orders shards by their queue-head event in (time, seq) order;
+// empty queues sort last. Sequence numbers are globally unique (shared
+// counter), so two non-empty heads never tie.
+func (s *Shards) headLess(a, b int32) bool {
+	qa, qb := s.shards[a].Kernel.queue, s.shards[b].Kernel.queue
+	if len(qa) == 0 {
+		return false
+	}
+	if len(qb) == 0 {
+		return true
+	}
+	ea, eb := qa[0], qb[0]
+	if ea.At != eb.At {
+		return ea.At < eb.At
+	}
+	return ea.seq < eb.seq
+}
+
+// fixHead restores the heads-heap invariant for the shard at heap position
+// `at` (sift up, then down).
+func (s *Shards) fixHead(at int32) {
+	h := s.heads
+	i := at
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.headLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		s.pos[h[i]], s.pos[h[parent]] = i, parent
+		i = parent
+	}
+	n := int32(len(h))
+	for {
+		least, l, r := i, 2*i+1, 2*i+2
+		if l < n && s.headLess(h[l], h[least]) {
+			least = l
+		}
+		if r < n && s.headLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		s.pos[h[i]], s.pos[h[least]] = i, least
+		i = least
+	}
+}
+
+// runSeqWindow is the sequenced-mode window body: a serial merged driver
+// that fires the globally minimal (time, seq) event until every queue is
+// past `until`, then advances the shared clock and runs the exchange.
+func (s *Shards) runSeqWindow(until Time) uint64 {
+	var n uint64
+	k0 := s.shards[0].Kernel
+	for {
+		t := s.heads[0]
+		q := &s.shards[t].Kernel.queue
+		if len(*q) == 0 {
+			break
+		}
+		e := (*q)[0]
+		if e.At > until {
+			break
+		}
+		heap.Pop(q)
+		s.fixHead(s.pos[t])
+		if e.dead {
+			continue
+		}
+		*k0.clock = e.At
+		s.shards[t].Kernel.fire(e)
+		n++
+	}
+	if *k0.clock < until {
+		*k0.clock = until
+	}
+	s.horizon = until
+	s.exchange()
 	return n
 }
 
@@ -154,20 +324,36 @@ func (s *Shards) exchange() {
 			panic(fmt.Sprintf("sim: cross-shard send from %d violates the exchange horizon: at=%.9f horizon=%.9f",
 				x.src, x.at, s.horizon))
 		}
-		s.shards[x.to].At(x.at, x.fn)
+		if s.seq {
+			// Sequenced mode: inject preserving the sequence captured at Send
+			// time, so the merged fire order matches the single-kernel oracle.
+			s.shards[x.to].Kernel.injectAnon(x.at, x.seq, x.fn, x.fnArg, x.arg)
+		} else if x.fnArg != nil {
+			fn, arg := x.fnArg, x.arg
+			s.shards[x.to].At(x.at, func() { fn(arg) })
+		} else {
+			s.shards[x.to].At(x.at, x.fn)
+		}
 	}
 }
 
 // Run advances the whole set to `until` in fixed-size windows (the exchange
-// horizon step), then runs one final window ending exactly at `until`. It
-// returns the total number of events executed.
+// horizon step), then runs one final window ending exactly at `until`. Window
+// i ends at exactly start + i*window — computed by multiplication, not by
+// accumulating additions, so horizons sit on the exact float64 multiples no
+// matter how many windows a run spans and the final window's width never
+// depends on accumulated rounding error. A +Inf window is permitted and runs
+// the whole span as one window (the degenerate single-region case, where
+// there is no lookahead to respect). It returns the total number of events
+// executed.
 func (s *Shards) Run(until Time, window float64) uint64 {
-	if window <= 0 {
+	if !(window > 0) {
 		panic("sim: Run window must be positive")
 	}
 	var n uint64
-	for s.horizon+window < until {
-		n += s.RunWindow(s.horizon + window)
+	start := s.horizon
+	for i := 1; start+float64(i)*window < until; i++ {
+		n += s.RunWindow(start + float64(i)*window)
 	}
 	n += s.RunWindow(until)
 	return n

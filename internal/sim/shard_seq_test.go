@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// seqShardsTrace runs one deterministic branching workload and returns its
+// full fire trace. nShards == 0 runs the single-kernel oracle; otherwise the
+// same schedule calls are routed across a sequenced shard set (node i lives
+// on shard i%nShards), with cross-shard follow-ups issued either directly
+// (direct=true; legal in sequenced mode, the driver is serial) or through
+// the conservative Send/exchange path with one window of lookahead.
+func seqShardsTrace(nShards int, direct bool) string {
+	const window = 0.5
+	var b strings.Builder
+	var kernels []*Kernel
+	var set *Shards
+	if nShards == 0 {
+		kernels = []*Kernel{NewKernel()}
+	} else {
+		set = NewSeqShards(nShards)
+		for i := 0; i < nShards; i++ {
+			kernels = append(kernels, set.Shard(i).Kernel)
+		}
+	}
+	kfor := func(node int) *Kernel { return kernels[node%len(kernels)] }
+	r := NewRand(42)
+	var spawn func(node, depth int) func()
+	spawn = func(node, depth int) func() {
+		return func() {
+			k := kfor(node)
+			fmt.Fprintf(&b, "t=%.9f node=%d depth=%d\n", k.Now(), node, depth)
+			if depth == 0 {
+				return
+			}
+			for j := 0; j < 2; j++ {
+				next := r.Intn(16)
+				// Strictly more than one window of delay, so the Send path's
+				// conservative contract (delivery beyond the issuing window's
+				// barrier) always holds.
+				at := k.Now() + window + 0.01 + r.Float64()
+				tgt := kfor(next)
+				if set == nil || direct || tgt == k {
+					tgt.AtAnon(at, spawn(next, depth-1))
+				} else {
+					src := set.Shard(node % nShards)
+					src.Send(next%nShards, at, spawn(next, depth-1))
+				}
+			}
+		}
+	}
+	for n := 0; n < 16; n++ {
+		kfor(n).At(float64(n)*0.1, spawn(n, 6))
+	}
+	if set != nil {
+		set.Run(30, window)
+	} else {
+		kernels[0].Run(30)
+	}
+	return b.String()
+}
+
+// TestSeqShardsMatchSingleKernelOracle is the sequenced-mode contract: the
+// same schedule calls, routed across any number of sequenced shards, fire in
+// exactly the order a single kernel would — whether cross-shard follow-ups
+// are scheduled directly or through the Send/exchange protocol.
+func TestSeqShardsMatchSingleKernelOracle(t *testing.T) {
+	ref := seqShardsTrace(0, false)
+	if !strings.Contains(ref, "depth=0") {
+		t.Fatalf("oracle workload never reached full depth:\n%s", ref)
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		for _, direct := range []bool{true, false} {
+			if got := seqShardsTrace(n, direct); got != ref {
+				t.Errorf("sequenced shards=%d direct=%v diverges from the single-kernel oracle\n--- oracle\n%.400s\n--- sharded\n%.400s",
+					n, direct, ref, got)
+			}
+		}
+	}
+}
+
+// TestSeqShardsCancelRescheduleReuse pins the merged driver against the
+// oracle for the full event-lifecycle surface the netsim solver leans on:
+// Cancel, Reschedule, and Reuse on handles that hop between kernels' heaps.
+func seqChurnTrace(nShards int) string {
+	trace := func(nShards int) string {
+		var b strings.Builder
+		var kernels []*Kernel
+		var set *Shards
+		if nShards == 0 {
+			kernels = []*Kernel{NewKernel()}
+		} else {
+			set = NewSeqShards(nShards)
+			for i := 0; i < nShards; i++ {
+				kernels = append(kernels, set.Shard(i).Kernel)
+			}
+		}
+		kfor := func(node int) *Kernel { return kernels[node%len(kernels)] }
+		r := NewRand(7)
+		events := make(map[int]*Event)
+		var churn func(step int) func()
+		churn = func(step int) func() {
+			return func() {
+				k := kfor(step)
+				fmt.Fprintf(&b, "t=%.9f step=%d\n", k.Now(), step)
+				if step >= 400 {
+					return
+				}
+				node := r.Intn(8)
+				tk := kfor(node)
+				switch r.Intn(4) {
+				case 0: // fresh completion-style event, handle retained
+					events[node] = tk.At(tk.Now()+0.2+r.Float64(), churn(step+1))
+				case 1: // reschedule the node's pending event, or start fresh
+					if e := events[node]; !tk.Reschedule(e, tk.Now()+0.2+r.Float64()) {
+						events[node] = tk.At(tk.Now()+0.2+r.Float64(), churn(step+1))
+					}
+				case 2: // cancel then re-arm via Reuse (the stalled-flow path)
+					if e := events[node]; e != nil {
+						e.Cancel()
+						events[node] = tk.Reuse(e, tk.Now()+0.2+r.Float64(), churn(step+1))
+					} else {
+						events[node] = tk.At(tk.Now()+0.2+r.Float64(), churn(step+1))
+					}
+				case 3: // anonymous fan-out
+					tk.AtAnon(tk.Now()+0.2+r.Float64(), churn(step+1))
+				}
+			}
+		}
+		for n := 0; n < 8; n++ {
+			kfor(n).At(float64(n)*0.05, churn(n))
+		}
+		if set != nil {
+			set.Run(600, 1.0)
+		} else {
+			kernels[0].Run(600)
+		}
+		return b.String()
+	}
+	return trace(nShards)
+}
+
+func TestSeqShardsCancelRescheduleReuse(t *testing.T) {
+	ref := seqChurnTrace(0)
+	if !strings.Contains(ref, "step=400") {
+		t.Fatalf("churn never reached step 400:\n%s", ref)
+	}
+	for _, n := range []int{2, 5} {
+		if got := seqChurnTrace(n); got != ref {
+			t.Errorf("sequenced shards=%d lifecycle churn diverges from oracle\n--- oracle\n%.400s\n--- sharded\n%.400s",
+				n, ref, got)
+		}
+	}
+}
+
+// TestShardsRunHorizonsExactMultiples is the regression for the window
+// accumulation bug: Run used to step the horizon by repeated `horizon +
+// window` addition, so a long run drifted off the exact float64 multiples
+// and the final window's width depended on accumulated rounding error. Run
+// now computes window i's horizon as start + i*window; this drives a million
+// 0.1 s windows (0.1 is inexact in binary, the worst case for accumulation)
+// and asserts mid-window that the completed horizon sits on the exact
+// multiple every single time.
+func TestShardsRunHorizonsExactMultiples(t *testing.T) {
+	const window = 0.1
+	const windows = 1_000_000
+	until := float64(windows) * window
+	s := NewShards(nil, 1)
+	sk := s.Shard(0)
+	bad := 0
+	var step func(i int) func()
+	step = func(i int) func() {
+		return func() {
+			// This event sits in the middle of window i, so the completed
+			// horizon must be the end of window i-1: the exact multiple.
+			if want := float64(i-1) * window; s.Horizon() != want {
+				if bad < 5 {
+					t.Errorf("window %d: horizon %.17g, want exact multiple %.17g", i, s.Horizon(), want)
+				}
+				bad++
+			}
+			if i < windows {
+				sk.AtAnon(float64(i+1)*window-0.05, step(i+1))
+			}
+		}
+	}
+	sk.AtAnon(window-0.05, step(1))
+	s.Run(until, window)
+	if bad > 0 {
+		t.Fatalf("%d of %d windows ended off the exact multiple", bad, windows)
+	}
+	if s.Horizon() != until {
+		t.Fatalf("final horizon %.17g, want %.17g", s.Horizon(), until)
+	}
+}
+
+// TestShardsZeroWidthWindowSemantics pins the documented flush semantics of
+// a zero-width window (until == Horizon()), in both execution modes:
+//
+//	(a) with nothing pending it executes no events and leaves the horizon
+//	    unchanged;
+//	(b) events already queued at exactly the horizon fire (window execution
+//	    is horizon-inclusive);
+//	(c) outbox events the flush delivers are injected, never fired, by the
+//	    flush itself — they fire in the following window or flush;
+//	(d) inserting a flush between two windows does not change the overall
+//	    fire order compared to stepping directly.
+func TestShardsZeroWidthWindowSemantics(t *testing.T) {
+	modes := []struct {
+		name string
+		mk   func() *Shards
+	}{
+		{"parallel", func() *Shards { return NewShards(nil, 2) }},
+		{"sequenced", func() *Shards { return NewSeqShards(2) }},
+	}
+	for _, m := range modes {
+		t.Run(m.name+"/empty-flush", func(t *testing.T) {
+			s := m.mk()
+			s.RunWindow(1.0)
+			if n := s.RunWindow(1.0); n != 0 {
+				t.Fatalf("empty flush executed %d events, want 0", n)
+			}
+			if s.Horizon() != 1.0 {
+				t.Fatalf("flush moved the horizon to %v", s.Horizon())
+			}
+		})
+		t.Run(m.name+"/at-horizon-delivery", func(t *testing.T) {
+			s := m.mk()
+			var got []string
+			// A send delivered exactly at the barrier: the window that runs
+			// the exchange injects it but must not fire it (c); the next
+			// flush fires it (b).
+			s.Shard(0).At(0.5, func() {
+				s.Shard(0).Send(1, 1.0, func() { got = append(got, "delivered") })
+			})
+			if s.RunWindow(1.0); len(got) != 0 {
+				t.Fatalf("delivering window fired the exchanged event: %v", got)
+			}
+			if s.RunWindow(1.0); fmt.Sprint(got) != "[delivered]" {
+				t.Fatalf("flush did not fire the at-horizon event: %v", got)
+			}
+		})
+		t.Run(m.name+"/outbox-flush-outside-window", func(t *testing.T) {
+			s := m.mk()
+			var got []string
+			s.RunWindow(1.0)
+			// A send issued outside any window (between runs) sits in the
+			// outbox; a flush delivers it without running anything.
+			s.Shard(0).Send(1, 2.0, func() { got = append(got, "late") })
+			if n := s.RunWindow(1.0); n != 0 || len(got) != 0 {
+				t.Fatalf("flush executed %d events, fired %v", n, got)
+			}
+			if s.RunWindow(3.0); fmt.Sprint(got) != "[late]" {
+				t.Fatalf("delivered event never fired: %v", got)
+			}
+		})
+		t.Run(m.name+"/flush-insertion-invariant", func(t *testing.T) {
+			run := func(flush bool) string {
+				s := m.mk()
+				var got []string
+				s.Shard(0).At(0.5, func() {
+					s.Shard(0).Send(1, 1.0, func() { got = append(got, "exchanged@1") })
+				})
+				s.Shard(1).At(1.5, func() { got = append(got, "local@1.5") })
+				s.RunWindow(1.0)
+				if flush {
+					s.RunWindow(1.0)
+				}
+				s.RunWindow(2.0)
+				return fmt.Sprint(got)
+			}
+			plain, flushed := run(false), run(true)
+			if plain != flushed {
+				t.Fatalf("flush changed the fire order: %s vs %s", plain, flushed)
+			}
+			if want := "[exchanged@1 local@1.5]"; plain != want {
+				t.Fatalf("fire order %s, want %s", plain, want)
+			}
+		})
+	}
+}
